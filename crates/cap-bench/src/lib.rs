@@ -1,0 +1,25 @@
+//! Criterion benches for the CAP reproduction.
+//!
+//! Each bench target regenerates one of the paper's figures at
+//! [`cap_harness::runner::Scale::bench`] scale; the library itself only
+//! hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use cap_harness::runner::Scale;
+
+/// The scale all benches run at.
+#[must_use]
+pub fn bench_scale() -> Scale {
+    Scale::bench()
+}
+
+/// A smaller scale for the timing-simulator benches (fig7/fig12), which
+/// cost ~10x a predictor-only sweep per load.
+#[must_use]
+pub fn bench_scale_timing() -> Scale {
+    Scale {
+        loads_per_trace: 8_000,
+        traces_per_suite: Some(1),
+    }
+}

@@ -1,0 +1,138 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                  # every experiment at full scale
+//! repro fig5 fig9            # a subset
+//! repro fig7 --quick         # reduced scale (bench-sized)
+//! repro list                 # enumerate experiment ids
+//! ```
+
+use cap_harness::experiments::{ext, fig10, fig11, fig12, fig5, fig6, fig7, fig8, fig9, text};
+use cap_harness::runner::Scale;
+use cap_harness::ExperimentReport;
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 19] = [
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "text-coverage",
+    "text-lt-sweep",
+    "text-update-policy",
+    "text-control-based",
+    "text-pollution",
+    "ext-delta",
+    "ext-variable-history",
+    "ext-profile",
+    "ext-value",
+    "ext-prefetch",
+    "ext-wrongpath",
+];
+
+fn run_one(id: &str, scale: &Scale) -> Option<ExperimentReport> {
+    let report = match id {
+        "fig5" => fig5::run(scale).1,
+        "fig6" => fig6::run(scale).1,
+        "fig7" => fig7::run(scale).1,
+        "fig8" => fig8::run(scale).1,
+        "fig9" => fig9::run(scale).1,
+        "fig10" => fig10::run(scale).1,
+        "fig11" => fig11::run(scale).1,
+        "fig12" => fig12::run(scale).1,
+        "text-coverage" => text::coverage(scale).1,
+        "text-lt-sweep" => text::lt_sweep(scale).1,
+        "text-update-policy" => text::update_policy(scale).1,
+        "text-control-based" => text::control_based(scale).1,
+        "text-pollution" => text::pollution(scale).1,
+        "ext-delta" => ext::delta_correlation(scale).1,
+        "ext-variable-history" => ext::variable_history(scale).1,
+        "ext-profile" => ext::profile_guided(scale).1,
+        "ext-value" => ext::value_vs_address(scale).1,
+        "ext-prefetch" => ext::prefetch(scale).1,
+        "ext-wrongpath" => ext::wrong_path(scale).1,
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Prints the catalog's trace characterisation (the §2-style analysis).
+fn print_trace_stats(scale: &Scale) {
+    use cap_harness::table::{pct, Table};
+    use cap_trace::stats::TraceStats;
+    let mut table = Table::new(vec![
+        "trace".into(),
+        "instrs".into(),
+        "loads".into(),
+        "static loads".into(),
+        "unique addrs".into(),
+        "constant".into(),
+        "stride".into(),
+    ]);
+    for spec in scale.traces() {
+        let trace = spec.generate(scale.loads_per_trace);
+        let s = TraceStats::compute(&trace);
+        table.add_row(vec![
+            spec.name.to_owned(),
+            s.instructions.to_string(),
+            s.loads.to_string(),
+            s.static_loads.to_string(),
+            s.unique_addresses.to_string(),
+            pct(s.constant_fraction),
+            pct(s.stride_fraction),
+        ]);
+    }
+    println!("== trace catalog characterisation ==\n");
+    print!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::bench() } else { Scale::full() };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if selected.is_empty() || selected.contains(&"help") {
+        eprintln!("usage: repro <experiment|all|list|stats> [--quick]");
+        eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+        std::process::exit(selected.is_empty() as i32);
+    }
+    if selected.contains(&"list") {
+        for id in EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    if selected.contains(&"stats") {
+        print_trace_stats(&scale);
+        return;
+    }
+
+    let ids: Vec<&str> = if selected.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        selected
+    };
+
+    for id in ids {
+        let start = Instant::now();
+        match run_one(id, &scale) {
+            Some(report) => {
+                println!("{report}");
+                println!("[{id} completed in {:.1?}]\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try 'repro list')");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Figure 5 — prediction performance of the enhanced stride, stand-alone
+//! CAP, and hybrid predictors, per suite and on average.
+//!
+//! Paper reference points: stride ≈53% / CAP ≈61% / hybrid ≈67% prediction
+//! rate on average; hybrid accuracy ≈98.9%; CAP beats stride by 5–13% on
+//! every suite *except MM*, where the large media arrays overflow the Link
+//! Table and the stride component dominates.
+
+use super::ExperimentReport;
+use crate::runner::{run_suite_sweep, PredictorFactory, Scale, SuiteResults};
+use crate::table::{pct, pct2, Table};
+use cap_predictor::metrics::PredictorStats;
+use cap_trace::suites::Suite;
+
+/// Raw results backing the figure.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// Results for stride, CAP, and hybrid (in that order).
+    pub results: Vec<SuiteResults>,
+}
+
+impl Fig5 {
+    /// Result accessors by configuration.
+    #[must_use]
+    pub fn stride(&self) -> &SuiteResults {
+        &self.results[0]
+    }
+    /// Stand-alone CAP results.
+    #[must_use]
+    pub fn cap(&self) -> &SuiteResults {
+        &self.results[1]
+    }
+    /// Hybrid results.
+    #[must_use]
+    pub fn hybrid(&self) -> &SuiteResults {
+        &self.results[2]
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> (Fig5, ExperimentReport) {
+    let factories = [
+        PredictorFactory::enhanced_stride(),
+        PredictorFactory::cap(),
+        PredictorFactory::hybrid(),
+    ];
+    let results = run_suite_sweep(scale, &factories, 0);
+
+    let mut table = Table::new(vec![
+        "suite".into(),
+        "stride rate".into(),
+        "cap rate".into(),
+        "hybrid rate".into(),
+        "stride acc".into(),
+        "cap acc".into(),
+        "hybrid acc".into(),
+    ]);
+    for suite in Suite::ALL {
+        let cell = |r: &SuiteResults, f: fn(&PredictorStats) -> f64| f(&r.per_suite[&suite]);
+        table.add_row(vec![
+            suite.name().into(),
+            pct(cell(&results[0], PredictorStats::prediction_rate)),
+            pct(cell(&results[1], PredictorStats::prediction_rate)),
+            pct(cell(&results[2], PredictorStats::prediction_rate)),
+            pct2(cell(&results[0], PredictorStats::accuracy)),
+            pct2(cell(&results[1], PredictorStats::accuracy)),
+            pct2(cell(&results[2], PredictorStats::accuracy)),
+        ]);
+    }
+    table.add_row(vec![
+        "Average".into(),
+        pct(results[0].suite_mean(PredictorStats::prediction_rate)),
+        pct(results[1].suite_mean(PredictorStats::prediction_rate)),
+        pct(results[2].suite_mean(PredictorStats::prediction_rate)),
+        pct2(results[0].suite_mean(PredictorStats::accuracy)),
+        pct2(results[1].suite_mean(PredictorStats::accuracy)),
+        pct2(results[2].suite_mean(PredictorStats::accuracy)),
+    ]);
+
+    let report = ExperimentReport {
+        id: "fig5",
+        title: "Prediction performance of the different predictors".into(),
+        tables: vec![("prediction rate & accuracy".into(), table)],
+        notes: vec![
+            "paper: stride ~53%, CAP ~61%, hybrid ~67% avg prediction rate".into(),
+            "paper: hybrid accuracy ~98.9%; CAP > stride everywhere except MM".into(),
+        ],
+    };
+    (Fig5 { results }, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_predictor::metrics::PredictorStats;
+
+    #[test]
+    fn shapes_match_paper() {
+        let (data, report) = run(&Scale::tiny());
+        let rate = |r: &SuiteResults| r.suite_mean(PredictorStats::prediction_rate);
+        // Ordering: hybrid >= cap > stride on average.
+        assert!(rate(data.hybrid()) > rate(data.stride()));
+        assert!(rate(data.cap()) > rate(data.stride()));
+        // MM inversion.
+        let mm = |r: &SuiteResults| r.per_suite[&Suite::Mm].prediction_rate();
+        assert!(mm(data.stride()) > mm(data.cap()), "MM must invert");
+        // Table has 8 suites + average.
+        assert_eq!(report.table("prediction rate & accuracy").len(), 9);
+    }
+
+    #[test]
+    fn hybrid_accuracy_is_high() {
+        let (data, _) = run(&Scale::tiny());
+        assert!(data.hybrid().suite_mean(PredictorStats::accuracy) > 0.96);
+    }
+}

@@ -1,0 +1,67 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment takes a [`crate::runner::Scale`] and returns an
+//! [`ExperimentReport`] — the `repro` binary runs them at full scale, the
+//! Criterion benches at bench scale, and the integration tests at tiny
+//! scale, all through the same code path.
+
+pub mod ext;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod text;
+
+use crate::table::Table;
+
+/// The rendered (and programmatically inspectable) result of one
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Short identifier (`"fig5"`, `"text-coverage"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// One or more named tables.
+    pub tables: Vec<(String, Table)>,
+    /// Free-form notes (paper reference values, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Finds a table by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no table has that name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> &Table {
+        &self
+            .tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no table named {name} in {}", self.id))
+            .1
+    }
+}
+
+impl std::fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for (name, table) in &self.tables {
+            writeln!(f, "\n-- {name} --")?;
+            write!(f, "{}", table.render())?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for note in &self.notes {
+                writeln!(f, "note: {note}")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,36 @@
+//! # cap-harness — experiment harness for the CAP reproduction
+//!
+//! Regenerates every table and figure of *Correlated Load-Address
+//! Predictors* (ISCA 1999) from the synthetic trace catalog
+//! ([`cap_trace::suites`]), the predictors ([`cap_predictor`]), and the
+//! timing substrate ([`cap_uarch`]).
+//!
+//! Each figure lives in [`experiments`]; the `repro` binary runs them at
+//! full scale:
+//!
+//! ```text
+//! cargo run --release -p cap-harness --bin repro -- all
+//! cargo run --release -p cap-harness --bin repro -- fig5
+//! cargo run --release -p cap-harness --bin repro -- fig5 --quick
+//! ```
+//!
+//! ## Programmatic use
+//!
+//! ```
+//! use cap_harness::experiments::fig5;
+//! use cap_harness::runner::Scale;
+//!
+//! let (data, report) = fig5::run(&Scale::tiny());
+//! println!("{report}");
+//! assert!(data.hybrid().overall.prediction_rate() > 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use experiments::ExperimentReport;
+pub use runner::{PredictorFactory, Scale};

@@ -1,0 +1,450 @@
+//! Trace-driven predictor evaluation loops.
+//!
+//! [`run_immediate`] models Section 4: every prediction is resolved before
+//! the next one is made. [`run_with_gap`] models Section 5: resolutions
+//! (table updates) trail predictions by a configurable *prediction gap*,
+//! so predictions are made with outdated or speculative state and
+//! mispredictions propagate down the pipe.
+//!
+//! Both loops maintain the global branch-history register from the trace's
+//! branch outcomes and a folded call-site path (for the control-based
+//! ablation), and account statistics per the paper's definitions.
+
+use crate::metrics::PredictorStats;
+use crate::types::{AddressPredictor, LoadContext, Prediction};
+use cap_trace::{BranchKind, Trace, TraceEvent};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Architectural control-flow state carried alongside the instruction
+/// stream: the global branch-history register and a folded call path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlState {
+    /// Global branch-history register (LSB = most recent outcome).
+    pub ghr: u64,
+    /// Folded history of recent call-site IPs.
+    pub path: u64,
+}
+
+impl ControlState {
+    /// Applies a branch outcome.
+    pub fn on_branch(&mut self, ip: u64, taken: bool, kind: BranchKind) {
+        match kind {
+            BranchKind::Conditional => {
+                self.ghr = (self.ghr << 1) | u64::from(taken);
+            }
+            BranchKind::Call => {
+                self.path = (self.path << 4) ^ (ip >> 2);
+            }
+            BranchKind::Return => {
+                // Cheap pop approximation: age the path.
+                self.path >>= 4;
+            }
+            BranchKind::Jump => {}
+        }
+    }
+}
+
+/// Runs a predictor over a trace under the immediate-update model (§4):
+/// each load is predicted and resolved before the next load is seen.
+///
+/// # Examples
+///
+/// ```
+/// use cap_predictor::drive::run_immediate;
+/// use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+/// use cap_trace::suites::Suite;
+///
+/// let trace = Suite::Int.traces()[0].generate(2_000);
+/// let mut p = HybridPredictor::new(HybridConfig::paper_default());
+/// let stats = run_immediate(&mut p, &trace);
+/// assert_eq!(stats.loads as usize, trace.load_count());
+/// ```
+pub fn run_immediate<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> PredictorStats {
+    let mut stats = PredictorStats::new();
+    let mut control = ControlState::default();
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pred = predictor.predict(&ctx);
+                predictor.update(&ctx, load.addr, &pred);
+                stats.record(&pred, load.addr);
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    stats
+}
+
+/// Runs a predictor over a trace's *value* stream under the immediate-
+/// update model: identical to [`run_immediate`] except that the quantity
+/// being predicted and verified is the loaded **value**, not the effective
+/// address. Driving the same predictor structures on values reproduces the
+/// value-prediction lineage the paper's §1 contrasts against
+/// (last-value \[Lipa96a\], stride and context value predictors
+/// \[Saze97\]\[Wang97\]) and lets the `ext-value` experiment measure the
+/// paper's claim that values are less predictable than addresses.
+pub fn run_value_immediate<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> PredictorStats {
+    let mut stats = PredictorStats::new();
+    let mut control = ControlState::default();
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: 0, // values have no opcode offset
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pred = predictor.predict(&ctx);
+                predictor.update(&ctx, load.value, &pred);
+                stats.record(&pred, load.value);
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    stats
+}
+
+/// One in-flight load awaiting resolution in the gap pipeline.
+#[derive(Debug, Clone)]
+struct Pending {
+    ctx: LoadContext,
+    pred: Prediction,
+    actual: u64,
+    /// Index (in dynamic instructions) at which the load was predicted.
+    seq: u64,
+}
+
+/// Runs a predictor over a trace with a *prediction gap* (§5): the table
+/// update for a load is applied only once `gap` dynamic *instructions*
+/// have passed since its prediction. `gap == 0` is equivalent to
+/// [`run_immediate`].
+///
+/// The gap is instruction-granular rather than load-granular: stretches of
+/// non-load instructions (pipeline bubbles, branch-misprediction shadows)
+/// drain pending resolutions, which is what lets a context predictor
+/// resume after a misprediction chain — the paper's §5.2 observation that
+/// "correct context-based predictions should resume on the next traversal".
+///
+/// The loop also maintains, per static load, the number of unresolved
+/// in-flight instances and passes it as [`LoadContext::pending`] so the
+/// stride catch-up and interval mechanisms can extrapolate.
+pub fn run_with_gap<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    gap: usize,
+) -> PredictorStats {
+    if gap == 0 {
+        return run_immediate(predictor, trace);
+    }
+    let mut stats = PredictorStats::new();
+    let mut control = ControlState::default();
+    let mut pipe: VecDeque<Pending> = VecDeque::with_capacity(gap + 1);
+    let mut in_flight: HashMap<u64, u32> = HashMap::new();
+
+    let resolve = |predictor: &mut P,
+                   stats: &mut PredictorStats,
+                   in_flight: &mut HashMap<u64, u32>,
+                   p: Pending| {
+        predictor.update(&p.ctx, p.actual, &p.pred);
+        stats.record(&p.pred, p.actual);
+        if let Some(n) = in_flight.get_mut(&p.ctx.ip) {
+            *n -= 1;
+            if *n == 0 {
+                in_flight.remove(&p.ctx.ip);
+            }
+        }
+    };
+
+    for (seq, event) in trace.iter().enumerate() {
+        let seq = seq as u64;
+        // Drain resolutions older than the gap.
+        while pipe
+            .front()
+            .is_some_and(|p| p.seq + gap as u64 <= seq)
+        {
+            let p = pipe.pop_front().expect("pipe non-empty");
+            resolve(predictor, &mut stats, &mut in_flight, p);
+        }
+        match event {
+            TraceEvent::Load(load) => {
+                let pending = in_flight.get(&load.ip).copied().unwrap_or(0);
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending,
+                };
+                let pred = predictor.predict(&ctx);
+                *in_flight.entry(load.ip).or_insert(0) += 1;
+                pipe.push_back(Pending {
+                    ctx,
+                    pred,
+                    actual: load.addr,
+                    seq,
+                });
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    while let Some(p) = pipe.pop_front() {
+        resolve(predictor, &mut stats, &mut in_flight, p);
+    }
+    stats
+}
+
+/// Runs a predictor with *wrong-path pollution* (§5.4): at every
+/// conditional branch, with probability `wrong_path_percent`, the front
+/// end is assumed to have fetched down the wrong path and the next few
+/// loads are presented to the predictor with wrong-path addresses before
+/// the flush.
+///
+/// With `recovery` enabled, the machine's reorder-buffer-like mechanism
+/// undoes everything the wrong path did to the predictor (modelled as the
+/// wrong-path loads not touching it at all). Without recovery, wrong-path
+/// loads are predicted *and* destructively updated — the hazard the paper
+/// says recovery must prevent.
+///
+/// Statistics count only correct-path loads.
+pub fn run_with_wrong_path<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    wrong_path_percent: u32,
+    wrong_path_depth: usize,
+    recovery: bool,
+) -> PredictorStats {
+    assert!(wrong_path_percent <= 100, "percentage out of range");
+    let mut stats = PredictorStats::new();
+    let mut control = ControlState::default();
+    let events: Vec<&TraceEvent> = trace.iter().collect();
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pred = predictor.predict(&ctx);
+                predictor.update(&ctx, load.addr, &pred);
+                stats.record(&pred, load.addr);
+            }
+            TraceEvent::Branch(b) => {
+                control.on_branch(b.ip, b.taken, b.kind);
+                // Deterministic "misprediction" decision.
+                let roll = (b.ip
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64))
+                    % 100;
+                if b.kind == BranchKind::Conditional
+                    && (roll as u32) < wrong_path_percent
+                    && !recovery
+                {
+                    // Wrong path: the next few static loads are fetched
+                    // with wrong-path addresses, predicted, and (without
+                    // recovery) destructively resolved before the flush.
+                    let mut injected = 0;
+                    for e in events[i + 1..].iter() {
+                        if injected >= wrong_path_depth {
+                            break;
+                        }
+                        if let TraceEvent::Load(l) = e {
+                            let ctx = LoadContext {
+                                ip: l.ip,
+                                offset: l.offset,
+                                ghr: control.ghr,
+                                path: control.path,
+                                pending: 0,
+                            };
+                            let wrong_addr = l.addr ^ 0x1040;
+                            let pred = predictor.predict(&ctx);
+                            predictor.update(&ctx, wrong_addr, &pred);
+                            injected += 1;
+                        }
+                    }
+                }
+            }
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::{HybridConfig, HybridPredictor};
+    use crate::load_buffer::LoadBufferConfig;
+    use crate::stride::{StrideParams, StridePredictor};
+    use cap_trace::builder::TraceBuilder;
+
+    fn lb_small() -> LoadBufferConfig {
+        LoadBufferConfig {
+            entries: 256,
+            assoc: 2,
+        }
+    }
+
+    // Helper to build a pure-stride trace.
+    fn stride_trace(n: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            b.load(0x40, 0x1000 + i * 8, 0);
+        }
+        b.finish()
+    }
+
+    fn small_hybrid() -> HybridPredictor {
+        let mut cfg = HybridConfig::paper_default();
+        cfg.lb.entries = 256;
+        cfg.lt.entries = 1024;
+        cfg.lt.assoc = 2;
+        cfg.cap.history.index_bits = 10;
+        HybridPredictor::new(cfg)
+    }
+
+    #[test]
+    fn immediate_counts_every_load() {
+        let trace = stride_trace(100);
+        let mut p = small_hybrid();
+        let stats = run_immediate(&mut p, &trace);
+        assert_eq!(stats.loads, 100);
+        assert!(stats.prediction_rate() > 0.9);
+        assert!(stats.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn gap_zero_equals_immediate() {
+        let trace = stride_trace(200);
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        let sa = run_immediate(&mut a, &trace);
+        let sb = run_with_gap(&mut b, &trace, 0);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn gap_resolves_every_load_eventually() {
+        let trace = stride_trace(100);
+        let mut p = small_hybrid();
+        let stats = run_with_gap(&mut p, &trace, 8);
+        assert_eq!(stats.loads, 100);
+    }
+
+    #[test]
+    fn stride_with_catch_up_survives_gap() {
+        // A pure stride is fully predictable even under a gap thanks to
+        // extrapolation.
+        let trace = stride_trace(500);
+        let mut p = StridePredictor::new(lb_small(), StrideParams::paper_default());
+        let stats = run_with_gap(&mut p, &trace, 8);
+        assert!(
+            stats.accuracy() > 0.95,
+            "catch-up must keep stride accurate under a gap (acc={})",
+            stats.accuracy()
+        );
+        assert!(stats.prediction_rate() > 0.9);
+    }
+
+    #[test]
+    fn gap_degrades_context_prediction() {
+        // A short recurring pattern: perfect under immediate update, hurt
+        // by the gap (CAP has no catch-up).
+        let pattern = [0x100u64, 0x880, 0x480, 0x280, 0x940, 0x6C0];
+        let mut b = TraceBuilder::new();
+        for _ in 0..400 {
+            for &a in &pattern {
+                b.load(0x40, a, 0);
+            }
+        }
+        let trace = b.finish();
+
+        let mut immediate = small_hybrid();
+        let si = run_immediate(&mut immediate, &trace);
+
+        let mut cfg = HybridConfig::paper_pipelined();
+        cfg.lb.entries = 256;
+        cfg.lt.entries = 1024;
+        cfg.lt.assoc = 2;
+        cfg.cap.history.index_bits = 10;
+        let mut gapped = HybridPredictor::new(cfg);
+        let sg = run_with_gap(&mut gapped, &trace, 8);
+
+        assert!(
+            si.correct_spec_rate() > sg.correct_spec_rate(),
+            "gap must hurt context prediction: {} vs {}",
+            si.correct_spec_rate(),
+            sg.correct_spec_rate()
+        );
+        assert!(si.correct_spec_rate() > 0.9);
+    }
+
+    #[test]
+    fn wrong_path_pollution_hurts_without_recovery() {
+        let trace = cap_trace::suites::catalog()[2].generate(30_000);
+        let mut clean = small_hybrid();
+        let with_recovery = run_with_wrong_path(&mut clean, &trace, 10, 6, true);
+        let mut dirty = small_hybrid();
+        let without = run_with_wrong_path(&mut dirty, &trace, 10, 6, false);
+        assert!(
+            without.correct_spec_rate() < with_recovery.correct_spec_rate(),
+            "destructive wrong-path updates must cost coverage: {:.3} vs {:.3}",
+            without.correct_spec_rate(),
+            with_recovery.correct_spec_rate()
+        );
+    }
+
+    #[test]
+    fn recovery_mode_equals_clean_run() {
+        let trace = cap_trace::suites::catalog()[0].generate(5_000);
+        let mut a = small_hybrid();
+        let clean = run_immediate(&mut a, &trace);
+        let mut b = small_hybrid();
+        let recovered = run_with_wrong_path(&mut b, &trace, 25, 8, true);
+        assert_eq!(clean, recovered, "perfect recovery leaves no trace");
+    }
+
+    #[test]
+    fn ghr_tracks_conditional_branches_only() {
+        let mut c = ControlState::default();
+        c.on_branch(4, true, BranchKind::Conditional);
+        c.on_branch(8, false, BranchKind::Conditional);
+        c.on_branch(12, true, BranchKind::Conditional);
+        assert_eq!(c.ghr & 0b111, 0b101);
+        let before = c.ghr;
+        c.on_branch(16, true, BranchKind::Jump);
+        assert_eq!(c.ghr, before, "jumps must not shift the GHR");
+    }
+
+    #[test]
+    fn path_tracks_calls_and_returns() {
+        let mut c = ControlState::default();
+        c.on_branch(0x100, true, BranchKind::Call);
+        let after_call = c.path;
+        assert_ne!(after_call, 0);
+        c.on_branch(0x200, true, BranchKind::Return);
+        assert_ne!(c.path, after_call);
+    }
+}
+

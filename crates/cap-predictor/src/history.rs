@@ -1,0 +1,299 @@
+//! Per-load address-history recording and the shift(m)-xor compression
+//! scheme (paper §3.2).
+//!
+//! The paper's Load Buffer keeps, per static load, a history of the last
+//! *N* (base) addresses. The history is compressed into a Link-Table index
+//! by the **shift(m)-xor** scheme: fold each address in turn by shifting
+//! the accumulator left `m` bits and xoring in the address's low bits
+//! (excluding the last two, which only matter on unaligned accesses), then
+//! truncate. The scheme "naturally ages past addresses": after enough
+//! pushes an old address's bits are entirely shifted out.
+//!
+//! For experiment fidelity we store the last `N` raw addresses and fold on
+//! demand — this makes *history length* an exact, sweepable parameter
+//! (Figure 9). Hardware would keep only the folded register; the folded
+//! value we compute is identical to what an incremental implementation of
+//! width `index_bits + tag_bits` produces.
+
+use std::collections::VecDeque;
+
+/// Parameters of the history compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistorySpec {
+    /// Number of past addresses recorded (the paper sweeps 1–12; default 4).
+    pub length: usize,
+    /// Shift amount `m` of the shift(m)-xor scheme.
+    pub shift: u32,
+    /// Bits of the folded history used to index the Link Table.
+    pub index_bits: u32,
+    /// Extra folded-history bits stored as a Link-Table tag (§3.4); `0`
+    /// disables tagging.
+    pub tag_bits: u32,
+}
+
+impl HistorySpec {
+    /// The paper's default configuration: history length 4, shift 3,
+    /// 12 index bits (4K-entry LT), 8 tag bits.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            length: 4,
+            shift: 3,
+            index_bits: 12,
+            tag_bits: 8,
+        }
+    }
+
+    /// Total folded width (index + tag).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.index_bits + self.tag_bits
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero length, zero shift, zero
+    /// width, or width > 63).
+    pub fn validate(&self) {
+        assert!(self.length > 0, "history length must be positive");
+        assert!(self.shift > 0, "shift amount must be positive");
+        assert!(self.width() > 0, "folded width must be positive");
+        assert!(self.width() <= 63, "folded width must fit in u64");
+    }
+}
+
+/// The folded history split into Link-Table index and tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FoldedHistory {
+    /// Link-Table index bits.
+    pub index: u64,
+    /// Link-Table tag bits (0 when tagging is disabled).
+    pub tag: u64,
+}
+
+/// A bounded FIFO of recent (base) addresses for one static load.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistoryBuffer {
+    addrs: VecDeque<u64>,
+}
+
+impl HistoryBuffer {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `addr` as the most recent address, keeping at most
+    /// `spec.length` entries.
+    pub fn push(&mut self, addr: u64, spec: &HistorySpec) {
+        self.addrs.push_back(addr);
+        while self.addrs.len() > spec.length {
+            self.addrs.pop_front();
+        }
+    }
+
+    /// Number of recorded addresses (≤ `spec.length`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no addresses have been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// True once the history holds `spec.length` addresses — predictions
+    /// before that point would index the LT with a partial context.
+    #[must_use]
+    pub fn is_warm(&self, spec: &HistorySpec) -> bool {
+        self.addrs.len() >= spec.length
+    }
+
+    /// Folds the recorded addresses with the shift(m)-xor scheme and splits
+    /// the result into LT index and tag.
+    ///
+    /// Oldest address first, so the newest address's bits occupy the least
+    /// shifted (freshest) position — matching an incremental register that
+    /// shifts on every push.
+    #[must_use]
+    pub fn fold(&self, spec: &HistorySpec) -> FoldedHistory {
+        self.fold_last(spec, spec.length)
+    }
+
+    /// Folds only the most recent `length` recorded addresses — used by
+    /// variable-history-length predictors that serve several context
+    /// lengths from one buffer (retain at the longest, fold at each).
+    #[must_use]
+    pub fn fold_last(&self, spec: &HistorySpec, length: usize) -> FoldedHistory {
+        let width = spec.width();
+        let mask = (1u64 << width) - 1;
+        let mut h: u64 = 0;
+        let skip = self.addrs.len().saturating_sub(length);
+        for &a in self.addrs.iter().skip(skip) {
+            // All LSBs except the last two (alignment bits), per §3.2.
+            h = ((h << spec.shift) ^ (a >> 2)) & mask;
+        }
+        FoldedHistory {
+            index: h & ((1u64 << spec.index_bits) - 1),
+            tag: if spec.tag_bits == 0 {
+                0
+            } else {
+                (h >> spec.index_bits) & ((1u64 << spec.tag_bits) - 1)
+            },
+        }
+    }
+
+    /// True once at least `length` addresses are recorded.
+    #[must_use]
+    pub fn has_at_least(&self, length: usize) -> bool {
+        self.addrs.len() >= length
+    }
+
+    /// Clears the history (used when repairing speculative state).
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+    }
+
+    /// Copies another history's contents into this one (state repair).
+    pub fn copy_from(&mut self, other: &HistoryBuffer) {
+        self.addrs.clear();
+        self.addrs.extend(other.addrs.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(length: usize) -> HistorySpec {
+        HistorySpec {
+            length,
+            shift: 3,
+            index_bits: 12,
+            tag_bits: 8,
+        }
+    }
+
+    #[test]
+    fn paper_default_is_valid() {
+        HistorySpec::paper_default().validate();
+        assert_eq!(HistorySpec::paper_default().width(), 20);
+    }
+
+    #[test]
+    fn push_keeps_at_most_length() {
+        let s = spec(3);
+        let mut h = HistoryBuffer::new();
+        for a in 0..10u64 {
+            h.push(a << 4, &s);
+        }
+        assert_eq!(h.len(), 3);
+        assert!(h.is_warm(&s));
+    }
+
+    #[test]
+    fn fold_depends_on_every_recorded_address() {
+        let s = spec(3);
+        let mut h1 = HistoryBuffer::new();
+        let mut h2 = HistoryBuffer::new();
+        for a in [0x100u64, 0x200, 0x300] {
+            h1.push(a, &s);
+        }
+        for a in [0x104u64, 0x200, 0x300] {
+            h2.push(a, &s);
+        }
+        assert_ne!(h1.fold(&s), h2.fold(&s), "oldest address must still matter");
+    }
+
+    #[test]
+    fn fold_ignores_alignment_bits() {
+        let s = spec(2);
+        let mut h1 = HistoryBuffer::new();
+        let mut h2 = HistoryBuffer::new();
+        h1.push(0x100, &s);
+        h1.push(0x200, &s);
+        // Differ only in the low 2 bits.
+        h2.push(0x101, &s);
+        h2.push(0x202, &s);
+        assert_eq!(h1.fold(&s), h2.fold(&s));
+    }
+
+    #[test]
+    fn different_order_folds_differently() {
+        let s = spec(2);
+        let mut h1 = HistoryBuffer::new();
+        let mut h2 = HistoryBuffer::new();
+        h1.push(0x100, &s);
+        h1.push(0x200, &s);
+        h2.push(0x200, &s);
+        h2.push(0x100, &s);
+        assert_ne!(h1.fold(&s), h2.fold(&s), "shift-xor must be order-sensitive");
+    }
+
+    #[test]
+    fn old_addresses_age_out_of_window() {
+        let s = spec(2);
+        let mut h1 = HistoryBuffer::new();
+        let mut h2 = HistoryBuffer::new();
+        // Same last 2 addresses, different older prefix.
+        for a in [0xAAAA0u64, 0x100, 0x200] {
+            h1.push(a, &s);
+        }
+        for a in [0xBBBB0u64, 0x100, 0x200] {
+            h2.push(a, &s);
+        }
+        assert_eq!(h1.fold(&s), h2.fold(&s), "length-2 history keeps only 2");
+    }
+
+    #[test]
+    fn index_and_tag_partition_folded_value() {
+        let s = spec(4);
+        let mut h = HistoryBuffer::new();
+        for a in [0x1234u64, 0x5678, 0x9ABC, 0xDEF0] {
+            h.push(a, &s);
+        }
+        let f = h.fold(&s);
+        assert!(f.index < (1 << 12));
+        assert!(f.tag < (1 << 8));
+    }
+
+    #[test]
+    fn zero_tag_bits_yields_zero_tag() {
+        let s = HistorySpec {
+            tag_bits: 0,
+            ..spec(4)
+        };
+        let mut h = HistoryBuffer::new();
+        h.push(0xFFFF_FFFF, &s);
+        assert_eq!(h.fold(&s).tag, 0);
+    }
+
+    #[test]
+    fn copy_from_replicates_state() {
+        let s = spec(3);
+        let mut a = HistoryBuffer::new();
+        for x in [1u64 << 4, 2 << 4, 3 << 4] {
+            a.push(x, &s);
+        }
+        let mut b = HistoryBuffer::new();
+        b.push(0xDEAD0, &s);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(a.fold(&s), b.fold(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        HistorySpec {
+            length: 0,
+            ..spec(1)
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,399 @@
+//! The Link Table (LT) — second level of the CAP predictor (§3.1, §3.4,
+//! §3.5).
+//!
+//! Indexed by the folded per-load history, each entry links a context to
+//! the (base) address that followed it last time. Three refinements from
+//! the paper are implemented here:
+//!
+//! * **Tags** — extra folded-history bits stored per entry; predictions are
+//!   offered only on tag match, the paper's most effective confidence
+//!   mechanism (Figure 10).
+//! * **Set associativity** — the paper notes low impact (§4.2); supported
+//!   for the sweep experiments.
+//! * **Pollution-free (PF) bits** — bits 2..=5 of the last base address
+//!   that *attempted* an update; a link is replaced only when the same
+//!   update is seen twice in a row, filtering irregular loads and adding
+//!   hysteresis (§3.5). The PF field can also live in a larger decoupled
+//!   direct-mapped table (\[Mora98\]), enabled by [`PfMode::Decoupled`].
+
+use crate::history::FoldedHistory;
+
+/// Pollution-filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PfMode {
+    /// No pollution filtering: every update writes the link.
+    Off,
+    /// PF bits stored inline in each LT entry (paper's base scheme).
+    #[default]
+    Inline,
+    /// PF bits in a decoupled direct-mapped table with `extra_index_bits`
+    /// more index bits than the LT (finer granularity, per \[Mora98\]).
+    Decoupled {
+        /// Additional index bits relative to the LT index.
+        extra_index_bits: u32,
+    },
+}
+
+/// Configuration of a [`LinkTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTableConfig {
+    /// Total number of entries (must be a power of two).
+    pub entries: usize,
+    /// Associativity (1 = direct-mapped, as in the paper's baseline).
+    pub assoc: usize,
+    /// Pollution-filter mode.
+    pub pf_mode: PfMode,
+}
+
+impl LinkTableConfig {
+    /// The paper's baseline: 4K-entry direct-mapped, inline PF bits.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            entries: 4096,
+            assoc: 1,
+            pf_mode: PfMode::Inline,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.entries / self.assoc
+    }
+
+    fn validate(&self) {
+        assert!(self.entries.is_power_of_two(), "LT entries must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            self.entries % self.assoc == 0 && (self.entries / self.assoc).is_power_of_two(),
+            "LT sets must be a power of two"
+        );
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LtEntry {
+    tag: u64,
+    link: u64,
+    pf: u8,
+    pf_primed: bool,
+    lru: u64,
+}
+
+/// The Link Table.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    config: LinkTableConfig,
+    sets: Vec<Vec<Option<LtEntry>>>,
+    decoupled_pf: Vec<(u8, bool)>,
+    tick: u64,
+}
+
+/// PF bits of a base address: bits 2..=5, per §3.5.
+fn pf_bits(base: u64) -> u8 {
+    ((base >> 2) & 0xF) as u8
+}
+
+impl LinkTable {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`LinkTableConfig`]).
+    #[must_use]
+    pub fn new(config: LinkTableConfig) -> Self {
+        config.validate();
+        let decoupled_len = match config.pf_mode {
+            PfMode::Decoupled { extra_index_bits } => config.sets() << extra_index_bits,
+            _ => 0,
+        };
+        Self {
+            sets: vec![vec![None; config.assoc]; config.sets()],
+            decoupled_pf: vec![(0, false); decoupled_len],
+            config,
+            tick: 0,
+        }
+    }
+
+    /// The table's configuration.
+    #[must_use]
+    pub fn config(&self) -> &LinkTableConfig {
+        &self.config
+    }
+
+    fn set_index(&self, folded: &FoldedHistory) -> usize {
+        (folded.index as usize) & (self.config.sets() - 1)
+    }
+
+    /// Looks up the link for a folded history. Returns the linked (base)
+    /// address only on a tag match.
+    #[must_use]
+    pub fn lookup(&self, folded: &FoldedHistory) -> Option<u64> {
+        let set = &self.sets[self.set_index(folded)];
+        set.iter()
+            .flatten()
+            .find(|e| e.tag == folded.tag)
+            .map(|e| e.link)
+    }
+
+    /// Attempts to record `folded → base`. Returns `true` if the link was
+    /// actually written (PF filtering may defer the write to the second
+    /// consecutive identical attempt).
+    pub fn update(&mut self, folded: &FoldedHistory, base: u64) -> bool {
+        self.tick += 1;
+        let new_pf = pf_bits(base);
+        let admit = match self.config.pf_mode {
+            PfMode::Off => true,
+            PfMode::Inline => {
+                // Inline PF: consult/refresh the PF bits of the entry this
+                // update maps to (the victim entry if none matches).
+                let set_idx = self.set_index(folded);
+                let set = &mut self.sets[set_idx];
+                // Find the matching way, else the way we would replace.
+                let way = Self::way_for(set, folded.tag);
+                match &mut set[way] {
+                    Some(e) => {
+                        let admit = e.pf_primed && e.pf == new_pf;
+                        e.pf = new_pf;
+                        e.pf_primed = true;
+                        // A matching tag refreshes the link unconditionally
+                        // only when admitted below.
+                        admit || (e.tag == folded.tag && e.link == base)
+                    }
+                    None => {
+                        // Empty way: prime the PF bits, admit nothing yet.
+                        set[way] = Some(LtEntry {
+                            tag: folded.tag,
+                            link: base,
+                            pf: new_pf,
+                            pf_primed: true,
+                            lru: self.tick,
+                        });
+                        // Allocating an empty entry is not pollution — the
+                        // link is live immediately.
+                        return true;
+                    }
+                }
+            }
+            PfMode::Decoupled { extra_index_bits } => {
+                let idx = ((folded.index << extra_index_bits) as usize
+                    ^ (folded.tag as usize))
+                    & (self.decoupled_pf.len() - 1);
+                let slot = &mut self.decoupled_pf[idx];
+                let admit = slot.1 && slot.0 == new_pf;
+                *slot = (new_pf, true);
+                admit
+            }
+        };
+        if !admit {
+            return false;
+        }
+        let tick = self.tick;
+        let set_idx = self.set_index(folded);
+        let set = &mut self.sets[set_idx];
+        let way = Self::way_for(set, folded.tag);
+        let pf_state = match set[way] {
+            Some(e) => (e.pf, e.pf_primed),
+            None => (new_pf, true),
+        };
+        set[way] = Some(LtEntry {
+            tag: folded.tag,
+            link: base,
+            pf: pf_state.0,
+            pf_primed: pf_state.1,
+            lru: tick,
+        });
+        true
+    }
+
+    /// Chooses the way holding `tag`, else an empty way, else the LRU way.
+    fn way_for(set: &[Option<LtEntry>], tag: u64) -> usize {
+        if let Some(i) = set
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.tag == tag))
+        {
+            return i;
+        }
+        if let Some(i) = set.iter().position(Option::is_none) {
+            return i;
+        }
+        set.iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
+            .map(|(i, _)| i)
+            .expect("set is never empty")
+    }
+
+    /// Number of live entries (diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folded(index: u64, tag: u64) -> FoldedHistory {
+        FoldedHistory { index, tag }
+    }
+
+    fn table(pf: PfMode) -> LinkTable {
+        LinkTable::new(LinkTableConfig {
+            entries: 64,
+            assoc: 1,
+            pf_mode: pf,
+        })
+    }
+
+    #[test]
+    fn lookup_misses_on_empty_table() {
+        let lt = table(PfMode::Off);
+        assert_eq!(lt.lookup(&folded(3, 0)), None);
+    }
+
+    #[test]
+    fn update_then_lookup_roundtrips() {
+        let mut lt = table(PfMode::Off);
+        assert!(lt.update(&folded(5, 0x2A), 0x1000));
+        assert_eq!(lt.lookup(&folded(5, 0x2A)), Some(0x1000));
+    }
+
+    #[test]
+    fn tag_mismatch_hides_entry() {
+        let mut lt = table(PfMode::Off);
+        lt.update(&folded(5, 0x2A), 0x1000);
+        assert_eq!(lt.lookup(&folded(5, 0x2B)), None, "different tag must miss");
+    }
+
+    #[test]
+    fn pf_inline_requires_two_consecutive_identical_updates() {
+        let mut lt = table(PfMode::Inline);
+        // Seed the entry with link A (allocation is immediate).
+        assert!(lt.update(&folded(1, 0), 0xA0));
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xA0));
+        // One attempt to change the link to B: PF bits differ, rejected.
+        assert!(!lt.update(&folded(1, 0), 0xB4));
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xA0), "first change deferred");
+        // Second consecutive identical attempt: admitted.
+        assert!(lt.update(&folded(1, 0), 0xB4));
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xB4));
+    }
+
+    #[test]
+    fn pf_blocks_alternating_irregular_updates() {
+        let mut lt = table(PfMode::Inline);
+        lt.update(&folded(1, 0), 0xA0);
+        // Alternating, never-repeating bases with distinct PF bits: all
+        // rejected, the original link survives (pollution resistance).
+        let mut admitted = 0;
+        for i in 0..16u64 {
+            if lt.update(&folded(1, 0), 0x100 + i * 4) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 0, "strictly changing PF bits never admit");
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xA0));
+    }
+
+    #[test]
+    fn pf_off_admits_everything() {
+        let mut lt = table(PfMode::Off);
+        lt.update(&folded(1, 0), 0xA0);
+        assert!(lt.update(&folded(1, 0), 0xB0));
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xB0));
+    }
+
+    #[test]
+    fn direct_mapped_conflicting_tags_evict_with_pf() {
+        let mut lt = table(PfMode::Inline);
+        lt.update(&folded(1, 0x1), 0xA0);
+        // A different tag at the same index wants the entry: needs two
+        // consecutive attempts (hysteresis on eviction too).
+        assert!(!lt.update(&folded(1, 0x2), 0xB4));
+        assert_eq!(lt.lookup(&folded(1, 0x1)), Some(0xA0));
+        assert!(lt.update(&folded(1, 0x2), 0xB4));
+        assert_eq!(lt.lookup(&folded(1, 0x2)), Some(0xB4));
+        assert_eq!(lt.lookup(&folded(1, 0x1)), None);
+    }
+
+    #[test]
+    fn set_associative_holds_conflicting_tags() {
+        let mut lt = LinkTable::new(LinkTableConfig {
+            entries: 64,
+            assoc: 2,
+            pf_mode: PfMode::Off,
+        });
+        lt.update(&folded(1, 0x1), 0xA0);
+        lt.update(&folded(1, 0x2), 0xB0);
+        assert_eq!(lt.lookup(&folded(1, 0x1)), Some(0xA0));
+        assert_eq!(lt.lookup(&folded(1, 0x2)), Some(0xB0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut lt = LinkTable::new(LinkTableConfig {
+            entries: 64,
+            assoc: 2,
+            pf_mode: PfMode::Off,
+        });
+        lt.update(&folded(1, 0x1), 0xA0);
+        lt.update(&folded(1, 0x2), 0xB0);
+        lt.update(&folded(1, 0x3), 0xC0); // evicts tag 0x1 (oldest)
+        assert_eq!(lt.lookup(&folded(1, 0x1)), None);
+        assert_eq!(lt.lookup(&folded(1, 0x2)), Some(0xB0));
+        assert_eq!(lt.lookup(&folded(1, 0x3)), Some(0xC0));
+    }
+
+    #[test]
+    fn decoupled_pf_filters_like_inline() {
+        let mut lt = table(PfMode::Decoupled {
+            extra_index_bits: 2,
+        });
+        // First-touch allocation is filtered too under decoupled mode:
+        // the first attempt only primes the PF slot.
+        assert!(!lt.update(&folded(1, 0), 0xA0));
+        assert!(lt.update(&folded(1, 0), 0xA0));
+        assert_eq!(lt.lookup(&folded(1, 0)), Some(0xA0));
+    }
+
+    #[test]
+    fn decoupled_pf_distinguishes_tags_sharing_an_index() {
+        let mut lt = table(PfMode::Decoupled {
+            extra_index_bits: 4,
+        });
+        // Same LT index, different tags: PF slots differ, so the two
+        // streams don't destroy each other's priming.
+        assert!(!lt.update(&folded(1, 0x1), 0xA0));
+        assert!(!lt.update(&folded(1, 0x2), 0xB0));
+        assert!(lt.update(&folded(1, 0x1), 0xA0));
+    }
+
+    #[test]
+    fn occupancy_counts_live_entries() {
+        let mut lt = table(PfMode::Off);
+        assert_eq!(lt.occupancy(), 0);
+        lt.update(&folded(1, 0), 0xA0);
+        lt.update(&folded(2, 0), 0xB0);
+        assert_eq!(lt.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_entries_rejected() {
+        let _ = LinkTable::new(LinkTableConfig {
+            entries: 100,
+            assoc: 1,
+            pf_mode: PfMode::Off,
+        });
+    }
+
+    #[test]
+    fn pf_bits_extract_bits_2_to_5() {
+        assert_eq!(pf_bits(0b111100), 0b1111);
+        assert_eq!(pf_bits(0b000011), 0);
+        assert_eq!(pf_bits(1 << 6), 0);
+    }
+}

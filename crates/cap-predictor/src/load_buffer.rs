@@ -1,0 +1,371 @@
+//! The Load Buffer (LB) — first level of every predictor in this crate
+//! (§3.1, §3.7).
+//!
+//! A set-associative, LRU-replaced table indexed by the static load IP.
+//! In the hybrid predictor the LB is *shared*: one entry carries the CAP
+//! fields (offset LSBs, address history, CAP confidence), the enhanced
+//! stride fields (last address, stride, state, interval), and the hybrid
+//! selector counter, exactly as Figure 4 draws it.
+
+use crate::confidence::{ControlFlowIndication, SaturatingCounter};
+use crate::history::HistoryBuffer;
+
+/// Stride-component state machine (the "state bits" of §3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrideState {
+    /// Only one address seen; no stride yet.
+    #[default]
+    Init,
+    /// A candidate stride observed once.
+    Transient,
+    /// The same stride observed twice or more.
+    Steady,
+}
+
+/// Interval tracking for the enhanced stride predictor (§5.2): learn the
+/// array length (number of consecutive correct predictions before the
+/// wrap) and stop speculating once the current run reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntervalCounter {
+    /// Learned interval (0 = nothing learned yet).
+    pub learned: u32,
+    /// Correct predictions in the current run.
+    pub run: u32,
+}
+
+impl IntervalCounter {
+    /// Minimum run length considered a real array traversal; shorter runs
+    /// don't overwrite the learned interval.
+    const MIN_INTERVAL: u32 = 4;
+
+    /// Records a correct stride prediction.
+    pub fn on_correct(&mut self) {
+        self.run = self.run.saturating_add(1);
+    }
+
+    /// Records a stride misprediction, learning the run length as the
+    /// interval when it looks like an array wrap.
+    pub fn on_incorrect(&mut self) {
+        if self.run >= Self::MIN_INTERVAL {
+            self.learned = self.run;
+        }
+        self.run = 0;
+    }
+
+    /// True when speculation should be withheld because the current run
+    /// (plus any in-flight predictions) has reached the learned interval.
+    #[must_use]
+    pub fn exhausted(&self, pending: u32) -> bool {
+        self.learned > 0 && self.run + pending >= self.learned
+    }
+}
+
+/// One Load Buffer entry (Figure 4's field layout).
+#[derive(Debug, Clone)]
+pub struct LbEntry {
+    /// IP tag.
+    pub tag: u64,
+    // --- CAP fields ---
+    /// Architectural history of recent (base) addresses.
+    pub history: HistoryBuffer,
+    /// Speculative history rolled forward at predict time (pipelined mode).
+    pub spec_history: HistoryBuffer,
+    /// The recorded LSBs of the load's immediate offset (§3.3).
+    pub offset_lsb: u32,
+    /// CAP confidence counter.
+    pub cap_conf: SaturatingCounter,
+    /// CAP control-flow indication state.
+    pub cap_cfi: ControlFlowIndication,
+    // --- stride fields ---
+    /// True once at least one address has been observed (so `last_addr` is
+    /// meaningful).
+    pub stride_seen: bool,
+    /// Last resolved address.
+    pub last_addr: u64,
+    /// Current stride delta.
+    pub stride: i64,
+    /// Stride state machine.
+    pub stride_state: StrideState,
+    /// Stride confidence counter.
+    pub stride_conf: SaturatingCounter,
+    /// Stride control-flow indication state.
+    pub stride_cfi: ControlFlowIndication,
+    /// Interval (array-length) tracking.
+    pub interval: IntervalCounter,
+    // --- hybrid fields ---
+    /// 2-bit selector: 0–1 choose stride, 2–3 choose CAP. Initialised to 2
+    /// ("weak CAP"), per §4.2.
+    pub selector: u8,
+    /// LRU timestamp.
+    pub lru: u64,
+}
+
+impl LbEntry {
+    fn new(tag: u64, proto: &LbEntryProto, lru: u64) -> Self {
+        Self {
+            tag,
+            history: HistoryBuffer::new(),
+            spec_history: HistoryBuffer::new(),
+            offset_lsb: 0,
+            cap_conf: proto.cap_conf,
+            cap_cfi: ControlFlowIndication::new(),
+            stride_seen: false,
+            last_addr: 0,
+            stride: 0,
+            stride_state: StrideState::Init,
+            stride_conf: proto.stride_conf,
+            stride_cfi: ControlFlowIndication::new(),
+            interval: IntervalCounter::default(),
+            selector: 2,
+            lru,
+        }
+    }
+}
+
+/// Prototype counters cloned into fresh entries.
+#[derive(Debug, Clone, Copy)]
+pub struct LbEntryProto {
+    /// Initial CAP confidence counter (cold).
+    pub cap_conf: SaturatingCounter,
+    /// Initial stride confidence counter (cold).
+    pub stride_conf: SaturatingCounter,
+}
+
+/// Configuration of a [`LoadBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadBufferConfig {
+    /// Total entries (power of two).
+    pub entries: usize,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+impl LoadBufferConfig {
+    /// The paper's baseline: 4K entries, 2-way set associative.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            entries: 4096,
+            assoc: 2,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.entries / self.assoc
+    }
+
+    fn validate(&self) {
+        assert!(self.entries.is_power_of_two(), "LB entries must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            self.entries % self.assoc == 0 && (self.entries / self.assoc).is_power_of_two(),
+            "LB sets must be a power of two"
+        );
+    }
+}
+
+/// The Load Buffer.
+#[derive(Debug, Clone)]
+pub struct LoadBuffer {
+    config: LoadBufferConfig,
+    proto: LbEntryProto,
+    sets: Vec<Vec<Option<LbEntry>>>,
+    tick: u64,
+}
+
+impl LoadBuffer {
+    /// Creates an empty Load Buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: LoadBufferConfig, proto: LbEntryProto) -> Self {
+        config.validate();
+        Self {
+            sets: vec![vec![None; config.assoc]; config.sets()],
+            config,
+            proto,
+            tick: 0,
+        }
+    }
+
+    /// The buffer's configuration.
+    #[must_use]
+    pub fn config(&self) -> &LoadBufferConfig {
+        &self.config
+    }
+
+    fn set_index(&self, ip: u64) -> usize {
+        // Drop the 2 alignment bits of the IP before indexing.
+        ((ip >> 2) as usize) & (self.config.sets() - 1)
+    }
+
+    /// Looks up the entry for `ip` without allocating; refreshes LRU on hit.
+    pub fn lookup(&mut self, ip: u64) -> Option<&mut LbEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(ip);
+        let set = &mut self.sets[set_idx];
+        let way = set
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.tag == ip))?;
+        let entry = set[way].as_mut().expect("way was just matched");
+        entry.lru = tick;
+        Some(entry)
+    }
+
+    /// Looks up the entry for `ip`, allocating (and possibly evicting LRU)
+    /// on miss. Returns the entry and whether it was freshly allocated.
+    pub fn lookup_or_insert(&mut self, ip: u64) -> (&mut LbEntry, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(ip);
+        let set = &mut self.sets[set_idx];
+        let hit_way = set
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.tag == ip));
+        if let Some(way) = hit_way {
+            let entry = set[way].as_mut().expect("way was just matched");
+            entry.lru = tick;
+            return (entry, false);
+        }
+        let way = set.iter().position(Option::is_none).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
+                .map(|(i, _)| i)
+                .expect("set is never empty")
+        });
+        set[way] = Some(LbEntry::new(ip, &self.proto, tick));
+        (set[way].as_mut().expect("just inserted"), true)
+    }
+
+    /// Number of live entries (diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proto() -> LbEntryProto {
+        LbEntryProto {
+            cap_conf: SaturatingCounter::new(2, 3, false),
+            stride_conf: SaturatingCounter::new(2, 3, false),
+        }
+    }
+
+    fn lb(entries: usize, assoc: usize) -> LoadBuffer {
+        LoadBuffer::new(LoadBufferConfig { entries, assoc }, proto())
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut b = lb(16, 2);
+        assert!(b.lookup(0x100).is_none());
+        let (_, fresh) = b.lookup_or_insert(0x100);
+        assert!(fresh);
+        assert!(b.lookup(0x100).is_some());
+        let (_, fresh2) = b.lookup_or_insert(0x100);
+        assert!(!fresh2);
+    }
+
+    #[test]
+    fn new_entries_start_cold_and_weak_cap() {
+        let mut b = lb(16, 2);
+        let (e, _) = b.lookup_or_insert(0x40);
+        assert_eq!(e.selector, 2, "selector initialised to weak CAP (§4.2)");
+        assert!(!e.cap_conf.is_confident());
+        assert!(!e.stride_conf.is_confident());
+        assert_eq!(e.stride_state, StrideState::Init);
+        assert!(e.history.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut b = lb(2, 2); // 1 set, 2 ways
+        b.lookup_or_insert(0x100);
+        b.lookup_or_insert(0x200);
+        // Touch 0x100 so 0x200 becomes LRU.
+        b.lookup(0x100);
+        b.lookup_or_insert(0x300);
+        assert!(b.lookup(0x100).is_some());
+        assert!(b.lookup(0x200).is_none(), "LRU way evicted");
+        assert!(b.lookup(0x300).is_some());
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut b = lb(16, 1);
+        // ips differ in set index bits (ip >> 2).
+        b.lookup_or_insert(0 << 2);
+        b.lookup_or_insert(1 << 2);
+        assert!(b.lookup(0).is_some());
+        assert!(b.lookup(4).is_some());
+        assert_eq!(b.occupancy(), 2);
+    }
+
+    #[test]
+    fn same_set_direct_mapped_conflicts() {
+        let mut b = lb(16, 1); // 16 sets
+        let a = 0u64;
+        let conflicting = 16 << 2; // same (ip>>2) & 15
+        b.lookup_or_insert(a);
+        b.lookup_or_insert(conflicting);
+        assert!(b.lookup(a).is_none(), "direct-mapped conflict evicts");
+        assert!(b.lookup(conflicting).is_some());
+    }
+
+    #[test]
+    fn interval_learns_array_length() {
+        let mut iv = IntervalCounter::default();
+        for _ in 0..10 {
+            iv.on_correct();
+        }
+        iv.on_incorrect();
+        assert_eq!(iv.learned, 10);
+        assert_eq!(iv.run, 0);
+        // After 9 correct in the new run, one more would be the wrap.
+        for _ in 0..9 {
+            iv.on_correct();
+        }
+        assert!(!iv.exhausted(0));
+        iv.on_correct();
+        assert!(iv.exhausted(0), "run reached learned interval");
+    }
+
+    #[test]
+    fn interval_accounts_for_pending_predictions() {
+        let mut iv = IntervalCounter::default();
+        for _ in 0..8 {
+            iv.on_correct();
+        }
+        iv.on_incorrect();
+        for _ in 0..5 {
+            iv.on_correct();
+        }
+        assert!(!iv.exhausted(2));
+        assert!(iv.exhausted(3), "5 done + 3 pending = 8 = interval");
+    }
+
+    #[test]
+    fn short_runs_do_not_learn_interval() {
+        let mut iv = IntervalCounter::default();
+        iv.on_correct();
+        iv.on_correct();
+        iv.on_incorrect();
+        assert_eq!(iv.learned, 0, "runs below MIN_INTERVAL are noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_config_rejected() {
+        let _ = lb(24, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Prediction metrics matching the paper's reporting (§4.2, §4.4).
+
+use crate::types::{PredSource, Prediction};
+
+/// Accumulated prediction statistics over a trace.
+///
+/// Terminology follows the paper exactly:
+/// * **prediction rate** — speculative accesses (correct *and* incorrect)
+///   as a fraction of all dynamic loads;
+/// * **accuracy** — correct predictions as a fraction of speculative
+///   accesses;
+/// * **misprediction rate** — `1 − accuracy`;
+/// * **correct-speculative rate** — correct speculative accesses out of
+///   all dynamic loads (the Figure 9 metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Dynamic loads observed.
+    pub loads: u64,
+    /// Loads for which some address was predicted (verified or not).
+    pub predictions: u64,
+    /// Speculative accesses launched.
+    pub spec_accesses: u64,
+    /// Speculative accesses whose address was correct.
+    pub correct_spec: u64,
+    /// Predictions (speculated or not) whose address was correct.
+    pub correct_predictions: u64,
+    // --- hybrid selector diagnostics (Figure 8) ---
+    /// Speculative accesses where *both* components offered an address.
+    pub both_predicted_spec: u64,
+    /// Selector state distribution over `both_predicted_spec` accesses
+    /// (index = counter value 0–3).
+    pub selector_states: [u64; 4],
+    /// Mis-selections: mispredicted speculative accesses where the *other*
+    /// component had the correct address.
+    pub miss_selections: u64,
+}
+
+impl PredictorStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Speculative accesses / loads.
+    #[must_use]
+    pub fn prediction_rate(&self) -> f64 {
+        ratio(self.spec_accesses, self.loads)
+    }
+
+    /// Correct speculative accesses / speculative accesses.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct_spec, self.spec_accesses)
+    }
+
+    /// `1 − accuracy` (of speculative accesses).
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.spec_accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.accuracy()
+        }
+    }
+
+    /// Correct speculative accesses / loads (Figure 9's metric).
+    #[must_use]
+    pub fn correct_spec_rate(&self) -> f64 {
+        ratio(self.correct_spec, self.loads)
+    }
+
+    /// Correct selections / dual-predicted speculative accesses.
+    #[must_use]
+    pub fn correct_selection_rate(&self) -> f64 {
+        if self.both_predicted_spec == 0 {
+            1.0
+        } else {
+            1.0 - ratio(self.miss_selections, self.both_predicted_spec)
+        }
+    }
+
+    /// Accounts one resolved load: the prediction made for it and its
+    /// actual address. Used by every driving loop (trace-driven and the
+    /// timing core).
+    pub fn record(&mut self, pred: &Prediction, actual: u64) {
+        self.loads += 1;
+        if pred.addr.is_some() {
+            self.predictions += 1;
+            if pred.is_correct(actual) {
+                self.correct_predictions += 1;
+            }
+        }
+        if pred.speculate {
+            self.spec_accesses += 1;
+            let correct = pred.is_correct(actual);
+            if correct {
+                self.correct_spec += 1;
+            }
+            let d = &pred.detail;
+            if d.stride_addr.is_some() && d.cap_addr.is_some() {
+                self.both_predicted_spec += 1;
+                if let Some(state) = d.selector_state {
+                    self.selector_states[usize::from(state.min(3))] += 1;
+                }
+                if !correct {
+                    // Mis-selection: the other component had it right.
+                    let other_correct = match pred.source {
+                        PredSource::Cap => d.stride_addr == Some(actual),
+                        PredSource::Stride => d.cap_addr == Some(actual),
+                        _ => false,
+                    };
+                    if other_correct {
+                        self.miss_selections += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges another accumulator into this one (suite-level averaging).
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.loads += other.loads;
+        self.predictions += other.predictions;
+        self.spec_accesses += other.spec_accesses;
+        self.correct_spec += other.correct_spec;
+        self.correct_predictions += other.correct_predictions;
+        self.both_predicted_spec += other.both_predicted_spec;
+        for (a, b) in self.selector_states.iter_mut().zip(&other.selector_states) {
+            *a += b;
+        }
+        self.miss_selections += other.miss_selections;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = PredictorStats::new();
+        assert_eq!(s.prediction_rate(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.misprediction_rate(), 0.0);
+        assert_eq!(s.correct_selection_rate(), 1.0);
+    }
+
+    #[test]
+    fn rates_follow_definitions() {
+        let s = PredictorStats {
+            loads: 100,
+            predictions: 80,
+            spec_accesses: 60,
+            correct_spec: 57,
+            correct_predictions: 70,
+            ..PredictorStats::default()
+        };
+        assert!((s.prediction_rate() - 0.6).abs() < 1e-12);
+        assert!((s.accuracy() - 0.95).abs() < 1e-12);
+        assert!((s.misprediction_rate() - 0.05).abs() < 1e-12);
+        assert!((s.correct_spec_rate() - 0.57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PredictorStats {
+            loads: 10,
+            spec_accesses: 5,
+            correct_spec: 4,
+            selector_states: [1, 2, 3, 4],
+            ..PredictorStats::default()
+        };
+        let b = PredictorStats {
+            loads: 20,
+            spec_accesses: 10,
+            correct_spec: 9,
+            selector_states: [4, 3, 2, 1],
+            miss_selections: 2,
+            both_predicted_spec: 8,
+            ..PredictorStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, 30);
+        assert_eq!(a.spec_accesses, 15);
+        assert_eq!(a.correct_spec, 13);
+        assert_eq!(a.selector_states, [5, 5, 5, 5]);
+        assert_eq!(a.miss_selections, 2);
+    }
+
+    #[test]
+    fn selection_rate_counts_miss_selections() {
+        let s = PredictorStats {
+            both_predicted_spec: 100,
+            miss_selections: 1,
+            ..PredictorStats::default()
+        };
+        assert!((s.correct_selection_rate() - 0.99).abs() < 1e-12);
+    }
+}

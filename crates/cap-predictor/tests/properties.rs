@@ -1,0 +1,171 @@
+//! Property-based tests for the predictor crate's core data structures
+//! and invariants.
+
+use cap_predictor::confidence::SaturatingCounter;
+use cap_predictor::history::{HistoryBuffer, HistorySpec};
+use cap_predictor::prelude::*;
+use proptest::prelude::*;
+
+fn small_hybrid() -> HybridPredictor {
+    let mut cfg = HybridConfig::paper_default();
+    cfg.lb.entries = 256;
+    cfg.lt.entries = 512;
+    cfg.cap.history.index_bits = 9;
+    HybridPredictor::new(cfg)
+}
+
+proptest! {
+    /// The folded history always fits in the configured index/tag widths.
+    #[test]
+    fn fold_respects_widths(
+        addrs in proptest::collection::vec(any::<u64>(), 1..32),
+        length in 1usize..8,
+        shift in 1u32..8,
+        index_bits in 4u32..14,
+        tag_bits in 0u32..10,
+    ) {
+        let spec = HistorySpec { length, shift, index_bits, tag_bits };
+        let mut h = HistoryBuffer::new();
+        for a in addrs {
+            h.push(a, &spec);
+            prop_assert!(h.len() <= length);
+        }
+        let f = h.fold(&spec);
+        prop_assert!(f.index < (1u64 << index_bits));
+        prop_assert!(tag_bits == 0 && f.tag == 0 || f.tag < (1u64 << tag_bits.max(1)));
+    }
+
+    /// Folding depends only on the retained window: any two push sequences
+    /// with the same last `length` addresses fold identically.
+    #[test]
+    fn fold_depends_only_on_window(
+        prefix_a in proptest::collection::vec(any::<u64>(), 0..16),
+        prefix_b in proptest::collection::vec(any::<u64>(), 0..16),
+        window in proptest::collection::vec(any::<u64>(), 4..8),
+    ) {
+        let spec = HistorySpec { length: 4, shift: 3, index_bits: 12, tag_bits: 8 };
+        let tail = &window[window.len() - 4..];
+        let mut ha = HistoryBuffer::new();
+        let mut hb = HistoryBuffer::new();
+        for &a in prefix_a.iter().chain(tail) {
+            ha.push(a, &spec);
+        }
+        for &a in prefix_b.iter().chain(tail) {
+            hb.push(a, &spec);
+        }
+        prop_assert_eq!(ha.fold(&spec), hb.fold(&spec));
+    }
+
+    /// Saturating counters stay within bounds under any event sequence.
+    #[test]
+    fn counter_stays_bounded(
+        threshold in 1u8..4,
+        extra in 0u8..4,
+        hysteresis in any::<bool>(),
+        events in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let max = threshold + extra;
+        let mut c = SaturatingCounter::new(threshold, max, hysteresis);
+        for correct in events {
+            if correct { c.on_correct() } else { c.on_incorrect() }
+            prop_assert!(c.value() <= max);
+            prop_assert_eq!(c.is_confident(), c.value() >= threshold);
+        }
+    }
+
+    /// Predictors never panic and stats stay internally consistent on
+    /// arbitrary load streams.
+    #[test]
+    fn stats_invariants_on_arbitrary_streams(
+        loads in proptest::collection::vec((0u64..64, any::<u64>()), 1..400),
+    ) {
+        let mut p = small_hybrid();
+        let mut stats = PredictorStats::new();
+        for (ip_idx, addr) in loads {
+            let ctx = LoadContext::new(0x400 + ip_idx * 4, 0, 0);
+            let pred = p.predict(&ctx);
+            p.update(&ctx, addr & !3, &pred);
+            stats.record(&pred, addr & !3);
+            // A speculative access implies a predicted address.
+            prop_assert!(!pred.speculate || pred.addr.is_some());
+        }
+        prop_assert!(stats.spec_accesses <= stats.predictions);
+        prop_assert!(stats.predictions <= stats.loads);
+        prop_assert!(stats.correct_spec <= stats.spec_accesses);
+        prop_assert!(stats.correct_predictions <= stats.predictions);
+        prop_assert!(stats.correct_spec <= stats.correct_predictions);
+        prop_assert!(stats.both_predicted_spec <= stats.spec_accesses);
+        prop_assert!(stats.miss_selections <= stats.both_predicted_spec);
+        let dist: u64 = stats.selector_states.iter().sum();
+        prop_assert_eq!(dist, stats.both_predicted_spec);
+        prop_assert!((0.0..=1.0).contains(&stats.prediction_rate()));
+        prop_assert!((0.0..=1.0).contains(&stats.accuracy()));
+    }
+
+    /// A constant-stride sequence is eventually predicted exactly, for any
+    /// base and step.
+    #[test]
+    fn stride_learns_any_arithmetic_sequence(
+        base in any::<u64>(),
+        step_raw in -1000i64..1000,
+    ) {
+        let step = if step_raw == 0 { 4 } else { step_raw };
+        let mut p = StridePredictor::new(
+            LoadBufferConfig { entries: 64, assoc: 2 },
+            StrideParams { interval: false, ..StrideParams::paper_default() },
+        );
+        let mut last = Prediction::none();
+        for i in 0..12i64 {
+            let ctx = LoadContext::new(0x40, 0, 0);
+            last = p.predict(&ctx);
+            p.update(&ctx, base.wrapping_add((step * i) as u64), &last);
+        }
+        // After 12 steps the 12th prediction (for i=11) must be correct.
+        prop_assert!(last.is_correct(base.wrapping_add((step * 11) as u64)));
+        prop_assert!(last.speculate);
+    }
+
+    /// Any short recurring sequence of distinct 4-aligned addresses is
+    /// eventually predicted by CAP (prediction correctness, not only
+    /// speculation).
+    #[test]
+    fn cap_learns_any_short_recurring_sequence(
+        raw in proptest::collection::btree_set(1u64..1_000_000, 3..9),
+    ) {
+        let pattern: Vec<u64> = raw.into_iter().map(|a| a << 2).collect();
+        let mut cfg = CapConfig::paper_default();
+        cfg.lt.assoc = 4; // tolerate fold collisions in adversarial patterns
+        let mut p = CapPredictor::new(cfg);
+        let rounds = 12;
+        let mut last_round_correct = 0;
+        for round in 0..rounds {
+            for &a in &pattern {
+                let ctx = LoadContext::new(0x40, 0, 0);
+                let pred = p.predict(&ctx);
+                p.update(&ctx, a, &pred);
+                if round == rounds - 1 && pred.is_correct(a) {
+                    last_round_correct += 1;
+                }
+            }
+        }
+        // Allow one miss for residual aliasing.
+        prop_assert!(
+            last_round_correct + 1 >= pattern.len(),
+            "{last_round_correct}/{} correct in final round", pattern.len()
+        );
+    }
+
+    /// `run_with_gap(.., 0)` and `run_immediate` agree on any suite trace
+    /// prefix.
+    #[test]
+    fn gap_zero_is_immediate(seed in 0usize..8, loads in 500usize..2_000) {
+        let spec = &cap_trace::suites::catalog()[seed];
+        let trace = spec.generate(loads);
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        prop_assert_eq!(
+            run_immediate(&mut a, &trace),
+            run_with_gap(&mut b, &trace, 0)
+        );
+    }
+}

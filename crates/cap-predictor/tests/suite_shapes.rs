@@ -1,0 +1,108 @@
+//! Cross-crate sanity: predictor behaviour over the 8 synthetic suites
+//! must reproduce the paper's qualitative shapes (Figure 5).
+
+use cap_predictor::prelude::*;
+use cap_trace::suites::Suite;
+
+const LOADS: usize = 60_000;
+
+fn suite_stats<F>(suite: Suite, mut make: F) -> PredictorStats
+where
+    F: FnMut() -> Box<dyn AddressPredictor>,
+{
+    let mut total = PredictorStats::new();
+    for spec in suite.traces().into_iter().take(2) {
+        let trace = spec.generate(LOADS);
+        let mut p = make();
+        total.merge(&run_immediate(p.as_mut(), &trace));
+    }
+    total
+}
+
+fn stride() -> Box<dyn AddressPredictor> {
+    Box::new(StridePredictor::new(
+        LoadBufferConfig::paper_default(),
+        StrideParams::paper_default(),
+    ))
+}
+
+fn cap() -> Box<dyn AddressPredictor> {
+    Box::new(CapPredictor::new(CapConfig::paper_default()))
+}
+
+fn hybrid() -> Box<dyn AddressPredictor> {
+    Box::new(HybridPredictor::new(HybridConfig::paper_default()))
+}
+
+#[test]
+fn int_suite_cap_beats_stride() {
+    let s = suite_stats(Suite::Int, stride);
+    let c = suite_stats(Suite::Int, cap);
+    assert!(
+        c.prediction_rate() > s.prediction_rate(),
+        "INT: CAP {:.3} must beat stride {:.3}",
+        c.prediction_rate(),
+        s.prediction_rate()
+    );
+}
+
+#[test]
+fn mm_suite_stride_beats_cap() {
+    let s = suite_stats(Suite::Mm, stride);
+    let c = suite_stats(Suite::Mm, cap);
+    assert!(
+        s.prediction_rate() > c.prediction_rate(),
+        "MM: stride {:.3} must beat CAP {:.3}",
+        s.prediction_rate(),
+        c.prediction_rate()
+    );
+}
+
+#[test]
+fn hybrid_beats_both_components_on_average() {
+    let mut s = PredictorStats::new();
+    let mut c = PredictorStats::new();
+    let mut h = PredictorStats::new();
+    for suite in Suite::ALL {
+        s.merge(&suite_stats(suite, stride));
+        c.merge(&suite_stats(suite, cap));
+        h.merge(&suite_stats(suite, hybrid));
+    }
+    eprintln!(
+        "avg pred rate: stride {:.3} cap {:.3} hybrid {:.3}",
+        s.prediction_rate(),
+        c.prediction_rate(),
+        h.prediction_rate()
+    );
+    eprintln!(
+        "avg accuracy:  stride {:.4} cap {:.4} hybrid {:.4}",
+        s.accuracy(),
+        c.accuracy(),
+        h.accuracy()
+    );
+    assert!(h.prediction_rate() > s.prediction_rate());
+    assert!(h.prediction_rate() >= c.prediction_rate() - 0.01);
+    assert!(h.accuracy() > 0.95, "hybrid accuracy {:.4}", h.accuracy());
+}
+
+#[test]
+fn per_suite_shapes_snapshot() {
+    // Not an assertion-heavy test: prints the Figure-5 shape for manual
+    // calibration runs (`cargo test -p cap-predictor --test suite_shapes
+    // -- --nocapture per_suite`).
+    for suite in Suite::ALL {
+        let s = suite_stats(suite, stride);
+        let c = suite_stats(suite, cap);
+        let h = suite_stats(suite, hybrid);
+        eprintln!(
+            "{:>4}: stride {:.3}/{:.4}  cap {:.3}/{:.4}  hybrid {:.3}/{:.4}",
+            suite.name(),
+            s.prediction_rate(),
+            s.accuracy(),
+            c.prediction_rate(),
+            c.accuracy(),
+            h.prediction_rate(),
+            h.accuracy()
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Binary-tree workloads — recurring root-to-leaf search paths (§2.1).
+//!
+//! The tree is built once; the workload then cycles through a small, fixed
+//! set of search paths (hot keys), so each static load sees a short
+//! recurring base-address sequence. The direction taken at each node is also
+//! emitted as a conditional branch, which correlates the global
+//! branch-history register with the addresses — the raw material for the
+//! paper's control-flow confidence indications.
+
+use super::{Seat, Workload};
+use crate::alloc::{HeapModel, LayoutPolicy};
+use crate::builder::{IpAllocator, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration for [`BinaryTreeWorkload`].
+#[derive(Debug, Clone)]
+pub struct BinaryTreeConfig {
+    /// Depth of the (complete) binary tree.
+    pub depth: usize,
+    /// Number of distinct hot search paths cycled through.
+    pub hot_paths: usize,
+    /// Probability (in percent) that a lookup uses a random cold path
+    /// instead of the recurring hot set.
+    pub cold_percent: u32,
+    /// Node size in bytes.
+    pub node_size: u64,
+    /// Offset of the key field.
+    pub key_offset: i32,
+    /// Offset of the left-child pointer.
+    pub left_offset: i32,
+    /// Offset of the right-child pointer.
+    pub right_offset: i32,
+    /// Heap layout policy.
+    pub layout: LayoutPolicy,
+}
+
+impl Default for BinaryTreeConfig {
+    fn default() -> Self {
+        Self {
+            depth: 6,
+            hot_paths: 4,
+            cold_percent: 0,
+            node_size: 32,
+            key_offset: 0,
+            left_offset: 8,
+            right_offset: 16,
+            layout: LayoutPolicy::Fragmented,
+        }
+    }
+}
+
+/// Repeated searches over a fixed binary tree.
+#[derive(Debug)]
+pub struct BinaryTreeWorkload {
+    config: BinaryTreeConfig,
+    seat: Seat,
+    /// Heap-ordered complete tree: node `i` has children `2i+1`, `2i+2`.
+    nodes: Vec<u64>,
+    hot_paths: Vec<Vec<bool>>,
+    key_ip: u64,
+    left_ip: u64,
+    right_ip: u64,
+    dir_branch_ip: u64,
+    next_hot: usize,
+}
+
+impl BinaryTreeWorkload {
+    /// Builds the tree and pre-draws the hot path set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`, `hot_paths == 0`, or `cold_percent > 100`.
+    #[must_use]
+    pub fn new(config: BinaryTreeConfig, seat: Seat, rng: &mut StdRng) -> Self {
+        assert!(config.depth > 0, "tree depth must be positive");
+        assert!(config.hot_paths > 0, "need at least one hot path");
+        assert!(config.cold_percent <= 100, "cold_percent is a percentage");
+        let node_count = (1usize << (config.depth + 1)) - 1;
+        let mut heap = HeapModel::new(seat.heap_base, 16);
+        let nodes = heap.alloc_nodes(node_count, config.node_size, config.layout, rng);
+        let hot_paths = (0..config.hot_paths)
+            .map(|_| (0..config.depth).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let mut ips = IpAllocator::new(seat.ip_base);
+        let key_ip = ips.next_ip();
+        let left_ip = ips.next_ip();
+        let right_ip = ips.next_ip();
+        let dir_branch_ip = ips.next_ip();
+        Self {
+            config,
+            seat,
+            nodes,
+            hot_paths,
+            key_ip,
+            left_ip,
+            right_ip,
+            dir_branch_ip,
+            next_hot: 0,
+        }
+    }
+
+    /// Performs one root-to-leaf search along `path` (`true` = go left).
+    fn search(&mut self, b: &mut TraceBuilder, path: &[bool]) -> usize {
+        let ptr = self.seat.reg(0);
+        let key = self.seat.reg(1);
+        let mut idx = 0usize;
+        let mut loads = 0;
+        for &go_left in path {
+            let node = self.nodes[idx];
+            b.load_val(
+                self.key_ip,
+                node.wrapping_add(self.config.key_offset as i64 as u64),
+                self.config.key_offset,
+                crate::gen::splitmix(node),
+                Some(key),
+                Some(ptr),
+            );
+            let (ip, off) = if go_left {
+                (self.left_ip, self.config.left_offset)
+            } else {
+                (self.right_ip, self.config.right_offset)
+            };
+            let child_idx = if go_left { 2 * idx + 1 } else { 2 * idx + 2 };
+            let child_addr = self.nodes.get(child_idx).copied().unwrap_or(0);
+            b.load_val(
+                ip,
+                node.wrapping_add(off as i64 as u64),
+                off,
+                child_addr,
+                Some(ptr),
+                Some(ptr),
+            );
+            loads += 2;
+            b.cond_branch(self.dir_branch_ip, go_left);
+            idx = child_idx;
+        }
+        loads
+    }
+}
+
+impl Workload for BinaryTreeWorkload {
+    fn emit(&mut self, builder: &mut TraceBuilder, rng: &mut StdRng, loads: usize) {
+        let mut emitted = 0;
+        while emitted < loads {
+            let cold = rng.gen_range(0..100) < self.config.cold_percent;
+            let path: Vec<bool> = if cold {
+                (0..self.config.depth).map(|_| rng.gen_bool(0.5)).collect()
+            } else {
+                let p = self.hot_paths[self.next_hot].clone();
+                self.next_hot = (self.next_hot + 1) % self.hot_paths.len();
+                p
+            };
+            emitted += self.search(builder, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SeatAllocator;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn make(config: BinaryTreeConfig) -> (BinaryTreeWorkload, StdRng) {
+        let mut seats = SeatAllocator::new();
+        let mut r = StdRng::seed_from_u64(3);
+        let wl = BinaryTreeWorkload::new(config, seats.next_seat(), &mut r);
+        (wl, r)
+    }
+
+    #[test]
+    fn hot_paths_recur_exactly() {
+        let cfg = BinaryTreeConfig {
+            hot_paths: 2,
+            depth: 4,
+            cold_percent: 0,
+            ..BinaryTreeConfig::default()
+        };
+        let (mut wl, mut r) = make(cfg);
+        let mut b = TraceBuilder::new();
+        // 2 hot paths x depth 4 x 2 loads = 16 loads per full cycle.
+        wl.emit(&mut b, &mut r, 64);
+        let trace = b.finish();
+        let addrs: Vec<u64> = trace.loads().map(|l| l.addr).collect();
+        assert_eq!(&addrs[0..16], &addrs[16..32], "hot cycle must repeat");
+    }
+
+    #[test]
+    fn branch_outcomes_follow_path_directions() {
+        let cfg = BinaryTreeConfig {
+            hot_paths: 1,
+            depth: 5,
+            ..BinaryTreeConfig::default()
+        };
+        let (mut wl, mut r) = make(cfg);
+        let path = wl.hot_paths[0].clone();
+        let mut b = TraceBuilder::new();
+        wl.emit(&mut b, &mut r, 10);
+        let trace = b.finish();
+        let outcomes: Vec<bool> = trace
+            .iter()
+            .filter_map(crate::TraceEvent::as_branch)
+            .map(|br| br.taken)
+            .take(path.len())
+            .collect();
+        assert_eq!(outcomes, path);
+    }
+
+    #[test]
+    fn cold_paths_widen_address_set() {
+        let hot_only = {
+            let (mut wl, mut r) = make(BinaryTreeConfig {
+                cold_percent: 0,
+                ..BinaryTreeConfig::default()
+            });
+            let mut b = TraceBuilder::new();
+            wl.emit(&mut b, &mut r, 600);
+            let t = b.finish();
+            t.loads().map(|l| l.addr).collect::<BTreeSet<_>>().len()
+        };
+        let with_cold = {
+            let (mut wl, mut r) = make(BinaryTreeConfig {
+                cold_percent: 50,
+                ..BinaryTreeConfig::default()
+            });
+            let mut b = TraceBuilder::new();
+            wl.emit(&mut b, &mut r, 600);
+            let t = b.finish();
+            t.loads().map(|l| l.addr).collect::<BTreeSet<_>>().len()
+        };
+        assert!(with_cold > hot_only, "cold lookups must visit more nodes");
+    }
+
+    #[test]
+    fn key_and_child_loads_share_node_base() {
+        let (mut wl, mut r) = make(BinaryTreeConfig::default());
+        let mut b = TraceBuilder::new();
+        wl.emit(&mut b, &mut r, 40);
+        let trace = b.finish();
+        let loads: Vec<_> = trace.loads().collect();
+        for pair in loads.chunks(2) {
+            if pair.len() == 2 {
+                assert_eq!(pair[0].base_addr(), pair[1].base_addr());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = make(BinaryTreeConfig {
+            depth: 0,
+            ..BinaryTreeConfig::default()
+        });
+    }
+}

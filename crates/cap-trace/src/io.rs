@@ -1,0 +1,361 @@
+//! Trace serialization — a compact, line-oriented text format.
+//!
+//! One event per line, whitespace-separated, hex-encoded:
+//!
+//! ```text
+//! L <ip> <addr> <offset> <size> <value> <dst|-> <addr_src|->
+//! S <ip> <addr> <size> <data_src|-> <addr_src|->
+//! B <ip> <taken:0|1> <target> <kind:C|A|R|J>
+//! O <ip> <lat:A|M|D|F|P> <dst|-> <src0|-> <src1|->
+//! ```
+//!
+//! Lines starting with `#` are comments. The format exists so traces can
+//! be inspected with standard text tools, diffed, or produced by external
+//! generators and fed to the predictors.
+
+use crate::record::{
+    BranchKind, BranchRecord, LoadRecord, OpLatency, OpRecord, RegId, StoreRecord, Trace,
+    TraceEvent,
+};
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing a trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+fn reg_str(r: Option<RegId>) -> String {
+    match r {
+        Some(r) => r.index().to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn lat_char(l: OpLatency) -> char {
+    match l {
+        OpLatency::Alu => 'A',
+        OpLatency::Mul => 'M',
+        OpLatency::Div => 'D',
+        OpLatency::FpAdd => 'F',
+        OpLatency::FpMul => 'P',
+    }
+}
+
+fn kind_char(k: BranchKind) -> char {
+    match k {
+        BranchKind::Conditional => 'C',
+        BranchKind::Call => 'A',
+        BranchKind::Return => 'R',
+        BranchKind::Jump => 'J',
+    }
+}
+
+/// Writes a trace in the text format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+///
+/// # Examples
+///
+/// ```
+/// use cap_trace::builder::TraceBuilder;
+/// use cap_trace::io::{read_trace, write_trace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TraceBuilder::new();
+/// b.load(0x400, 0x1008, 8);
+/// b.cond_branch(0x404, true);
+/// let trace = b.finish();
+///
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace)?;
+/// let back = read_trace(buf.as_slice())?;
+/// assert_eq!(trace, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    writeln!(w, "# cap-trace v1: {} events", trace.len())?;
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(l) => writeln!(
+                w,
+                "L {:x} {:x} {} {} {:x} {} {}",
+                l.ip,
+                l.addr,
+                l.offset,
+                l.size,
+                l.value,
+                reg_str(l.dst),
+                reg_str(l.addr_src)
+            )?,
+            TraceEvent::Store(s) => writeln!(
+                w,
+                "S {:x} {:x} {} {} {}",
+                s.ip,
+                s.addr,
+                s.size,
+                reg_str(s.data_src),
+                reg_str(s.addr_src)
+            )?,
+            TraceEvent::Branch(b) => writeln!(
+                w,
+                "B {:x} {} {:x} {}",
+                b.ip,
+                u8::from(b.taken),
+                b.target,
+                kind_char(b.kind)
+            )?,
+            TraceEvent::Op(o) => writeln!(
+                w,
+                "O {:x} {} {} {} {}",
+                o.ip,
+                lat_char(o.latency),
+                reg_str(o.dst),
+                reg_str(o.srcs[0]),
+                reg_str(o.srcs[1])
+            )?,
+        }
+    }
+    Ok(())
+}
+
+struct LineParser<'a> {
+    fields: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, reason: impl Into<String>) -> ParseTraceError {
+        ParseTraceError::Malformed {
+            line: self.line,
+            reason: reason.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseTraceError> {
+        self.fields.next().ok_or_else(|| self.err("missing field"))
+    }
+
+    fn hex(&mut self) -> Result<u64, ParseTraceError> {
+        let f = self.next()?;
+        u64::from_str_radix(f, 16).map_err(|_| self.err(format!("bad hex value '{f}'")))
+    }
+
+    fn int<T: std::str::FromStr>(&mut self) -> Result<T, ParseTraceError> {
+        let f = self.next()?;
+        f.parse().map_err(|_| self.err(format!("bad integer '{f}'")))
+    }
+
+    fn reg(&mut self) -> Result<Option<RegId>, ParseTraceError> {
+        let f = self.next()?;
+        if f == "-" {
+            return Ok(None);
+        }
+        let idx: u8 = f
+            .parse()
+            .map_err(|_| self.err(format!("bad register '{f}'")))?;
+        if (idx as usize) >= RegId::COUNT {
+            return Err(self.err(format!("register {idx} out of range")));
+        }
+        Ok(Some(RegId::new(idx)))
+    }
+}
+
+/// Reads a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure or any malformed line.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (i, line) in r.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let tag = fields.next().expect("non-empty line has a first field");
+        let mut p = LineParser {
+            fields,
+            line: line_no,
+        };
+        let event = match tag {
+            "L" => TraceEvent::Load(LoadRecord {
+                ip: p.hex()?,
+                addr: p.hex()?,
+                offset: p.int()?,
+                size: p.int()?,
+                value: p.hex()?,
+                dst: p.reg()?,
+                addr_src: p.reg()?,
+            }),
+            "S" => TraceEvent::Store(StoreRecord {
+                ip: p.hex()?,
+                addr: p.hex()?,
+                size: p.int()?,
+                data_src: p.reg()?,
+                addr_src: p.reg()?,
+            }),
+            "B" => {
+                let ip = p.hex()?;
+                let taken: u8 = p.int()?;
+                let target = p.hex()?;
+                let kind = match p.next()? {
+                    "C" => BranchKind::Conditional,
+                    "A" => BranchKind::Call,
+                    "R" => BranchKind::Return,
+                    "J" => BranchKind::Jump,
+                    other => return Err(p.err(format!("bad branch kind '{other}'"))),
+                };
+                TraceEvent::Branch(BranchRecord {
+                    ip,
+                    taken: taken != 0,
+                    target,
+                    kind,
+                })
+            }
+            "O" => {
+                let ip = p.hex()?;
+                let latency = match p.next()? {
+                    "A" => OpLatency::Alu,
+                    "M" => OpLatency::Mul,
+                    "D" => OpLatency::Div,
+                    "F" => OpLatency::FpAdd,
+                    "P" => OpLatency::FpMul,
+                    other => return Err(p.err(format!("bad latency class '{other}'"))),
+                };
+                TraceEvent::Op(OpRecord {
+                    ip,
+                    latency,
+                    dst: p.reg()?,
+                    srcs: [p.reg()?, p.reg()?],
+                })
+            }
+            other => {
+                return Err(ParseTraceError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown event tag '{other}'"),
+                })
+            }
+        };
+        trace.push(event);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::suites::catalog;
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace).expect("write to Vec cannot fail");
+        read_trace(buf.as_slice()).expect("roundtrip must parse")
+    }
+
+    #[test]
+    fn roundtrips_every_event_kind() {
+        let mut b = TraceBuilder::new();
+        b.load_val(0x400, 0x1008, 8, 0xDEAD, Some(RegId::new(3)), Some(RegId::new(4)));
+        b.load(0x404, 0x2000, -16);
+        b.store_dep(0x408, 0x3000, Some(RegId::new(5)), None);
+        b.cond_branch(0x40C, true);
+        b.call(0x410, 0x800);
+        b.ret(0x814, 0x414);
+        b.op(
+            0x418,
+            OpLatency::Div,
+            Some(RegId::new(6)),
+            [Some(RegId::new(7)), None],
+        );
+        let trace = b.finish();
+        assert_eq!(roundtrip(&trace), trace);
+    }
+
+    #[test]
+    fn roundtrips_catalog_trace() {
+        let trace = catalog()[0].generate(2_000);
+        assert_eq!(roundtrip(&trace), trace);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\nL 400 1008 8 4 0 - -\n# trailing\n";
+        let trace = read_trace(text.as_bytes()).expect("parses");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.loads().next().unwrap().addr, 0x1008);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = "L 400 1008 8 4 0 - -\nX what\n";
+        let err = read_trace(text.as_bytes()).expect_err("must fail");
+        match err {
+            ParseTraceError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        let text = "L 400 1008 8 4 0 99 -\n";
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_hex_rejected_with_description() {
+        let text = "L zz 1008 8 4 0 - -\n";
+        let err = read_trace(text.as_bytes()).expect_err("must fail");
+        assert!(err.to_string().contains("bad hex"));
+    }
+
+    #[test]
+    fn negative_offsets_roundtrip() {
+        let mut b = TraceBuilder::new();
+        b.load(0x400, 0x1000, -128);
+        let trace = b.finish();
+        let back = roundtrip(&trace);
+        assert_eq!(back.loads().next().unwrap().offset, -128);
+    }
+}

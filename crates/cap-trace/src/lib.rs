@@ -1,0 +1,56 @@
+//! # cap-trace — trace substrate for the CAP reproduction
+//!
+//! The ISCA 1999 paper *Correlated Load-Address Predictors* evaluates its
+//! predictors on 45 proprietary IA-32 traces. This crate replaces them with
+//! a deterministic synthetic trace infrastructure that reproduces the
+//! *pattern classes* the paper analyses:
+//!
+//! * recursive-data-structure walks (linked lists, trees) — §2.1,
+//! * control-correlated callee loads — §2.2,
+//! * stride arrays with wraps (intervals) and long media strides,
+//! * recurring stack frames, hash probes, and irregular pollution loads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cap_trace::suites::{catalog, Suite};
+//!
+//! // Generate the first INT trace at a small scale.
+//! let spec = Suite::Int.traces().into_iter().next().unwrap();
+//! let trace = spec.generate(5_000);
+//! assert!(trace.load_count() >= 5_000);
+//!
+//! // Every load carries what the predictors need:
+//! let load = trace.loads().next().unwrap();
+//! let _static_ip = load.ip;
+//! let _effective = load.addr;
+//! let _base = load.base_addr(); // addr - immediate offset
+//! ```
+//!
+//! Workloads can also be composed manually — see [`gen`] and
+//! [`builder::TraceBuilder`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod builder;
+pub mod gen;
+pub mod io;
+pub mod record;
+pub mod stats;
+pub mod suites;
+
+pub use record::{
+    BranchKind, BranchRecord, LoadRecord, OpLatency, OpRecord, RegId, StoreRecord, Trace,
+    TraceEvent,
+};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::builder::{IpAllocator, TraceBuilder};
+    pub use crate::gen::{SeatAllocator, Workload};
+    pub use crate::record::{LoadRecord, Trace, TraceEvent};
+    pub use crate::stats::TraceStats;
+    pub use crate::suites::{catalog, Suite, TraceSpec};
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the trace substrate.
+
+use cap_trace::alloc::{HeapModel, LayoutPolicy};
+use cap_trace::gen::array::{ArrayConfig, ArraySpec, ArrayWorkload};
+use cap_trace::gen::linked_list::{LinkedListConfig, LinkedListWorkload};
+use cap_trace::gen::{SeatAllocator, Workload};
+use cap_trace::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Heap allocations are aligned, disjoint, and monotone for any batch.
+    #[test]
+    fn heap_allocations_disjoint_and_aligned(
+        base in 0u64..1 << 40,
+        align_pow in 2u32..8,
+        sizes in proptest::collection::vec(0u64..512, 1..64),
+    ) {
+        let align = 1u64 << align_pow;
+        let mut heap = HeapModel::new(base, align);
+        let mut prev_end = 0u64;
+        for size in sizes {
+            let addr = heap.alloc(size);
+            prop_assert_eq!(addr % align, 0);
+            prop_assert!(addr >= prev_end, "allocations must not overlap");
+            prev_end = addr + size.max(1);
+        }
+    }
+
+    /// `alloc_nodes` returns the requested count under every policy, and
+    /// the address *sets* agree across policies given the same RNG state
+    /// structure (shuffled is a permutation of bump).
+    #[test]
+    fn alloc_nodes_counts(
+        count in 1usize..64,
+        size in 1u64..128,
+        policy in prop_oneof![
+            Just(LayoutPolicy::Bump),
+            Just(LayoutPolicy::Fragmented),
+            Just(LayoutPolicy::Shuffled),
+        ],
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut heap = HeapModel::new(0x1000, 16);
+        let nodes = heap.alloc_nodes(count, size, policy, &mut rng);
+        prop_assert_eq!(nodes.len(), count);
+        let unique: std::collections::BTreeSet<u64> = nodes.iter().copied().collect();
+        prop_assert_eq!(unique.len(), count, "node addresses must be distinct");
+    }
+
+    /// Every generated trace meets its load budget and is deterministic.
+    #[test]
+    fn catalog_budget_and_determinism(idx in 0usize..45, loads in 200usize..1_500) {
+        let spec = &catalog()[idx];
+        let a = spec.generate(loads);
+        prop_assert!(a.load_count() >= loads);
+        let b = spec.generate(loads);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Linked-list traversals repeat exactly when unmutated, for any
+    /// geometry.
+    #[test]
+    fn list_traversals_repeat(
+        nodes in 2usize..24,
+        fields in proptest::collection::vec(0i32..200, 1..4),
+    ) {
+        let mut seats = SeatAllocator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = LinkedListConfig {
+            lists: 1,
+            nodes_per_list: nodes,
+            field_offsets: fields.clone(),
+            node_size: 256,
+            layout: LayoutPolicy::Fragmented,
+            mutate_every_inverse: 0,
+        };
+        let mut wl = LinkedListWorkload::new(cfg, seats.next_seat(), &mut rng);
+        let per_traversal = nodes * fields.len();
+        let mut b = TraceBuilder::new();
+        wl.emit(&mut b, &mut rng, per_traversal * 3);
+        let trace = b.finish();
+        let addrs: Vec<u64> = trace.loads().map(|l| l.addr).collect();
+        prop_assert_eq!(&addrs[0..per_traversal], &addrs[per_traversal..2 * per_traversal]);
+    }
+
+    /// Array sweeps wrap exactly at the configured interval.
+    #[test]
+    fn array_wraps_at_interval(len in 2usize..64, elem in 1u64..64) {
+        let mut seats = SeatAllocator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = ArrayConfig {
+            arrays: vec![ArraySpec { len, elem_size: elem, field_offsets: vec![0] }],
+            skip_percent: 0,
+        };
+        let mut wl = ArrayWorkload::new(cfg, seats.next_seat(), &mut rng);
+        let mut b = TraceBuilder::new();
+        wl.emit(&mut b, &mut rng, 2 * len + 1);
+        let trace = b.finish();
+        let addrs: Vec<u64> = trace.loads().map(|l| l.addr).collect();
+        prop_assert_eq!(addrs[0], addrs[len], "wrap must return to the base");
+        for w in addrs[..len].windows(2) {
+            prop_assert_eq!(w[1] - w[0], elem);
+        }
+    }
+
+    /// Trace statistics are internally consistent for any catalog trace.
+    #[test]
+    fn stats_consistency(idx in 0usize..45) {
+        let trace = catalog()[idx].generate(2_000);
+        let stats = TraceStats::compute(&trace);
+        prop_assert_eq!(stats.loads, trace.load_count());
+        prop_assert!(stats.loads + stats.stores + stats.branches <= stats.instructions);
+        prop_assert!(stats.static_loads <= stats.loads);
+        prop_assert!(stats.unique_addresses <= stats.loads);
+        prop_assert!((0.0..=1.0).contains(&stats.constant_fraction));
+        prop_assert!((0.0..=1.0).contains(&stats.stride_fraction));
+    }
+
+    /// Serialization roundtrips every catalog trace bit-exactly.
+    #[test]
+    fn io_roundtrip(idx in 0usize..45, loads in 100usize..800) {
+        use cap_trace::io::{read_trace, write_trace};
+        let trace = catalog()[idx].generate(loads);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write to Vec cannot fail");
+        let back = read_trace(buf.as_slice()).expect("roundtrip must parse");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Base addresses always reconstruct: `base + offset == addr`.
+    #[test]
+    fn base_address_roundtrip(idx in 0usize..45) {
+        let trace = catalog()[idx].generate(1_000);
+        for l in trace.loads() {
+            prop_assert_eq!(
+                l.base_addr().wrapping_add(l.offset as i64 as u64),
+                l.addr
+            );
+        }
+    }
+}

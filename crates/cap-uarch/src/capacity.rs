@@ -1,0 +1,125 @@
+//! Per-cycle resource capacity tracking for the timestamp-based core.
+//!
+//! The timing model assigns each instruction timestamps (fetch, dispatch,
+//! issue, complete, commit) subject to structural limits: fetch width,
+//! dispatch width, functional units, cache ports, commit width. A
+//! [`SlotTracker`] answers "what is the first cycle at or after `t` with a
+//! free slot?" and books it.
+
+use std::collections::HashMap;
+
+/// Books up to `width` events per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cap_uarch::capacity::SlotTracker;
+/// let mut ports = SlotTracker::new(2);
+/// assert_eq!(ports.alloc(10), 10);
+/// assert_eq!(ports.alloc(10), 10);
+/// assert_eq!(ports.alloc(10), 11, "third access spills to the next cycle");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotTracker {
+    width: u32,
+    used: HashMap<u64, u32>,
+    /// Cycles below this bound can no longer be requested (program order
+    /// guarantees monotone dispatch); used for pruning.
+    frontier: u64,
+}
+
+impl SlotTracker {
+    /// Prune when the map exceeds this many entries.
+    const PRUNE_THRESHOLD: usize = 1 << 16;
+
+    /// Creates a tracker with `width` slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self {
+            width,
+            used: HashMap::new(),
+            frontier: 0,
+        }
+    }
+
+    /// Books one slot at the first cycle `>= at` with spare capacity and
+    /// returns that cycle.
+    pub fn alloc(&mut self, at: u64) -> u64 {
+        let mut cycle = at.max(self.frontier);
+        loop {
+            let used = self.used.entry(cycle).or_insert(0);
+            if *used < self.width {
+                *used += 1;
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    /// Declares that no future request will target a cycle below `bound`,
+    /// allowing stale bookings to be discarded.
+    pub fn retire_below(&mut self, bound: u64) {
+        if bound > self.frontier {
+            self.frontier = bound;
+            if self.used.len() > Self::PRUNE_THRESHOLD {
+                let frontier = self.frontier;
+                self.used.retain(|&c, _| c >= frontier);
+            }
+        }
+    }
+
+    /// The tracker's per-cycle width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_beyond_width() {
+        let mut t = SlotTracker::new(3);
+        let cycles: Vec<u64> = (0..7).map(|_| t.alloc(5)).collect();
+        assert_eq!(cycles, vec![5, 5, 5, 6, 6, 6, 7]);
+    }
+
+    #[test]
+    fn later_requests_unaffected_by_earlier_bookings() {
+        let mut t = SlotTracker::new(1);
+        assert_eq!(t.alloc(3), 3);
+        assert_eq!(t.alloc(10), 10);
+        assert_eq!(t.alloc(3), 4);
+    }
+
+    #[test]
+    fn frontier_floors_requests() {
+        let mut t = SlotTracker::new(1);
+        t.retire_below(100);
+        assert_eq!(t.alloc(5), 100);
+    }
+
+    #[test]
+    fn pruning_preserves_behaviour_above_frontier() {
+        let mut t = SlotTracker::new(1);
+        for i in 0..(SlotTracker::PRUNE_THRESHOLD as u64 + 10) {
+            t.alloc(i);
+        }
+        t.alloc(2_000_000);
+        t.retire_below(1_000_000); // triggers pruning
+        assert_eq!(t.alloc(2_000_000), 2_000_001, "booking above frontier kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = SlotTracker::new(0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # cap-uarch — microarchitecture timing substrate for the CAP reproduction
+//!
+//! The ISCA 1999 paper evaluates its load-address predictors on Intel's
+//! detailed performance simulator: an 8-wide, 128-deep out-of-order
+//! processor with 10 functional units, 4 data-cache ports, a 32 KB L1 /
+//! 1 MB L2 hierarchy, and a hybrid branch predictor (§4.1). This crate
+//! rebuilds that substrate:
+//!
+//! * [`cache`] / [`hierarchy`] — set-associative LRU caches with the
+//!   paper's geometry and era-appropriate latencies;
+//! * [`branch`] — bimodal, gshare, and the hybrid direction predictor;
+//! * [`capacity`] — per-cycle structural resource booking;
+//! * [`core`] — the timestamp-dataflow out-of-order core with
+//!   address-prediction integration and selective recovery.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cap_uarch::core::{run_trace, CoreConfig};
+//! use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+//! use cap_trace::suites::Suite;
+//!
+//! let trace = Suite::Int.traces()[0].generate(5_000);
+//! let base = run_trace(&trace, &CoreConfig::paper_default(), None, 0);
+//! let mut pred = HybridPredictor::new(HybridConfig::paper_default());
+//! let with = run_trace(&trace, &CoreConfig::paper_default(), Some(&mut pred), 0);
+//! println!("speedup: {:.3}", with.speedup_over(&base));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+pub mod cache;
+pub mod capacity;
+pub mod core;
+pub mod hierarchy;
+
+pub use crate::core::{run_trace, CoreConfig, CoreStats, OooCore};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::branch::{BranchPredictor, HybridBranchPredictor};
+    pub use crate::cache::{Cache, CacheConfig};
+    pub use crate::core::{run_trace, CoreConfig, CoreStats, OooCore};
+    pub use crate::hierarchy::{LatencyConfig, MemoryHierarchy};
+}

@@ -1,0 +1,60 @@
+//! End-to-end timing simulation — what Figures 7 and 12 measure.
+//!
+//! Runs one trace per suite through the 8-wide / 128-deep out-of-order
+//! core (§4.1) three times: without address prediction, with the enhanced
+//! stride predictor, and with the hybrid, and reports IPC and speedups.
+//!
+//! ```text
+//! cargo run --release --example speedup_sim
+//! ```
+
+use cap_repro::prelude::*;
+
+fn main() {
+    let core = CoreConfig::paper_default();
+    println!(
+        "{:<10} {:>9} {:>12} {:>13} {:>13}",
+        "trace", "base IPC", "L1 hit rate", "stride spdup", "hybrid spdup"
+    );
+    let mut stride_geo = 0.0f64;
+    let mut hybrid_geo = 0.0f64;
+    let mut n = 0usize;
+    for suite in Suite::ALL {
+        let spec = suite.traces().into_iter().next().expect("catalog");
+        let trace = spec.generate(30_000);
+
+        let base = run_trace(&trace, &core, None, 0);
+
+        let mut stride = StridePredictor::new(
+            LoadBufferConfig::paper_default(),
+            StrideParams::paper_default(),
+        );
+        let with_stride = run_trace(&trace, &core, Some(&mut stride), 0);
+
+        let mut hybrid = HybridPredictor::new(HybridConfig::paper_default());
+        let with_hybrid = run_trace(&trace, &core, Some(&mut hybrid), 0);
+
+        let s = with_stride.speedup_over(&base);
+        let h = with_hybrid.speedup_over(&base);
+        stride_geo += s.ln();
+        hybrid_geo += h.ln();
+        n += 1;
+        println!(
+            "{:<10} {:>9.2} {:>11.1}% {:>13.3} {:>13.3}",
+            spec.name,
+            base.ipc(),
+            100.0 * base.l1_hit_rate,
+            s,
+            h
+        );
+    }
+    println!(
+        "\ngeomean speedup: stride {:.3}, hybrid {:.3}",
+        (stride_geo / n as f64).exp(),
+        (hybrid_geo / n as f64).exp()
+    );
+    println!(
+        "paper: most traces gain 10-25%, hybrid ~21% average, ~6.3% over stride;\n\
+         non-stride loads contribute disproportionately to the gain (§4.2)."
+    );
+}

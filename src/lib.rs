@@ -1,0 +1,37 @@
+//! # cap-repro — reproduction of *Correlated Load-Address Predictors* (ISCA 1999)
+//!
+//! An umbrella crate re-exporting the reproduction's four libraries:
+//!
+//! * [`cap_trace`] — synthetic trace infrastructure (45 traces / 8 suites);
+//! * [`cap_predictor`] — CAP, enhanced stride, hybrid, and baselines;
+//! * [`cap_uarch`] — caches, branch prediction, and the OoO timing core;
+//! * [`cap_harness`] — the per-figure experiment harness.
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `repro` binary (`cargo run --release -p cap-harness --bin repro -- all`)
+//! for the full table/figure regeneration.
+//!
+//! ```
+//! use cap_repro::prelude::*;
+//!
+//! let trace = Suite::Int.traces()[0].generate(10_000);
+//! let mut predictor = HybridPredictor::new(HybridConfig::paper_default());
+//! let stats = run_immediate(&mut predictor, &trace);
+//! assert!(stats.prediction_rate() > 0.3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cap_harness;
+pub use cap_predictor;
+pub use cap_trace;
+pub use cap_uarch;
+
+/// One-stop prelude for examples and downstream experimentation.
+pub mod prelude {
+    pub use cap_harness::runner::{PredictorFactory, Scale};
+    pub use cap_predictor::prelude::*;
+    pub use cap_trace::prelude::*;
+    pub use cap_trace::suites::Suite;
+    pub use cap_uarch::prelude::*;
+}

@@ -1,0 +1,52 @@
+//! Whole-pipeline determinism: trace generation, prediction, and timing
+//! simulation are all pure functions of the catalog seeds.
+
+use cap_repro::prelude::*;
+
+#[test]
+fn trace_generation_is_reproducible() {
+    for spec in catalog().iter().step_by(7) {
+        let a = spec.generate(3_000);
+        let b = spec.generate(3_000);
+        assert_eq!(a, b, "{} must be deterministic", spec.name);
+    }
+}
+
+#[test]
+fn prediction_runs_are_reproducible() {
+    let trace = Suite::Gam.traces()[0].generate(10_000);
+    let run = || {
+        let mut p = HybridPredictor::new(HybridConfig::paper_default());
+        run_immediate(&mut p, &trace)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gapped_runs_are_reproducible() {
+    let trace = Suite::Tpc.traces()[0].generate(10_000);
+    let run = || {
+        let mut p = HybridPredictor::new(HybridConfig::paper_pipelined());
+        run_with_gap(&mut p, &trace, 16)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn timing_simulation_is_reproducible() {
+    let trace = Suite::Jav.traces()[0].generate(5_000);
+    let cfg = CoreConfig::paper_default();
+    let run = || {
+        let mut p = HybridPredictor::new(HybridConfig::paper_default());
+        run_trace(&trace, &cfg, Some(&mut p), 0).cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn distinct_traces_differ() {
+    // Sanity that the catalog isn't returning one canned trace.
+    let a = Suite::Int.traces()[0].generate(2_000);
+    let b = Suite::Int.traces()[1].generate(2_000);
+    assert_ne!(a, b);
+}
