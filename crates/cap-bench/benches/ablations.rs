@@ -15,7 +15,7 @@ use cap_predictor::cap::{CapConfig, CapPredictor};
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor, SelectorPolicy};
 use cap_predictor::link_table::PfMode;
 use cap_predictor::metrics::PredictorStats;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cap_bench::bench_kit::Criterion;
 
 fn sweep_and_print(scale: &Scale, title: &str, factories: Vec<PredictorFactory>) {
     let results = run_suite_sweep(scale, &factories, 0);
@@ -127,5 +127,4 @@ fn bench(c: &mut Criterion) {
     sweep_and_print(&scale, "global correlation", correlation_factories());
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cap_bench::bench_main!(bench);

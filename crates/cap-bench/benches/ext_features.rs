@@ -4,7 +4,7 @@
 
 use cap_bench::{bench_scale, bench_scale_timing};
 use cap_harness::experiments::ext;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cap_bench::bench_kit::Criterion;
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
@@ -43,5 +43,4 @@ fn bench(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cap_bench::bench_main!(bench);

@@ -3,7 +3,7 @@
 
 use cap_bench::bench_scale;
 use cap_harness::experiments::fig8;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cap_bench::bench_kit::Criterion;
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
@@ -18,5 +18,4 @@ fn bench(c: &mut Criterion) {
     println!("{report}");
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+cap_bench::bench_main!(bench);

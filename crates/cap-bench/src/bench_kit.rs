@@ -1,0 +1,309 @@
+//! A tiny wall-clock bench runner with a criterion-shaped surface.
+//!
+//! The offline build cannot fetch criterion, and these benches never
+//! needed its statistical machinery: every figure sweep is a
+//! deterministic pure function of its scale, so min/mean/max over a
+//! handful of iterations is exactly the signal we want. The API mirrors
+//! the criterion subset the bench files already used
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]) so the per-figure entry points read unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use cap_bench::bench_kit::Criterion;
+//!
+//! fn bench(c: &mut Criterion) {
+//!     let mut group = c.benchmark_group("demo");
+//!     group.sample_size(3);
+//!     group.bench_function("sum", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+//!     group.finish();
+//! }
+//!
+//! let mut c = Criterion::quick();
+//! bench(&mut c);
+//! assert_eq!(c.results().len(), 1);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Per-iteration wall-clock samples, in collection order.
+    pub samples: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Fastest sample.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Slowest sample.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.samples.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Arithmetic mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// Top-level bench context: collects results, prints a summary.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Set from `CAP_BENCH_SAMPLES`; beats per-group `sample_size()`
+    /// calls so the env knob works on benches that hardcode a count.
+    sample_override: Option<usize>,
+    quick: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Builds a context from the process arguments and environment.
+    ///
+    /// `cargo bench` passes `--bench`; anything else (or
+    /// `CAP_BENCH_QUICK=1`) selects quick mode: one iteration, no
+    /// warmup, so bench binaries double as smoke tests.
+    /// `CAP_BENCH_SAMPLES` overrides the sample count — including any
+    /// `sample_size()` the bench source hardcodes.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        let quick_env = std::env::var("CAP_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let sample_override = std::env::var("CAP_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(|n: usize| n.max(1));
+        Self {
+            sample_size: sample_override.unwrap_or(10),
+            sample_override,
+            quick: !bench_mode || quick_env,
+            results: Vec::new(),
+        }
+    }
+
+    /// A context pinned to quick mode (one iteration per benchmark),
+    /// regardless of arguments. Used by tests and doctests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            sample_size: 1,
+            sample_override: None,
+            quick: true,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results collected so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the final per-benchmark table.
+    pub fn summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("-- bench summary ({} benchmarks) --", self.results.len());
+        for r in &self.results {
+            println!(
+                "  {:<44} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+                r.id,
+                r.mean(),
+                r.min(),
+                r.max(),
+                r.samples.len()
+            );
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Times one benchmark: `routine` receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] with the workload closure.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let samples = if self.criterion.quick {
+            1
+        } else {
+            self.criterion
+                .sample_override
+                .or(self.sample_size)
+                .unwrap_or(self.criterion.sample_size)
+        };
+        let mut bencher = Bencher {
+            samples,
+            warmup: !self.criterion.quick,
+            collected: Vec::new(),
+        };
+        routine(&mut bencher);
+        let result = BenchResult {
+            id: format!("{}/{}", self.name, name),
+            samples: bencher.collected,
+        };
+        println!(
+            "{:<46} mean {:>12?}  min {:>12?}  ({} samples)",
+            result.id,
+            result.mean(),
+            result.min(),
+            result.samples.len()
+        );
+        self.criterion.results.push(result);
+    }
+
+    /// Ends the group (kept for criterion-API parity; results are
+    /// recorded eagerly by [`Self::bench_function`]).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the workload closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    collected: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations (plus one
+    /// untimed warmup outside quick mode) and records each sample.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        if self.warmup {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.collected.push(start.elapsed());
+        }
+    }
+}
+
+/// Generates `fn main()` for a bench target: runs each registered
+/// function against a shared [`Criterion`], then prints the summary.
+///
+/// The replacement for `criterion_group!` + `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::bench_kit::Criterion::from_args();
+            $($func(&mut criterion);)+
+            criterion.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_exactly_one_sample() {
+        let mut c = Criterion::quick();
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        group.bench_function("counted", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].samples.len(), 1);
+        assert_eq!(c.results()[0].id, "g/counted");
+    }
+
+    #[test]
+    fn sample_size_controls_iterations_outside_quick_mode() {
+        let mut c = Criterion {
+            sample_size: 10,
+            sample_override: None,
+            quick: false,
+            results: Vec::new(),
+        };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        group.bench_function("counted", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 4 timed + 1 warmup.
+        assert_eq!(runs, 5);
+        assert_eq!(c.results()[0].samples.len(), 4);
+    }
+
+    #[test]
+    fn env_override_beats_group_sample_size() {
+        let mut c = Criterion {
+            sample_size: 2,
+            sample_override: Some(2),
+            quick: false,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        group.bench_function("counted", |b| b.iter(|| ()));
+        group.finish();
+        assert_eq!(c.results()[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let r = BenchResult {
+            id: "x".into(),
+            samples: vec![
+                Duration::from_micros(30),
+                Duration::from_micros(10),
+                Duration::from_micros(20),
+            ],
+        };
+        assert_eq!(r.min(), Duration::from_micros(10));
+        assert_eq!(r.max(), Duration::from_micros(30));
+        assert_eq!(r.mean(), Duration::from_micros(20));
+        assert!(r.min() <= r.mean() && r.mean() <= r.max());
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = BenchResult {
+            id: "empty".into(),
+            samples: Vec::new(),
+        };
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert_eq!(r.min(), Duration::ZERO);
+        assert_eq!(r.max(), Duration::ZERO);
+    }
+}

@@ -1,12 +1,21 @@
-//! Criterion benches for the CAP reproduction.
+//! Zero-dependency benches for the CAP reproduction.
 //!
 //! Each bench target regenerates one of the paper's figures at
-//! [`cap_harness::runner::Scale::bench`] scale; the library itself only
-//! hosts shared helpers.
+//! [`cap_harness::runner::Scale::bench`] scale. Timing is done by the
+//! in-repo [`bench_kit`] wall-clock runner (criterion cannot be fetched
+//! in the offline build); the library itself only hosts shared helpers.
+//!
+//! Run everything with `cargo bench --offline`, one figure with e.g.
+//! `cargo bench --offline --bench fig5_predictors`. Environment knobs:
+//!
+//! * `CAP_BENCH_SAMPLES=n` — timed iterations per benchmark (default 10);
+//! * `CAP_BENCH_QUICK=1` — one iteration, no warmup (smoke mode).
 
 #![warn(missing_docs)]
 
 use cap_harness::runner::Scale;
+
+pub mod bench_kit;
 
 /// The scale all benches run at.
 #[must_use]

@@ -577,8 +577,8 @@ mod tests {
 
     #[test]
     fn random_addresses_stay_unpredicted() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(2);
         let mut p = CapPredictor::new(config());
         let mut spec = 0;
         let mut wrong_spec = 0;

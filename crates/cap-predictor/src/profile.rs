@@ -295,8 +295,8 @@ mod tests {
     #[test]
     fn classifier_separates_the_four_classes() {
         let mut b = TraceBuilder::new();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(1);
         let pattern = [0x100u64, 0x9A0, 0x430, 0x7C8];
         for i in 0..400u64 {
             b.load(0x10, 0xAAAA, 0); // constant
@@ -376,8 +376,8 @@ mod tests {
 
     #[test]
     fn unknown_loads_never_touch_tables() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(3);
         let mut b = TraceBuilder::new();
         for _ in 0..500 {
             b.load(0x40, (rng.gen::<u32>() as u64) & !3, 0);

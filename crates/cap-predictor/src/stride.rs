@@ -398,9 +398,9 @@ mod tests {
         // random address on path 1. Control-flow indications must cut the
         // number of wrong speculative accesses relative to CFI-off,
         // because the bad path gets remembered and vetoed.
-        use rand::{Rng, SeedableRng};
+        use cap_rand::{Rng, SeedableRng};
         let run = |cfi: CfiMode| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut rng = cap_rand::rngs::StdRng::seed_from_u64(7);
             let mut p = StridePredictor::new(
                 LoadBufferConfig {
                     entries: 64,
@@ -442,9 +442,9 @@ mod tests {
 
     #[test]
     fn per_path_cfi_also_reduces_wrong_speculation() {
-        use rand::{Rng, SeedableRng};
+        use cap_rand::{Rng, SeedableRng};
         let run = |cfi: CfiMode| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut rng = cap_rand::rngs::StdRng::seed_from_u64(9);
             let mut p = StridePredictor::new(
                 LoadBufferConfig {
                     entries: 64,

@@ -1,10 +1,11 @@
 //! Property-based tests for the predictor crate's core data structures
-//! and invariants.
+//! and invariants, driven by the in-repo `cap_check` harness.
 
 use cap_predictor::confidence::SaturatingCounter;
 use cap_predictor::history::{HistoryBuffer, HistorySpec};
 use cap_predictor::prelude::*;
-use proptest::prelude::*;
+use cap_rand::check;
+use cap_rand::Rng;
 
 fn small_hybrid() -> HybridPredictor {
     let mut cfg = HybridConfig::paper_default();
@@ -14,36 +15,42 @@ fn small_hybrid() -> HybridPredictor {
     HybridPredictor::new(cfg)
 }
 
-proptest! {
-    /// The folded history always fits in the configured index/tag widths.
-    #[test]
-    fn fold_respects_widths(
-        addrs in proptest::collection::vec(any::<u64>(), 1..32),
-        length in 1usize..8,
-        shift in 1u32..8,
-        index_bits in 4u32..14,
-        tag_bits in 0u32..10,
-    ) {
-        let spec = HistorySpec { length, shift, index_bits, tag_bits };
+/// The folded history always fits in the configured index/tag widths.
+#[test]
+fn fold_respects_widths() {
+    check::run("fold_respects_widths", |rng| {
+        let addrs = check::vec_of(rng, 1..32, |r| r.gen::<u64>());
+        let spec = HistorySpec {
+            length: rng.gen_range(1usize..8),
+            shift: rng.gen_range(1u32..8),
+            index_bits: rng.gen_range(4u32..14),
+            tag_bits: rng.gen_range(0u32..10),
+        };
         let mut h = HistoryBuffer::new();
         for a in addrs {
             h.push(a, &spec);
-            prop_assert!(h.len() <= length);
+            assert!(h.len() <= spec.length);
         }
         let f = h.fold(&spec);
-        prop_assert!(f.index < (1u64 << index_bits));
-        prop_assert!(tag_bits == 0 && f.tag == 0 || f.tag < (1u64 << tag_bits.max(1)));
-    }
+        assert!(f.index < (1u64 << spec.index_bits));
+        assert!(spec.tag_bits == 0 && f.tag == 0 || f.tag < (1u64 << spec.tag_bits.max(1)));
+    });
+}
 
-    /// Folding depends only on the retained window: any two push sequences
-    /// with the same last `length` addresses fold identically.
-    #[test]
-    fn fold_depends_only_on_window(
-        prefix_a in proptest::collection::vec(any::<u64>(), 0..16),
-        prefix_b in proptest::collection::vec(any::<u64>(), 0..16),
-        window in proptest::collection::vec(any::<u64>(), 4..8),
-    ) {
-        let spec = HistorySpec { length: 4, shift: 3, index_bits: 12, tag_bits: 8 };
+/// Folding depends only on the retained window: any two push sequences
+/// with the same last `length` addresses fold identically.
+#[test]
+fn fold_depends_only_on_window() {
+    check::run("fold_depends_only_on_window", |rng| {
+        let prefix_a = check::vec_of(rng, 0..16, |r| r.gen::<u64>());
+        let prefix_b = check::vec_of(rng, 0..16, |r| r.gen::<u64>());
+        let window = check::vec_of(rng, 4..8, |r| r.gen::<u64>());
+        let spec = HistorySpec {
+            length: 4,
+            shift: 3,
+            index_bits: 12,
+            tag_bits: 8,
+        };
         let tail = &window[window.len() - 4..];
         let mut ha = HistoryBuffer::new();
         let mut hb = HistoryBuffer::new();
@@ -53,32 +60,37 @@ proptest! {
         for &a in prefix_b.iter().chain(tail) {
             hb.push(a, &spec);
         }
-        prop_assert_eq!(ha.fold(&spec), hb.fold(&spec));
-    }
+        assert_eq!(ha.fold(&spec), hb.fold(&spec));
+    });
+}
 
-    /// Saturating counters stay within bounds under any event sequence.
-    #[test]
-    fn counter_stays_bounded(
-        threshold in 1u8..4,
-        extra in 0u8..4,
-        hysteresis in any::<bool>(),
-        events in proptest::collection::vec(any::<bool>(), 0..100),
-    ) {
-        let max = threshold + extra;
+/// Saturating counters stay within bounds under any event sequence.
+#[test]
+fn counter_stays_bounded() {
+    check::run("counter_stays_bounded", |rng| {
+        let threshold = rng.gen_range(1u8..4);
+        let max = threshold + rng.gen_range(0u8..4);
+        let hysteresis = rng.gen::<bool>();
+        let events = check::vec_of(rng, 0..100, |r| r.gen::<bool>());
         let mut c = SaturatingCounter::new(threshold, max, hysteresis);
         for correct in events {
-            if correct { c.on_correct() } else { c.on_incorrect() }
-            prop_assert!(c.value() <= max);
-            prop_assert_eq!(c.is_confident(), c.value() >= threshold);
+            if correct {
+                c.on_correct()
+            } else {
+                c.on_incorrect()
+            }
+            assert!(c.value() <= max);
+            assert_eq!(c.is_confident(), c.value() >= threshold);
         }
-    }
+    });
+}
 
-    /// Predictors never panic and stats stay internally consistent on
-    /// arbitrary load streams.
-    #[test]
-    fn stats_invariants_on_arbitrary_streams(
-        loads in proptest::collection::vec((0u64..64, any::<u64>()), 1..400),
-    ) {
+/// Predictors never panic and stats stay internally consistent on
+/// arbitrary load streams.
+#[test]
+fn stats_invariants_on_arbitrary_streams() {
+    check::run("stats_invariants_on_arbitrary_streams", |rng| {
+        let loads = check::vec_of(rng, 1..400, |r| (r.gen_range(0u64..64), r.gen::<u64>()));
         let mut p = small_hybrid();
         let mut stats = PredictorStats::new();
         for (ip_idx, addr) in loads {
@@ -87,32 +99,39 @@ proptest! {
             p.update(&ctx, addr & !3, &pred);
             stats.record(&pred, addr & !3);
             // A speculative access implies a predicted address.
-            prop_assert!(!pred.speculate || pred.addr.is_some());
+            assert!(!pred.speculate || pred.addr.is_some());
         }
-        prop_assert!(stats.spec_accesses <= stats.predictions);
-        prop_assert!(stats.predictions <= stats.loads);
-        prop_assert!(stats.correct_spec <= stats.spec_accesses);
-        prop_assert!(stats.correct_predictions <= stats.predictions);
-        prop_assert!(stats.correct_spec <= stats.correct_predictions);
-        prop_assert!(stats.both_predicted_spec <= stats.spec_accesses);
-        prop_assert!(stats.miss_selections <= stats.both_predicted_spec);
+        assert!(stats.spec_accesses <= stats.predictions);
+        assert!(stats.predictions <= stats.loads);
+        assert!(stats.correct_spec <= stats.spec_accesses);
+        assert!(stats.correct_predictions <= stats.predictions);
+        assert!(stats.correct_spec <= stats.correct_predictions);
+        assert!(stats.both_predicted_spec <= stats.spec_accesses);
+        assert!(stats.miss_selections <= stats.both_predicted_spec);
         let dist: u64 = stats.selector_states.iter().sum();
-        prop_assert_eq!(dist, stats.both_predicted_spec);
-        prop_assert!((0.0..=1.0).contains(&stats.prediction_rate()));
-        prop_assert!((0.0..=1.0).contains(&stats.accuracy()));
-    }
+        assert_eq!(dist, stats.both_predicted_spec);
+        assert!((0.0..=1.0).contains(&stats.prediction_rate()));
+        assert!((0.0..=1.0).contains(&stats.accuracy()));
+    });
+}
 
-    /// A constant-stride sequence is eventually predicted exactly, for any
-    /// base and step.
-    #[test]
-    fn stride_learns_any_arithmetic_sequence(
-        base in any::<u64>(),
-        step_raw in -1000i64..1000,
-    ) {
+/// A constant-stride sequence is eventually predicted exactly, for any
+/// base and step.
+#[test]
+fn stride_learns_any_arithmetic_sequence() {
+    check::run("stride_learns_any_arithmetic_sequence", |rng| {
+        let base = rng.gen::<u64>();
+        let step_raw = rng.gen_range(-1000i64..1000);
         let step = if step_raw == 0 { 4 } else { step_raw };
         let mut p = StridePredictor::new(
-            LoadBufferConfig { entries: 64, assoc: 2 },
-            StrideParams { interval: false, ..StrideParams::paper_default() },
+            LoadBufferConfig {
+                entries: 64,
+                assoc: 2,
+            },
+            StrideParams {
+                interval: false,
+                ..StrideParams::paper_default()
+            },
         );
         let mut last = Prediction::none();
         for i in 0..12i64 {
@@ -121,17 +140,22 @@ proptest! {
             p.update(&ctx, base.wrapping_add((step * i) as u64), &last);
         }
         // After 12 steps the 12th prediction (for i=11) must be correct.
-        prop_assert!(last.is_correct(base.wrapping_add((step * 11) as u64)));
-        prop_assert!(last.speculate);
-    }
+        assert!(last.is_correct(base.wrapping_add((step * 11) as u64)));
+        assert!(last.speculate);
+    });
+}
 
-    /// Any short recurring sequence of distinct 4-aligned addresses is
-    /// eventually predicted by CAP (prediction correctness, not only
-    /// speculation).
-    #[test]
-    fn cap_learns_any_short_recurring_sequence(
-        raw in proptest::collection::btree_set(1u64..1_000_000, 3..9),
-    ) {
+/// Any short recurring sequence of distinct 4-aligned addresses is
+/// eventually predicted by CAP (prediction correctness, not only
+/// speculation).
+#[test]
+fn cap_learns_any_short_recurring_sequence() {
+    check::run("cap_learns_any_short_recurring_sequence", |rng| {
+        let len = rng.gen_range(3usize..9);
+        let mut raw = std::collections::BTreeSet::new();
+        while raw.len() < len {
+            raw.insert(rng.gen_range(1u64..1_000_000));
+        }
         let pattern: Vec<u64> = raw.into_iter().map(|a| a << 2).collect();
         let mut cfg = CapConfig::paper_default();
         cfg.lt.assoc = 4; // tolerate fold collisions in adversarial patterns
@@ -149,23 +173,23 @@ proptest! {
             }
         }
         // Allow one miss for residual aliasing.
-        prop_assert!(
+        assert!(
             last_round_correct + 1 >= pattern.len(),
-            "{last_round_correct}/{} correct in final round", pattern.len()
+            "{last_round_correct}/{} correct in final round",
+            pattern.len()
         );
-    }
+    });
+}
 
-    /// `run_with_gap(.., 0)` and `run_immediate` agree on any suite trace
-    /// prefix.
-    #[test]
-    fn gap_zero_is_immediate(seed in 0usize..8, loads in 500usize..2_000) {
-        let spec = &cap_trace::suites::catalog()[seed];
-        let trace = spec.generate(loads);
+/// `run_with_gap(.., 0)` and `run_immediate` agree on any suite trace
+/// prefix.
+#[test]
+fn gap_zero_is_immediate() {
+    check::run_n("gap_zero_is_immediate", 16, |rng| {
+        let spec = &cap_trace::suites::catalog()[rng.gen_range(0usize..8)];
+        let trace = spec.generate(rng.gen_range(500usize..2_000));
         let mut a = small_hybrid();
         let mut b = small_hybrid();
-        prop_assert_eq!(
-            run_immediate(&mut a, &trace),
-            run_with_gap(&mut b, &trace, 0)
-        );
-    }
+        assert_eq!(run_immediate(&mut a, &trace), run_with_gap(&mut b, &trace, 0));
+    });
 }

@@ -1,0 +1,119 @@
+//! Statistical smoke tests for the in-repo PRNG.
+//!
+//! These are sanity screens, not PRNG certification (xoshiro256++ has
+//! passed BigCrush upstream): they catch implementation slips — a wrong
+//! rotate, a truncated mixer, a biased range reduction — that would skew
+//! every synthetic trace in the repository. Bounds are set at roughly
+//! 5–6 sigma of the exact sampling distributions so the fixed seeds pass
+//! with enormous margin yet real bias still trips them.
+
+use cap_rand::rngs::StdRng;
+use cap_rand::{Rng, RngCore, SeedableRng};
+
+const DRAWS: usize = 1_000_000;
+
+/// Mean of 1M uniform u64 draws (scaled to [0,1)) must sit near 0.5.
+/// Std-dev of the mean is (1/sqrt(12))/1000 ≈ 2.9e-4; allow 6 sigma.
+#[test]
+fn mean_of_unit_draws_is_centered() {
+    let mut rng = StdRng::seed_from_u64(0xCA9);
+    let sum: f64 = (0..DRAWS).map(|_| rng.gen::<f64>()).sum();
+    let mean = sum / DRAWS as f64;
+    assert!(
+        (mean - 0.5).abs() < 1.8e-3,
+        "mean of 1M unit draws drifted to {mean}"
+    );
+}
+
+/// Each of the 64 output bits must be set close to half the time.
+/// Per-bit count is Binomial(1M, 0.5): sigma = 500; allow 6 sigma.
+#[test]
+fn every_output_bit_is_unbiased() {
+    let mut rng = StdRng::seed_from_u64(0xB17);
+    let mut ones = [0u32; 64];
+    for _ in 0..DRAWS {
+        let w = rng.next_u64();
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += ((w >> bit) & 1) as u32;
+        }
+    }
+    for (bit, &count) in ones.iter().enumerate() {
+        let dev = (f64::from(count) - 500_000.0).abs();
+        assert!(dev < 3_000.0, "bit {bit} set {count} times in 1M draws");
+    }
+}
+
+/// 256-bucket histogram of `gen_range(0..256)` must be flat: chi-squared
+/// with 255 dof has mean 255, sigma ≈ 22.6; allow ~6 sigma.
+#[test]
+fn gen_range_histogram_is_uniform() {
+    let mut rng = StdRng::seed_from_u64(0x0D1CE);
+    let mut buckets = [0u32; 256];
+    for _ in 0..DRAWS {
+        buckets[rng.gen_range(0usize..256)] += 1;
+    }
+    let expected = DRAWS as f64 / 256.0;
+    let chi2: f64 = buckets
+        .iter()
+        .map(|&b| {
+            let d = f64::from(b) - expected;
+            d * d / expected
+        })
+        .sum();
+    assert!(
+        (120.0..400.0).contains(&chi2),
+        "chi-squared over 256 buckets was {chi2}"
+    );
+}
+
+/// A non-power-of-two range must not show modulo bias. With bound 6 the
+/// per-face sigma is ~373; allow 6 sigma.
+#[test]
+fn non_power_of_two_range_is_unbiased() {
+    let mut rng = StdRng::seed_from_u64(0xD6);
+    let mut faces = [0u32; 6];
+    for _ in 0..DRAWS {
+        faces[rng.gen_range(0usize..6)] += 1;
+    }
+    let expected = DRAWS as f64 / 6.0;
+    for (face, &count) in faces.iter().enumerate() {
+        assert!(
+            (f64::from(count) - expected).abs() < 2_300.0,
+            "face {face} drawn {count} times in 1M"
+        );
+    }
+}
+
+/// `gen_bool(p)` frequency must track p. Sigma at p=0.3 is ~458;
+/// allow 6 sigma.
+#[test]
+fn gen_bool_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
+    for p in [0.1f64, 0.3, 0.5, 0.9] {
+        let hits = (0..DRAWS).filter(|_| rng.gen_bool(p)).count();
+        let expected = p * DRAWS as f64;
+        assert!(
+            (hits as f64 - expected).abs() < 3_000.0,
+            "gen_bool({p}) fired {hits} times in 1M"
+        );
+    }
+}
+
+/// Lag-1 serial correlation of the unit-interval stream must be ~0
+/// (sigma ≈ 1/sqrt(1M) = 1e-3; allow 6 sigma).
+#[test]
+fn stream_has_no_serial_correlation() {
+    let mut rng = StdRng::seed_from_u64(0x5E71A);
+    let xs: Vec<f64> = (0..DRAWS).map(|_| rng.gen::<f64>()).collect();
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for w in xs.windows(2) {
+        cov += (w[0] - mean) * (w[1] - mean);
+    }
+    for &x in &xs {
+        var += (x - mean) * (x - mean);
+    }
+    let rho = cov / var;
+    assert!(rho.abs() < 6e-3, "lag-1 autocorrelation was {rho}");
+}

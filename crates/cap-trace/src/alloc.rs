@@ -7,8 +7,8 @@
 //! so generated linked lists and trees exhibit the paper's
 //! "short recurring but non-stride" address fingerprints.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cap_rand::seq::SliceRandom;
+use cap_rand::Rng;
 
 /// Address-layout policy for a batch of same-sized allocations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -31,9 +31,9 @@ pub enum LayoutPolicy {
 ///
 /// ```
 /// use cap_trace::alloc::{HeapModel, LayoutPolicy};
-/// use rand::SeedableRng;
+/// use cap_rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = cap_rand::rngs::StdRng::seed_from_u64(1);
 /// let mut heap = HeapModel::new(0x1000_0000, 16);
 /// let nodes = heap.alloc_nodes(8, 32, LayoutPolicy::Fragmented, &mut rng);
 /// assert_eq!(nodes.len(), 8);
@@ -126,10 +126,10 @@ fn round_up(value: u64, align: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(42)
+    fn rng() -> cap_rand::rngs::StdRng {
+        cap_rand::rngs::StdRng::seed_from_u64(42)
     }
 
     #[test]

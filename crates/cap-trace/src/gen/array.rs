@@ -11,8 +11,8 @@
 use super::{Seat, Workload};
 use crate::builder::{IpAllocator, TraceBuilder};
 use crate::record::OpLatency;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// One array traversed by the workload.
 #[derive(Debug, Clone)]
@@ -181,7 +181,7 @@ impl Workload for ArrayWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
 
     fn make(config: ArrayConfig) -> (ArrayWorkload, StdRng) {
         let mut seats = SeatAllocator::new();

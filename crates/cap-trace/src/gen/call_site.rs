@@ -10,8 +10,8 @@
 use super::{Seat, Workload};
 use crate::alloc::HeapModel;
 use crate::builder::{IpAllocator, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`CallSiteWorkload`].
 #[derive(Debug, Clone)]
@@ -153,7 +153,7 @@ mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
     use crate::record::BranchKind;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn make(config: CallSiteConfig) -> (CallSiteWorkload, StdRng) {

@@ -11,8 +11,8 @@
 use super::{Seat, Workload};
 use crate::builder::{IpAllocator, TraceBuilder};
 use crate::record::OpLatency;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`GlobalsWorkload`].
 #[derive(Debug, Clone)]
@@ -123,7 +123,7 @@ impl Workload for GlobalsWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeMap;
 
     fn make(config: GlobalsConfig) -> (GlobalsWorkload, StdRng) {

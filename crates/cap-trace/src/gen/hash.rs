@@ -10,8 +10,8 @@ use super::{Seat, Workload};
 use crate::alloc::HeapModel;
 use crate::builder::{IpAllocator, TraceBuilder};
 use crate::record::OpLatency;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`HashWorkload`].
 #[derive(Debug, Clone)]
@@ -157,7 +157,7 @@ impl Workload for HashWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn make(config: HashConfig) -> (HashWorkload, StdRng) {

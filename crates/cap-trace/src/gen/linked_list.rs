@@ -10,8 +10,8 @@ use super::{Seat, Workload};
 use crate::alloc::{HeapModel, LayoutPolicy};
 use crate::builder::{IpAllocator, TraceBuilder};
 use crate::record::OpLatency;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`LinkedListWorkload`].
 #[derive(Debug, Clone)]
@@ -54,10 +54,10 @@ impl Default for LinkedListConfig {
 /// use cap_trace::gen::linked_list::{LinkedListConfig, LinkedListWorkload};
 /// use cap_trace::gen::{SeatAllocator, Workload};
 /// use cap_trace::builder::TraceBuilder;
-/// use rand::SeedableRng;
+/// use cap_rand::SeedableRng;
 ///
 /// let mut seats = SeatAllocator::new();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = cap_rand::rngs::StdRng::seed_from_u64(7);
 /// let mut wl = LinkedListWorkload::new(LinkedListConfig::default(), seats.next_seat(), &mut rng);
 /// let mut b = TraceBuilder::new();
 /// wl.emit(&mut b, &mut rng, 100);
@@ -296,7 +296,7 @@ impl Workload for DoublyLinkedListWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn rng() -> StdRng {

@@ -11,7 +11,7 @@
 use super::{Seat, Workload};
 use crate::builder::{IpAllocator, TraceBuilder};
 use crate::record::OpLatency;
-use rand::rngs::StdRng;
+use cap_rand::rngs::StdRng;
 
 /// Configuration for [`MatrixWorkload`].
 #[derive(Debug, Clone)]
@@ -146,7 +146,7 @@ impl Workload for MatrixWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn make(config: MatrixConfig) -> (MatrixWorkload, StdRng) {

@@ -8,8 +8,8 @@
 
 use super::Workload;
 use crate::builder::TraceBuilder;
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// A weighted component of a mix.
 #[derive(Debug)]
@@ -27,10 +27,10 @@ struct Component {
 /// use cap_trace::gen::random::{RandomConfig, RandomWorkload};
 /// use cap_trace::gen::{SeatAllocator, Workload};
 /// use cap_trace::builder::TraceBuilder;
-/// use rand::SeedableRng;
+/// use cap_rand::SeedableRng;
 ///
 /// let mut seats = SeatAllocator::new();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = cap_rand::rngs::StdRng::seed_from_u64(1);
 /// let a = RandomWorkload::new(RandomConfig::default(), seats.next_seat(), &mut rng);
 /// let b = RandomWorkload::new(RandomConfig::default(), seats.next_seat(), &mut rng);
 /// let mut mix = MixWorkload::new(100);
@@ -122,7 +122,7 @@ mod tests {
     use super::*;
     use crate::gen::random::{RandomConfig, RandomWorkload};
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(77)

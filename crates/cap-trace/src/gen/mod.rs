@@ -29,7 +29,7 @@ pub mod stack;
 pub mod tree;
 
 use crate::builder::TraceBuilder;
-use rand::rngs::StdRng;
+use cap_rand::rngs::StdRng;
 
 /// A stateful trace generator.
 ///

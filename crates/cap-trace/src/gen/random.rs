@@ -7,8 +7,8 @@
 
 use super::{Seat, Workload};
 use crate::builder::{IpAllocator, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`RandomWorkload`].
 #[derive(Debug, Clone)]
@@ -89,7 +89,7 @@ impl Workload for RandomWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn make(config: RandomConfig) -> (RandomWorkload, StdRng) {

@@ -10,8 +10,8 @@
 use super::{Seat, Workload};
 use crate::alloc::{HeapModel, LayoutPolicy};
 use crate::builder::{IpAllocator, TraceBuilder};
-use rand::rngs::StdRng;
-use rand::Rng;
+use cap_rand::rngs::StdRng;
+use cap_rand::Rng;
 
 /// Configuration for [`BinaryTreeWorkload`].
 #[derive(Debug, Clone)]
@@ -160,7 +160,7 @@ impl Workload for BinaryTreeWorkload {
 mod tests {
     use super::*;
     use crate::gen::SeatAllocator;
-    use rand::SeedableRng;
+    use cap_rand::SeedableRng;
     use std::collections::BTreeSet;
 
     fn make(config: BinaryTreeConfig) -> (BinaryTreeWorkload, StdRng) {

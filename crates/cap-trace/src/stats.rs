@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn random_loads_have_low_predictability() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(1);
         let mut b = TraceBuilder::new();
         for _ in 0..1000 {
             b.load(0x10, rng.gen::<u32>() as u64, 0);

@@ -36,8 +36,8 @@ use crate::gen::stack::{StackConfig, StackWorkload};
 use crate::gen::tree::{BinaryTreeConfig, BinaryTreeWorkload};
 use crate::gen::{SeatAllocator, Workload};
 use crate::record::Trace;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cap_rand::rngs::StdRng;
+use cap_rand::SeedableRng;
 
 /// The paper's eight application suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

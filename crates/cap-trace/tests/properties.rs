@@ -1,72 +1,80 @@
-//! Property-based tests for the trace substrate.
+//! Property-based tests for the trace substrate, driven by the in-repo
+//! `cap_check` harness (seeded cases, no shrinking — failures print the
+//! case seed to replay via `CAP_CHECK_SEED`).
 
+use cap_rand::check;
+use cap_rand::rngs::StdRng;
+use cap_rand::{Rng, SeedableRng};
 use cap_trace::alloc::{HeapModel, LayoutPolicy};
 use cap_trace::gen::array::{ArrayConfig, ArraySpec, ArrayWorkload};
 use cap_trace::gen::linked_list::{LinkedListConfig, LinkedListWorkload};
 use cap_trace::gen::{SeatAllocator, Workload};
 use cap_trace::prelude::*;
-use proptest::prelude::*;
-use rand::SeedableRng;
 
-proptest! {
-    /// Heap allocations are aligned, disjoint, and monotone for any batch.
-    #[test]
-    fn heap_allocations_disjoint_and_aligned(
-        base in 0u64..1 << 40,
-        align_pow in 2u32..8,
-        sizes in proptest::collection::vec(0u64..512, 1..64),
-    ) {
-        let align = 1u64 << align_pow;
+/// Heap allocations are aligned, disjoint, and monotone for any batch.
+#[test]
+fn heap_allocations_disjoint_and_aligned() {
+    check::run("heap_allocations_disjoint_and_aligned", |rng| {
+        let base = rng.gen_range(0u64..1 << 40);
+        let align = 1u64 << rng.gen_range(2u32..8);
+        let sizes = check::vec_of(rng, 1..64, |r| r.gen_range(0u64..512));
         let mut heap = HeapModel::new(base, align);
         let mut prev_end = 0u64;
         for size in sizes {
             let addr = heap.alloc(size);
-            prop_assert_eq!(addr % align, 0);
-            prop_assert!(addr >= prev_end, "allocations must not overlap");
+            assert_eq!(addr % align, 0);
+            assert!(addr >= prev_end, "allocations must not overlap");
             prev_end = addr + size.max(1);
         }
-    }
+    });
+}
 
-    /// `alloc_nodes` returns the requested count under every policy, and
-    /// the address *sets* agree across policies given the same RNG state
-    /// structure (shuffled is a permutation of bump).
-    #[test]
-    fn alloc_nodes_counts(
-        count in 1usize..64,
-        size in 1u64..128,
-        policy in prop_oneof![
-            Just(LayoutPolicy::Bump),
-            Just(LayoutPolicy::Fragmented),
-            Just(LayoutPolicy::Shuffled),
-        ],
-    ) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// `alloc_nodes` returns the requested count of distinct addresses under
+/// every layout policy.
+#[test]
+fn alloc_nodes_counts() {
+    check::run("alloc_nodes_counts", |rng| {
+        let count = rng.gen_range(1usize..64);
+        let size = rng.gen_range(1u64..128);
+        let policy = check::one_of(
+            rng,
+            &[
+                LayoutPolicy::Bump,
+                LayoutPolicy::Fragmented,
+                LayoutPolicy::Shuffled,
+            ],
+        );
+        let mut inner = StdRng::seed_from_u64(7);
         let mut heap = HeapModel::new(0x1000, 16);
-        let nodes = heap.alloc_nodes(count, size, policy, &mut rng);
-        prop_assert_eq!(nodes.len(), count);
+        let nodes = heap.alloc_nodes(count, size, policy, &mut inner);
+        assert_eq!(nodes.len(), count);
         let unique: std::collections::BTreeSet<u64> = nodes.iter().copied().collect();
-        prop_assert_eq!(unique.len(), count, "node addresses must be distinct");
-    }
+        assert_eq!(unique.len(), count, "node addresses must be distinct");
+    });
+}
 
-    /// Every generated trace meets its load budget and is deterministic.
-    #[test]
-    fn catalog_budget_and_determinism(idx in 0usize..45, loads in 200usize..1_500) {
-        let spec = &catalog()[idx];
+/// Every generated trace meets its load budget and is deterministic.
+#[test]
+fn catalog_budget_and_determinism() {
+    check::run("catalog_budget_and_determinism", |rng| {
+        let spec = &catalog()[rng.gen_range(0usize..45)];
+        let loads = rng.gen_range(200usize..1_500);
         let a = spec.generate(loads);
-        prop_assert!(a.load_count() >= loads);
+        assert!(a.load_count() >= loads);
         let b = spec.generate(loads);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Linked-list traversals repeat exactly when unmutated, for any
-    /// geometry.
-    #[test]
-    fn list_traversals_repeat(
-        nodes in 2usize..24,
-        fields in proptest::collection::vec(0i32..200, 1..4),
-    ) {
+/// Linked-list traversals repeat exactly when unmutated, for any
+/// geometry.
+#[test]
+fn list_traversals_repeat() {
+    check::run("list_traversals_repeat", |rng| {
+        let nodes = rng.gen_range(2usize..24);
+        let fields = check::vec_of(rng, 1..4, |r| r.gen_range(0i32..200));
         let mut seats = SeatAllocator::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut inner = StdRng::seed_from_u64(3);
         let cfg = LinkedListConfig {
             lists: 1,
             nodes_per_list: nodes,
@@ -75,68 +83,82 @@ proptest! {
             layout: LayoutPolicy::Fragmented,
             mutate_every_inverse: 0,
         };
-        let mut wl = LinkedListWorkload::new(cfg, seats.next_seat(), &mut rng);
+        let mut wl = LinkedListWorkload::new(cfg, seats.next_seat(), &mut inner);
         let per_traversal = nodes * fields.len();
         let mut b = TraceBuilder::new();
-        wl.emit(&mut b, &mut rng, per_traversal * 3);
+        wl.emit(&mut b, &mut inner, per_traversal * 3);
         let trace = b.finish();
         let addrs: Vec<u64> = trace.loads().map(|l| l.addr).collect();
-        prop_assert_eq!(&addrs[0..per_traversal], &addrs[per_traversal..2 * per_traversal]);
-    }
+        assert_eq!(
+            &addrs[0..per_traversal],
+            &addrs[per_traversal..2 * per_traversal]
+        );
+    });
+}
 
-    /// Array sweeps wrap exactly at the configured interval.
-    #[test]
-    fn array_wraps_at_interval(len in 2usize..64, elem in 1u64..64) {
+/// Array sweeps wrap exactly at the configured interval.
+#[test]
+fn array_wraps_at_interval() {
+    check::run("array_wraps_at_interval", |rng| {
+        let len = rng.gen_range(2usize..64);
+        let elem = rng.gen_range(1u64..64);
         let mut seats = SeatAllocator::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut inner = StdRng::seed_from_u64(5);
         let cfg = ArrayConfig {
-            arrays: vec![ArraySpec { len, elem_size: elem, field_offsets: vec![0] }],
+            arrays: vec![ArraySpec {
+                len,
+                elem_size: elem,
+                field_offsets: vec![0],
+            }],
             skip_percent: 0,
         };
-        let mut wl = ArrayWorkload::new(cfg, seats.next_seat(), &mut rng);
+        let mut wl = ArrayWorkload::new(cfg, seats.next_seat(), &mut inner);
         let mut b = TraceBuilder::new();
-        wl.emit(&mut b, &mut rng, 2 * len + 1);
+        wl.emit(&mut b, &mut inner, 2 * len + 1);
         let trace = b.finish();
         let addrs: Vec<u64> = trace.loads().map(|l| l.addr).collect();
-        prop_assert_eq!(addrs[0], addrs[len], "wrap must return to the base");
+        assert_eq!(addrs[0], addrs[len], "wrap must return to the base");
         for w in addrs[..len].windows(2) {
-            prop_assert_eq!(w[1] - w[0], elem);
+            assert_eq!(w[1] - w[0], elem);
         }
-    }
+    });
+}
 
-    /// Trace statistics are internally consistent for any catalog trace.
-    #[test]
-    fn stats_consistency(idx in 0usize..45) {
-        let trace = catalog()[idx].generate(2_000);
+/// Trace statistics are internally consistent for any catalog trace.
+#[test]
+fn stats_consistency() {
+    check::run_n("stats_consistency", 45, |rng| {
+        let trace = catalog()[rng.gen_range(0usize..45)].generate(2_000);
         let stats = TraceStats::compute(&trace);
-        prop_assert_eq!(stats.loads, trace.load_count());
-        prop_assert!(stats.loads + stats.stores + stats.branches <= stats.instructions);
-        prop_assert!(stats.static_loads <= stats.loads);
-        prop_assert!(stats.unique_addresses <= stats.loads);
-        prop_assert!((0.0..=1.0).contains(&stats.constant_fraction));
-        prop_assert!((0.0..=1.0).contains(&stats.stride_fraction));
-    }
+        assert_eq!(stats.loads, trace.load_count());
+        assert!(stats.loads + stats.stores + stats.branches <= stats.instructions);
+        assert!(stats.static_loads <= stats.loads);
+        assert!(stats.unique_addresses <= stats.loads);
+        assert!((0.0..=1.0).contains(&stats.constant_fraction));
+        assert!((0.0..=1.0).contains(&stats.stride_fraction));
+    });
+}
 
-    /// Serialization roundtrips every catalog trace bit-exactly.
-    #[test]
-    fn io_roundtrip(idx in 0usize..45, loads in 100usize..800) {
+/// Serialization roundtrips every catalog trace bit-exactly.
+#[test]
+fn io_roundtrip() {
+    check::run_n("io_roundtrip", 45, |rng| {
         use cap_trace::io::{read_trace, write_trace};
-        let trace = catalog()[idx].generate(loads);
+        let trace = catalog()[rng.gen_range(0usize..45)].generate(rng.gen_range(100usize..800));
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).expect("write to Vec cannot fail");
         let back = read_trace(buf.as_slice()).expect("roundtrip must parse");
-        prop_assert_eq!(trace, back);
-    }
+        assert_eq!(trace, back);
+    });
+}
 
-    /// Base addresses always reconstruct: `base + offset == addr`.
-    #[test]
-    fn base_address_roundtrip(idx in 0usize..45) {
-        let trace = catalog()[idx].generate(1_000);
+/// Base addresses always reconstruct: `base + offset == addr`.
+#[test]
+fn base_address_roundtrip() {
+    check::run_n("base_address_roundtrip", 45, |rng| {
+        let trace = catalog()[rng.gen_range(0usize..45)].generate(1_000);
         for l in trace.loads() {
-            prop_assert_eq!(
-                l.base_addr().wrapping_add(l.offset as i64 as u64),
-                l.addr
-            );
+            assert_eq!(l.base_addr().wrapping_add(l.offset as i64 as u64), l.addr);
         }
-    }
+    });
 }

@@ -535,8 +535,8 @@ mod tests {
     fn useless_predictor_does_not_slow_the_core() {
         // A stride predictor on a random chase makes ~no confident
         // predictions; cycles must be ~unchanged.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(3);
         let mut b = TraceBuilder::new();
         for _ in 0..5_000 {
             b.load(0x40, (rng.gen::<u32>() as u64) & !3, 0);
@@ -557,9 +557,9 @@ mod tests {
 
     #[test]
     fn branch_mispredictions_cost_cycles() {
-        use rand::{Rng, SeedableRng};
+        use cap_rand::{Rng, SeedableRng};
         let make = |random: bool| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let mut rng = cap_rand::rngs::StdRng::seed_from_u64(5);
             let mut b = TraceBuilder::new();
             for i in 0..20_000u64 {
                 let taken = if random { rng.gen_bool(0.5) } else { i % 2 == 0 };
@@ -582,8 +582,8 @@ mod tests {
     #[test]
     fn rob_limits_memory_level_parallelism() {
         // Independent cold loads: a bigger ROB overlaps more misses.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use cap_rand::{Rng, SeedableRng};
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(7);
         let mut b = TraceBuilder::new();
         for _ in 0..5_000 {
             b.load(0x40, (rng.gen::<u32>() as u64) & !63, 0);
@@ -679,9 +679,9 @@ mod tests {
 
     #[test]
     fn prefetching_improves_l1_hit_rate_on_strides() {
-        use rand::{Rng, SeedableRng};
+        use cap_rand::{Rng, SeedableRng};
         // Large stride sweep with cold lines + interleaved random loads.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = cap_rand::rngs::StdRng::seed_from_u64(11);
         let mut b = TraceBuilder::new();
         for i in 0..20_000u64 {
             b.load(0x40, 0x10_0000 + i * 64, 0); // one cold line per load

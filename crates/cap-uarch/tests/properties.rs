@@ -1,35 +1,40 @@
-//! Property-based tests for the timing substrate.
+//! Property-based tests for the timing substrate, driven by the in-repo
+//! `cap_check` harness.
 
+use cap_rand::check;
+use cap_rand::rngs::StdRng;
+use cap_rand::{Rng, SeedableRng};
 use cap_trace::builder::TraceBuilder;
 use cap_trace::record::OpLatency;
 use cap_uarch::capacity::SlotTracker;
 use cap_uarch::core::{run_trace, CoreConfig};
 use cap_uarch::prelude::*;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    /// SlotTracker never books more than `width` events into one cycle and
-    /// never books before the requested cycle.
-    #[test]
-    fn slot_tracker_respects_width(
-        width in 1u32..8,
-        requests in proptest::collection::vec(0u64..64, 1..200),
-    ) {
+/// SlotTracker never books more than `width` events into one cycle and
+/// never books before the requested cycle.
+#[test]
+fn slot_tracker_respects_width() {
+    check::run("slot_tracker_respects_width", |rng| {
+        let width = rng.gen_range(1u32..8);
+        let requests = check::vec_of(rng, 1..200, |r| r.gen_range(0u64..64));
         let mut t = SlotTracker::new(width);
         let mut booked: HashMap<u64, u32> = HashMap::new();
         for at in requests {
             let got = t.alloc(at);
-            prop_assert!(got >= at);
+            assert!(got >= at);
             let c = booked.entry(got).or_insert(0);
             *c += 1;
-            prop_assert!(*c <= width);
+            assert!(*c <= width);
         }
-    }
+    });
+}
 
-    /// Cache hit/miss counts always sum to accesses; hit rate in [0,1].
-    #[test]
-    fn cache_accounting(addrs in proptest::collection::vec(any::<u32>(), 1..500)) {
+/// Cache hit/miss counts always sum to accesses; hit rate in [0,1].
+#[test]
+fn cache_accounting() {
+    check::run("cache_accounting", |rng| {
+        let addrs = check::vec_of(rng, 1..500, |r| r.gen::<u32>());
         let mut c = Cache::new(CacheConfig {
             size_bytes: 1024,
             line_bytes: 32,
@@ -37,37 +42,46 @@ proptest! {
         });
         for (i, a) in addrs.iter().enumerate() {
             c.access(u64::from(*a));
-            prop_assert_eq!(c.hits() + c.misses(), (i + 1) as u64);
+            assert_eq!(c.hits() + c.misses(), (i + 1) as u64);
         }
-        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
-    }
+        assert!((0.0..=1.0).contains(&c.hit_rate()));
+    });
+}
 
-    /// Repeating the same address after the first access always hits.
-    #[test]
-    fn cache_temporal_locality(addr in any::<u32>(), repeats in 1usize..20) {
+/// Repeating the same address after the first access always hits.
+#[test]
+fn cache_temporal_locality() {
+    check::run("cache_temporal_locality", |rng| {
+        let addr = rng.gen::<u32>();
+        let repeats = rng.gen_range(1usize..20);
         let mut c = Cache::new(CacheConfig::paper_l1());
         c.access(u64::from(addr));
         for _ in 0..repeats {
-            prop_assert!(c.access(u64::from(addr)));
+            assert!(c.access(u64::from(addr)));
         }
-    }
+    });
+}
 
-    /// Branch predictors converge on any strongly biased branch.
-    #[test]
-    fn branch_predictor_learns_bias(taken in any::<bool>(), ip in any::<u32>()) {
+/// Branch predictors converge on any strongly biased branch.
+#[test]
+fn branch_predictor_learns_bias() {
+    check::run("branch_predictor_learns_bias", |rng| {
+        let taken = rng.gen::<bool>();
+        let ip = rng.gen::<u32>();
         let mut p = HybridBranchPredictor::paper_default();
         for _ in 0..8 {
             p.update(u64::from(ip), 0, taken);
         }
-        prop_assert_eq!(p.predict(u64::from(ip), 0), taken);
-    }
+        assert_eq!(p.predict(u64::from(ip), 0), taken);
+    });
+}
 
-    /// The core is deterministic and conserves instructions for any trace
-    /// shape; cycles are bounded below by instructions / width.
-    #[test]
-    fn core_conservation_laws(
-        events in proptest::collection::vec((0u8..4, any::<u32>()), 1..300),
-    ) {
+/// The core is deterministic and conserves instructions for any trace
+/// shape; cycles are bounded below by instructions / width.
+#[test]
+fn core_conservation_laws() {
+    check::run("core_conservation_laws", |rng| {
+        let events = check::vec_of(rng, 1..300, |r| (r.gen_range(0u8..4), r.gen::<u32>()));
         let mut b = TraceBuilder::new();
         for (i, (kind, payload)) in events.iter().enumerate() {
             let ip = 0x400 + (i as u64 % 64) * 4;
@@ -82,26 +96,29 @@ proptest! {
         let cfg = CoreConfig::paper_default();
         let s1 = run_trace(&trace, &cfg, None, 0);
         let s2 = run_trace(&trace, &cfg, None, 0);
-        prop_assert_eq!(s1.cycles, s2.cycles, "timing must be deterministic");
-        prop_assert_eq!(s1.instructions as usize, trace.len());
-        prop_assert_eq!(s1.loads as usize, trace.load_count());
+        assert_eq!(s1.cycles, s2.cycles, "timing must be deterministic");
+        assert_eq!(s1.instructions as usize, trace.len());
+        assert_eq!(s1.loads as usize, trace.load_count());
         // Can't commit more than `width` per cycle.
-        prop_assert!(
+        assert!(
             s1.cycles >= (trace.len() as u64) / u64::from(cfg.width),
-            "cycles {} below width bound", s1.cycles
+            "cycles {} below width bound",
+            s1.cycles
         );
-        prop_assert!(s1.ipc() <= f64::from(cfg.width) + 1e-9);
-    }
+        assert!(s1.ipc() <= f64::from(cfg.width) + 1e-9);
+    });
+}
 
-    /// Address prediction never slows the core down by more than the
-    /// bounded replay overhead on random (unpredictable) streams.
-    #[test]
-    fn prediction_is_nearly_free_when_useless(seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Address prediction never slows the core down by more than the
+/// bounded replay overhead on random (unpredictable) streams.
+#[test]
+fn prediction_is_nearly_free_when_useless() {
+    check::run_n("prediction_is_nearly_free_when_useless", 16, |rng| {
+        let seed = rng.gen::<u64>();
+        let mut inner = StdRng::seed_from_u64(seed);
         let mut b = TraceBuilder::new();
         for _ in 0..500 {
-            b.load(0x40, (rng.gen::<u32>() as u64) & !3, 0);
+            b.load(0x40, (inner.gen::<u32>() as u64) & !3, 0);
         }
         let trace = b.finish();
         let cfg = CoreConfig::paper_default();
@@ -110,9 +127,11 @@ proptest! {
             cap_predictor::hybrid::HybridConfig::paper_default(),
         );
         let with = run_trace(&trace, &cfg, Some(&mut p), 0);
-        prop_assert!(
+        assert!(
             with.cycles as f64 <= base.cycles as f64 * 1.10,
-            "{} vs {}", with.cycles, base.cycles
+            "{} vs {}",
+            with.cycles,
+            base.cycles
         );
-    }
+    });
 }

@@ -12,7 +12,7 @@
 
 use cap_repro::prelude::*;
 use cap_trace::gen::call_site::{CallSiteConfig, CallSiteWorkload};
-use rand::SeedableRng;
+use cap_rand::SeedableRng;
 
 fn run_with_history(trace: &cap_trace::Trace, length: usize) -> PredictorStats {
     let mut cfg = CapConfig::paper_default();
@@ -28,7 +28,7 @@ fn main() {
     // repetition run disambiguates, which is why control-correlated loads
     // need longer histories than RDS walks (§3.2).
     let mut seats = SeatAllocator::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(95);
+    let mut rng = cap_rand::rngs::StdRng::seed_from_u64(95);
     let mut callee = CallSiteWorkload::new(
         CallSiteConfig {
             sites: 4,

@@ -13,12 +13,12 @@
 use cap_repro::prelude::*;
 use cap_trace::alloc::LayoutPolicy;
 use cap_trace::gen::linked_list::{LinkedListConfig, LinkedListWorkload};
-use rand::SeedableRng;
+use cap_rand::SeedableRng;
 
 fn main() {
     // A 12-node list on a fragmented heap: node addresses are irregular.
     let mut seats = SeatAllocator::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1999);
+    let mut rng = cap_rand::rngs::StdRng::seed_from_u64(1999);
     let mut list = LinkedListWorkload::new(
         LinkedListConfig {
             lists: 1,

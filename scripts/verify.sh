@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build, test, and run its
+# quickstart with zero registry access. Any failure exits nonzero.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "tier-1 build (release, offline)"
+cargo build --release --offline
+
+step "compile every target (tests, benches, examples) offline"
+cargo check --offline --workspace --all-targets
+
+step "full test suite (offline)"
+cargo test -q --offline --workspace
+
+step "quickstart example"
+cargo run -q --release --offline --example quickstart
+
+step "hermeticity: no external crates in any manifest"
+if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml | grep -v 'cap-rand'; then
+    echo "ERROR: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+echo
+echo "verify: all green"
