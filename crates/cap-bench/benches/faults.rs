@@ -1,0 +1,55 @@
+//! Bench: fault-injection overhead.
+//!
+//! Two claims to keep honest: (1) injecting a whole `FaultPlan` costs
+//! microseconds — cheap enough to sprinkle through any experiment — and
+//! (2) a predictor that has absorbed a plan's worth of faults runs the
+//! trace at the same speed as a pristine one (the damage is semantic, not
+//! structural, so there is no slow path to fall into).
+
+use cap_bench::bench_kit::Criterion;
+use cap_faults::prelude::*;
+use cap_predictor::drive::run_immediate;
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_trace::suites::catalog;
+
+fn bench(c: &mut Criterion) {
+    let trace = catalog()[0].generate(20_000);
+    let mut warmed = HybridPredictor::new(HybridConfig::paper_default());
+    run_immediate(&mut warmed, &trace);
+
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+
+    group.bench_function("inject_256_fault_plan", |b| {
+        let plan = FaultPlan::new(0xBE_AC01, 256);
+        b.iter(|| {
+            let mut p = warmed.clone();
+            plan.inject_all(&mut p)
+        });
+    });
+
+    group.bench_function("run_20k_loads_clean", |b| {
+        b.iter(|| {
+            let mut p = warmed.clone();
+            run_immediate(&mut p, &trace)
+        });
+    });
+
+    group.bench_function("run_20k_loads_after_256_faults", |b| {
+        let plan = FaultPlan::new(0xBE_AC02, 256);
+        let mut faulted = warmed.clone();
+        let _ = plan.inject_all(&mut faulted);
+        b.iter(|| {
+            let mut p = faulted.clone();
+            run_immediate(&mut p, &trace)
+        });
+    });
+
+    group.bench_function("check_invariants_full_tables", |b| {
+        b.iter(|| check_invariants(&warmed).is_ok());
+    });
+
+    group.finish();
+}
+
+cap_bench::bench_main!(bench);

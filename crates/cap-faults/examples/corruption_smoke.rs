@@ -1,0 +1,40 @@
+//! Corruption smoke run: 1 000 seeded mutations of a serialized trace
+//! through both parsers. Exits nonzero (panics) if either parser panics,
+//! the strict parser returns anything but a structured result, or the
+//! lenient parser fails on in-memory input. Wired into `scripts/verify.sh`
+//! as the `faults` gate.
+
+use cap_rand::{rngs::StdRng, SeedableRng};
+use cap_trace::corrupt::{corrupt, CorruptionKind};
+use cap_trace::io::{read_trace, read_trace_lenient, write_trace};
+use cap_trace::suites::catalog;
+
+fn main() {
+    let trace = catalog()[0].generate(500);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("serialize");
+
+    let mut rng = StdRng::seed_from_u64(0x5140_CE55);
+    let mut ok = 0usize;
+    let mut structured_errors = 0usize;
+    let mut by_kind = [0usize; 4];
+    for _ in 0..1_000 {
+        let (mutated, kind) = corrupt(&bytes, &mut rng);
+        by_kind[CorruptionKind::ALL.iter().position(|&k| k == kind).unwrap()] += 1;
+        match read_trace(mutated.as_slice()) {
+            Ok(_) => ok += 1,
+            Err(_) => structured_errors += 1,
+        }
+        let lenient =
+            read_trace_lenient(mutated.as_slice()).expect("lenient parse of in-memory bytes");
+        assert!(
+            lenient.trace.len() <= trace.len(),
+            "corruption must never create events"
+        );
+    }
+    println!(
+        "corruption smoke: 1000 mutations, {ok} still parse, {structured_errors} structured \
+         errors, 0 panics (kinds {by_kind:?})"
+    );
+    assert_eq!(ok + structured_errors, 1_000);
+}

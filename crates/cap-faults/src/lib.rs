@@ -1,0 +1,57 @@
+//! # cap-faults — fault injection & resilience layer
+//!
+//! The paper's whole confidence apparatus — saturating counters,
+//! control-flow indications, LT tags, pollution-free bits — exists so the
+//! predictors keep working when their tables hold stale or colliding state
+//! (§3.4–3.5). This crate turns that claim into machinery:
+//!
+//! * [`plan::FaultPlan`] — a seeded, fully deterministic plan of bit flips
+//!   over live predictor state (LB histories and offsets, LT links/tags/PF
+//!   bits, confidence counters, stride entries, the GHR),
+//! * [`target::FaultTarget`] — the injection surface, implemented for
+//!   [`cap_predictor::cap::CapPredictor`],
+//!   [`cap_predictor::hybrid::HybridPredictor`],
+//!   [`cap_predictor::stride::StridePredictor`],
+//!   [`cap_predictor::load_buffer::LoadBuffer`] and
+//!   [`cap_predictor::link_table::LinkTable`],
+//! * [`invariants`] — the structural invariants that must survive any
+//!   injected fault (counters in range, tags/PF bits in width, selectors
+//!   2-bit), and
+//! * [`recovery`] — measurement of how many loads a faulted predictor
+//!   needs before its prediction rate returns within ε of a fault-free
+//!   twin.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cap_faults::prelude::*;
+//! use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+//! use cap_predictor::drive::run_immediate;
+//! use cap_trace::suites::catalog;
+//!
+//! let trace = catalog()[0].generate(4_000);
+//! let mut p = HybridPredictor::new(HybridConfig::paper_default());
+//! run_immediate(&mut p, &trace); // warm it up
+//!
+//! let plan = FaultPlan::new(0xC0FFEE, 64);
+//! let report = plan.inject_all(&mut p);
+//! assert!(report.applied > 0);
+//! check_invariants(&p).expect("faults stay inside structural bounds");
+//! run_immediate(&mut p, &trace); // must not panic
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod invariants;
+pub mod plan;
+pub mod recovery;
+pub mod target;
+
+/// Commonly used items, for glob import in tests and examples.
+pub mod prelude {
+    pub use crate::invariants::{check_invariants, InvariantViolation};
+    pub use crate::plan::{FaultKind, FaultPlan, InjectionReport};
+    pub use crate::recovery::{measure_recovery, RecoveryConfig, RecoveryReport};
+    pub use crate::target::FaultTarget;
+}

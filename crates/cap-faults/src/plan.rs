@@ -1,0 +1,278 @@
+//! Deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a pure function of a `u64` seed: the same plan
+//! applied to the same predictor state injects the same faults, so every
+//! chaos failure is replayable from its seed alone (the same discipline
+//! `cap_rand::check` uses for property tests).
+
+use crate::target::FaultTarget;
+use cap_rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The classes of state fault the injector can apply.
+///
+/// Each class mutates a different structure from the paper's Figure 3/4
+/// layout; all of them model bit upsets *within the physical width* of the
+/// targeted field, so structural invariants (see [`crate::invariants`])
+/// hold by construction and any damage is semantic — exactly the situation
+/// the confidence mechanisms are supposed to absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Flip one bit of one recorded address in an LB entry's architectural
+    /// or speculative history.
+    LbHistory,
+    /// Flip one bit of an LB entry's recorded offset LSBs.
+    LbOffset,
+    /// Overwrite a confidence counter (CAP or stride side) with a random
+    /// in-width value.
+    LbConfidence,
+    /// Scramble a control-flow-indication record (bad pattern / per-path
+    /// bits).
+    LbCfi,
+    /// Corrupt stride state: flip a bit of the stride delta or the last
+    /// address, or scramble the 2-bit state machine.
+    LbStride,
+    /// Randomize the hybrid's 2-bit selector counter.
+    LbSelector,
+    /// Flip one bit of a Link Table entry's linked base address.
+    LtLink,
+    /// Flip one bit of a Link Table entry's tag (within the tag width).
+    LtTag,
+    /// Flip a pollution-filter bit (or the primed flag) of a Link Table
+    /// entry.
+    LtPf,
+    /// Flip one bit of the global branch-history register. The GHR lives
+    /// in the *driving loop*, not the predictor, so no [`FaultTarget`]
+    /// supports it directly — drivers apply it to their own
+    /// `ControlState` via [`flip_random_bit`].
+    Ghr,
+}
+
+impl FaultKind {
+    /// Every fault class, for sweeps and default plans.
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::LbHistory,
+        FaultKind::LbOffset,
+        FaultKind::LbConfidence,
+        FaultKind::LbCfi,
+        FaultKind::LbStride,
+        FaultKind::LbSelector,
+        FaultKind::LtLink,
+        FaultKind::LtTag,
+        FaultKind::LtPf,
+        FaultKind::Ghr,
+    ];
+}
+
+/// Flips one uniformly chosen bit of `v` — the elementary upset used for
+/// GHR faults and anywhere else a raw 64-bit register is the target.
+#[must_use]
+pub fn flip_random_bit<R: Rng>(v: u64, rng: &mut R) -> u64 {
+    v ^ (1u64 << rng.gen_range(0..64u32))
+}
+
+/// What happened when a plan was injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct InjectionReport {
+    /// Faults the plan attempted.
+    pub attempted: usize,
+    /// Faults that actually mutated live state.
+    pub applied: usize,
+    /// Attempts that found nothing to corrupt (empty table, unsupported
+    /// kind) — skipped, not errors.
+    pub skipped: usize,
+    /// Applied faults per kind, in [`FaultKind::ALL`] order (kinds the
+    /// target never saw are absent).
+    pub by_kind: Vec<(FaultKind, usize)>,
+}
+
+impl InjectionReport {
+    fn record(&mut self, kind: FaultKind, applied: bool) {
+        self.attempted += 1;
+        if applied {
+            self.applied += 1;
+            match self.by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => self.by_kind.push((kind, 1)),
+            }
+        } else {
+            self.skipped += 1;
+        }
+    }
+
+    /// Merges another report into this one (multi-round chaos loops).
+    pub fn merge(&mut self, other: &InjectionReport) {
+        self.attempted += other.attempted;
+        self.applied += other.applied;
+        self.skipped += other.skipped;
+        for &(kind, n) in &other.by_kind {
+            match self.by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, m)) => *m += n,
+                None => self.by_kind.push((kind, n)),
+            }
+        }
+    }
+}
+
+impl Default for InjectionReport {
+    fn default() -> Self {
+        Self {
+            attempted: 0,
+            applied: 0,
+            skipped: 0,
+            by_kind: Vec::new(),
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of fault injections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct FaultPlan {
+    seed: u64,
+    count: usize,
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan of `count` faults drawn uniformly from every class the
+    /// target supports, seeded with `seed`.
+    pub fn new(seed: u64, count: usize) -> Self {
+        Self {
+            seed,
+            count,
+            kinds: FaultKind::ALL.to_vec(),
+        }
+    }
+
+    /// Restricts the plan to the given fault classes.
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> Self {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of faults the plan attempts.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The RNG stream the plan draws from — exposed so drivers can apply
+    /// plan-coherent faults to state outside any target (e.g. the GHR).
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Injects the whole plan into `target`, drawing kinds from the
+    /// intersection of the plan's classes and the target's supported
+    /// classes. Attempts whose class the target does not support — or that
+    /// find no live state to corrupt — count as skipped.
+    pub fn inject_all(&self, target: &mut dyn FaultTarget) -> InjectionReport {
+        let mut rng = self.rng();
+        self.inject_with(target, &mut rng)
+    }
+
+    /// Like [`FaultPlan::inject_all`] but drawing from a caller-owned RNG,
+    /// so repeated rounds over the same plan keep advancing one stream.
+    pub fn inject_with(&self, target: &mut dyn FaultTarget, rng: &mut StdRng) -> InjectionReport {
+        let usable: Vec<FaultKind> = self
+            .kinds
+            .iter()
+            .copied()
+            .filter(|k| target.supported_faults().contains(k))
+            .collect();
+        let mut report = InjectionReport::default();
+        for _ in 0..self.count {
+            if usable.is_empty() {
+                report.record(FaultKind::Ghr, false);
+                continue;
+            }
+            let kind = usable[rng.gen_range(0..usable.len())];
+            let applied = target.inject_fault(kind, rng);
+            report.record(kind, applied);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+    use cap_predictor::types::{AddressPredictor, LoadContext};
+
+    fn warmed_hybrid() -> HybridPredictor {
+        let mut p = HybridPredictor::new(HybridConfig::paper_default());
+        let pattern = [0x1000u64, 0x8800, 0x4800, 0x2800];
+        for _ in 0..12 {
+            for &a in &pattern {
+                let ctx = LoadContext::new(0x400, 0, 0);
+                let pred = p.predict(&ctx);
+                p.update(&ctx, a, &pred);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn same_seed_same_injection_outcome() {
+        let plan = FaultPlan::new(42, 50);
+        let mut a = warmed_hybrid();
+        let mut b = warmed_hybrid();
+        assert_eq!(plan.inject_all(&mut a), plan.inject_all(&mut b));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = warmed_hybrid();
+        let mut b = warmed_hybrid();
+        let ra = FaultPlan::new(1, 200).inject_all(&mut a);
+        let rb = FaultPlan::new(2, 200).inject_all(&mut b);
+        // Same attempt count, but the per-kind application pattern differs.
+        assert_eq!(ra.attempted, rb.attempted);
+        assert_ne!(ra.by_kind, rb.by_kind);
+    }
+
+    #[test]
+    fn restricting_kinds_limits_what_is_applied() {
+        let mut p = warmed_hybrid();
+        let plan = FaultPlan::new(3, 100).with_kinds(&[FaultKind::LbSelector]);
+        let report = plan.inject_all(&mut p);
+        assert_eq!(report.by_kind.len(), 1);
+        assert_eq!(report.by_kind[0].0, FaultKind::LbSelector);
+    }
+
+    #[test]
+    fn ghr_kind_is_never_applied_by_targets() {
+        let mut p = warmed_hybrid();
+        let report = FaultPlan::new(4, 50)
+            .with_kinds(&[FaultKind::Ghr])
+            .inject_all(&mut p);
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.skipped, 50);
+    }
+
+    #[test]
+    fn empty_predictor_skips_cleanly() {
+        let mut p = HybridPredictor::new(HybridConfig::paper_default());
+        let report = FaultPlan::new(5, 30).inject_all(&mut p);
+        assert_eq!(report.applied, 0, "nothing live to corrupt");
+        assert_eq!(report.skipped, 30);
+    }
+
+    #[test]
+    fn flip_random_bit_changes_exactly_one_bit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            let v: u64 = rng.gen();
+            let f = flip_random_bit(v, &mut rng);
+            assert_eq!((v ^ f).count_ones(), 1);
+        }
+    }
+}

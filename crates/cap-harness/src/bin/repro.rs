@@ -6,11 +6,27 @@
 //! repro fig7 --quick         # reduced scale (bench-sized)
 //! repro list                 # enumerate experiment ids
 //! ```
+//!
+//! Resilience flags (the chaos-hardened batch mode):
+//!
+//! ```text
+//! --keep-going               # a panicking experiment doesn't stop the batch
+//! --budget-secs <n>          # per-experiment wall-clock budget
+//! --json <path>              # write a machine-readable results summary
+//! --tiny                     # minimal scale (integration-test sized)
+//! --inject-panic <id>        # force <id> to panic (resilience self-test)
+//! ```
+//!
+//! Each experiment runs on its own thread behind `catch_unwind`, so a
+//! panic (or a blown budget) is recorded as that experiment's outcome and
+//! the partial-results JSON is still emitted — the batch never loses the
+//! figures that *did* reproduce.
 
 use cap_harness::experiments::{ext, fig10, fig11, fig12, fig5, fig6, fig7, fig8, fig9, text};
 use cap_harness::runner::Scale;
 use cap_harness::ExperimentReport;
-use std::time::Instant;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 const EXPERIMENTS: [&str; 19] = [
     "fig5",
@@ -90,10 +106,162 @@ fn print_trace_stats(scale: &Scale) {
     print!("{}", table.render());
 }
 
+/// How one experiment ended.
+enum Status {
+    Ok,
+    Panicked(String),
+    TimedOut,
+}
+
+impl Status {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Panicked(_) => "panicked",
+            Status::TimedOut => "timed-out",
+        }
+    }
+}
+
+struct Outcome {
+    id: &'static str,
+    status: Status,
+    seconds: f64,
+}
+
+/// Runs one experiment on its own thread behind `catch_unwind`, bounded by
+/// `budget`. A panic becomes `Status::Panicked`; exceeding the budget
+/// becomes `Status::TimedOut` (the runaway thread is detached — its result,
+/// if it ever arrives, is dropped with the channel).
+fn run_isolated(id: &'static str, scale: Scale, budget: Option<Duration>, inject: bool) -> Outcome {
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(move || {
+            if inject {
+                panic!("injected panic (--inject-panic {id})");
+            }
+            run_one(id, &scale)
+        });
+        // A send failure means the main thread timed out and dropped the
+        // receiver; nothing to do.
+        let _ = tx.send(result);
+    });
+    let status = match budget {
+        Some(limit) => rx.recv_timeout(limit),
+        None => rx.recv().map_err(mpsc::RecvTimeoutError::from),
+    }
+    .map_or(Status::TimedOut, |result| match result {
+        Ok(report) => {
+            if let Some(report) = report {
+                println!("{report}");
+            }
+            Status::Ok
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_owned());
+            Status::Panicked(msg)
+        }
+    });
+    Outcome {
+        id,
+        status,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the partial-results summary as JSON (hand-rolled: the workspace
+/// is dependency-free by design).
+fn results_json(scale_name: &str, outcomes: &[Outcome]) -> String {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    body.push_str("  \"experiments\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 < outcomes.len() { "," } else { "" };
+        let error = match &o.status {
+            Status::Panicked(msg) => format!(", \"error\": \"{}\"", json_escape(msg)),
+            _ => String::new(),
+        };
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"status\": \"{}\", \"seconds\": {:.3}{}}}{}\n",
+            o.id,
+            o.status.as_str(),
+            o.seconds,
+            error,
+            sep
+        ));
+    }
+    body.push_str("  ],\n");
+    let ok = outcomes.iter().filter(|o| matches!(o.status, Status::Ok)).count();
+    body.push_str(&format!("  \"ok\": {ok},\n"));
+    body.push_str(&format!("  \"failed\": {}\n", outcomes.len() - ok));
+    body.push_str("}\n");
+    body
+}
+
+/// Takes the value following a `--flag value` pair out of `args`.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let i = args.iter().position(|a| a == flag);
+    if let Some(i) = i {
+        args.remove(i);
+    }
+    i.is_some()
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::bench() } else { Scale::full() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = take_flag(&mut args, "--quick");
+    let tiny = take_flag(&mut args, "--tiny");
+    let keep_going = take_flag(&mut args, "--keep-going");
+    let budget = take_value(&mut args, "--budget-secs").map(|v| {
+        Duration::from_secs(v.parse().unwrap_or_else(|_| {
+            eprintln!("--budget-secs wants a number of seconds, got '{v}'");
+            std::process::exit(2);
+        }))
+    });
+    let json_path = take_value(&mut args, "--json");
+    let inject_panic = take_value(&mut args, "--inject-panic");
+
+    let (scale, scale_name) = if tiny {
+        (Scale::tiny(), "tiny")
+    } else if quick {
+        (Scale::bench(), "quick")
+    } else {
+        (Scale::full(), "full")
+    };
+
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -101,7 +269,8 @@ fn main() {
         .collect();
 
     if selected.is_empty() || selected.contains(&"help") {
-        eprintln!("usage: repro <experiment|all|list|stats> [--quick]");
+        eprintln!("usage: repro <experiment|all|list|stats> [--quick|--tiny]");
+        eprintln!("       [--keep-going] [--budget-secs <n>] [--json <path>]");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         std::process::exit(selected.is_empty() as i32);
     }
@@ -116,23 +285,57 @@ fn main() {
         return;
     }
 
-    let ids: Vec<&str> = if selected.contains(&"all") {
+    // Resolve every id up front (to the 'static names threads can carry);
+    // unknown ids fail the whole invocation before anything runs.
+    let ids: Vec<&'static str> = if selected.contains(&"all") {
         EXPERIMENTS.to_vec()
     } else {
         selected
+            .iter()
+            .map(|want| {
+                EXPERIMENTS
+                    .iter()
+                    .copied()
+                    .find(|id| id == want)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment '{want}' (try 'repro list')");
+                        std::process::exit(1);
+                    })
+            })
+            .collect()
     };
 
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(ids.len());
+    let mut failed = false;
     for id in ids {
-        let start = Instant::now();
-        match run_one(id, &scale) {
-            Some(report) => {
-                println!("{report}");
-                println!("[{id} completed in {:.1?}]\n", start.elapsed());
-            }
-            None => {
-                eprintln!("unknown experiment '{id}' (try 'repro list')");
-                std::process::exit(1);
-            }
+        let inject = inject_panic.as_deref() == Some(id);
+        let outcome = run_isolated(id, scale, budget, inject);
+        match &outcome.status {
+            Status::Ok => println!("[{id} completed in {:.1}s]\n", outcome.seconds),
+            Status::Panicked(msg) => eprintln!("[{id} PANICKED after {:.1}s: {msg}]\n", outcome.seconds),
+            Status::TimedOut => eprintln!("[{id} TIMED OUT after {:.1}s budget]\n", outcome.seconds),
         }
+        failed |= !matches!(outcome.status, Status::Ok);
+        outcomes.push(outcome);
+        if failed && !keep_going {
+            break;
+        }
+    }
+
+    // Partial results are emitted whatever happened above: explicitly
+    // requested paths always, and a default path in batch (--keep-going)
+    // mode so a chaos run never ends empty-handed.
+    let json_target = json_path.or_else(|| keep_going.then(|| "repro-results.json".to_owned()));
+    if let Some(path) = json_target {
+        let json = results_json(scale_name, &outcomes);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("results written to {path}");
+    }
+
+    if failed && !keep_going {
+        std::process::exit(1);
     }
 }

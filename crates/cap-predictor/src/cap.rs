@@ -133,6 +133,11 @@ impl CapComponent {
         &self.lt
     }
 
+    /// Mutable access to the Link Table (fault injection / chaos testing).
+    pub fn link_table_mut(&mut self) -> &mut LinkTable {
+        &mut self.lt
+    }
+
     /// Computes the component's prediction for `ctx` given its LB entry.
     /// Returns `(predicted effective address, confident)`.
     ///
@@ -323,10 +328,26 @@ impl CapPredictor {
         &self.lb
     }
 
+    /// Mutable access to the Load Buffer (fault injection / chaos testing).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        &mut self.lb
+    }
+
+    /// Read access to the CAP component (diagnostics).
+    #[must_use]
+    pub fn component(&self) -> &CapComponent {
+        &self.component
+    }
+
     /// Read access to the Link Table (diagnostics).
     #[must_use]
     pub fn link_table(&self) -> &LinkTable {
         self.component.link_table()
+    }
+
+    /// Mutable access to the Link Table (fault injection / chaos testing).
+    pub fn link_table_mut(&mut self) -> &mut LinkTable {
+        self.component.link_table_mut()
     }
 
     /// Predicts the next `n` instances of the static load at `ip` by

@@ -62,6 +62,26 @@ impl SaturatingCounter {
         self.value
     }
 
+    /// Speculation threshold this counter was built with.
+    #[must_use]
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// Saturation ceiling this counter was built with.
+    #[must_use]
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// Overwrites the stored value with `raw`, modelling a bit upset in the
+    /// physical counter. The counter is a `max+1`-state device, so the raw
+    /// value wraps into `0..=max` — the structural invariant
+    /// `value() <= max` holds even under injected faults.
+    pub fn corrupt_value(&mut self, raw: u8) {
+        self.value = raw % (self.max + 1);
+    }
+
     /// True when the counter authorises a speculative access.
     #[must_use]
     pub fn is_confident(&self) -> bool {
@@ -146,6 +166,16 @@ impl ControlFlowIndication {
                 (self.path_bits >> path) & 1 == 1
             }
         }
+    }
+
+    /// Overwrites the indication state wholesale, modelling bit upsets in
+    /// the recorded pattern / per-path bits (fault injection). Any `u64` is
+    /// a structurally valid pattern, so no masking is needed here; `allows`
+    /// masks to the active mode's width on read.
+    pub fn corrupt(&mut self, bad_pattern: Option<u64>, path_bits: u64) {
+        self.bad_pattern = bad_pattern;
+        self.path_bits = path_bits;
+        self.initialised = true;
     }
 
     /// Records the outcome of a *speculative access* under `ghr`.

@@ -176,11 +176,12 @@ pub fn run_with_gap<P: AddressPredictor + ?Sized>(
     for (seq, event) in trace.iter().enumerate() {
         let seq = seq as u64;
         // Drain resolutions older than the gap.
-        while pipe
+        while let Some(p) = pipe
             .front()
             .is_some_and(|p| p.seq + gap as u64 <= seq)
+            .then(|| pipe.pop_front())
+            .flatten()
         {
-            let p = pipe.pop_front().expect("pipe non-empty");
             resolve(predictor, &mut stats, &mut in_flight, p);
         }
         match event {
@@ -225,6 +226,8 @@ pub fn run_with_gap<P: AddressPredictor + ?Sized>(
 /// says recovery must prevent.
 ///
 /// Statistics count only correct-path loads.
+///
+/// `wrong_path_percent` above 100 is clamped to 100 (always wrong path).
 pub fn run_with_wrong_path<P: AddressPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
@@ -232,7 +235,7 @@ pub fn run_with_wrong_path<P: AddressPredictor + ?Sized>(
     wrong_path_depth: usize,
     recovery: bool,
 ) -> PredictorStats {
-    assert!(wrong_path_percent <= 100, "percentage out of range");
+    let wrong_path_percent = wrong_path_percent.min(100);
     let mut stats = PredictorStats::new();
     let mut control = ControlState::default();
     let events: Vec<&TraceEvent> = trace.iter().collect();

@@ -154,6 +154,22 @@ impl HistoryBuffer {
         self.addrs.len() >= length
     }
 
+    /// Flips one bit of a recorded address, modelling an upset in the
+    /// history register (fault injection). `slot` and `bit` are wrapped into
+    /// range; returns `false` (and does nothing) when the history is empty.
+    /// Every `u64` is a structurally valid address, so the buffer's only
+    /// invariant — length ≤ `spec.length` — is untouched.
+    pub fn corrupt_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if self.addrs.is_empty() {
+            return false;
+        }
+        let slot = slot % self.addrs.len();
+        if let Some(a) = self.addrs.get_mut(slot) {
+            *a ^= 1u64 << (bit % 64);
+        }
+        true
+    }
+
     /// Clears the history (used when repairing speculative state).
     pub fn clear(&mut self) {
         self.addrs.clear();

@@ -135,6 +135,24 @@ impl HybridPredictor {
         &self.lb
     }
 
+    /// Mutable access to the shared Load Buffer (fault injection / chaos
+    /// testing).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        &mut self.lb
+    }
+
+    /// Read access to the CAP component (diagnostics).
+    #[must_use]
+    pub fn cap_component(&self) -> &CapComponent {
+        &self.cap
+    }
+
+    /// Mutable access to the CAP component, and through it the Link Table
+    /// (fault injection / chaos testing).
+    pub fn cap_component_mut(&mut self) -> &mut CapComponent {
+        &mut self.cap
+    }
+
     fn select_cap(&self, selector: u8) -> bool {
         match self.selector_policy {
             SelectorPolicy::Dynamic => selector >= 2,

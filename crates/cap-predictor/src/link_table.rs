@@ -72,13 +72,21 @@ impl LinkTableConfig {
     }
 }
 
+/// One Link Table entry. Fields are public for diagnostics and fault
+/// injection; normal prediction flows go through [`LinkTable::lookup`] /
+/// [`LinkTable::update`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LtEntry {
-    tag: u64,
-    link: u64,
-    pf: u8,
-    pf_primed: bool,
-    lru: u64,
+pub struct LtEntry {
+    /// Extra folded-history bits matched on lookup (§3.4).
+    pub tag: u64,
+    /// The linked (base) address.
+    pub link: u64,
+    /// Inline pollution-filter bits (bits 2..=5 of the last attempted base).
+    pub pf: u8,
+    /// True once `pf` has been written at least once.
+    pub pf_primed: bool,
+    /// LRU timestamp.
+    pub lru: u64,
 }
 
 /// The Link Table.
@@ -218,17 +226,40 @@ impl LinkTable {
         if let Some(i) = set.iter().position(Option::is_none) {
             return i;
         }
+        // LRU fold defaulting to way 0 — a (config-impossible) empty set
+        // cannot make this panic.
         set.iter()
             .enumerate()
-            .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
-            .map(|(i, _)| i)
-            .expect("set is never empty")
+            .fold((0usize, u64::MAX), |best, (i, e)| {
+                let lru = e.as_ref().map_or(0, |e| e.lru);
+                if lru < best.1 { (i, lru) } else { best }
+            })
+            .0
     }
 
     /// Number of live entries (diagnostics).
     #[must_use]
     pub fn occupancy(&self) -> usize {
         self.sets.iter().flatten().flatten().count()
+    }
+
+    /// Iterates over live entries (diagnostics, invariant checking).
+    pub fn entries(&self) -> impl Iterator<Item = &LtEntry> {
+        self.sets.iter().flatten().flatten()
+    }
+
+    /// Mutably iterates over live entries — the fault-injection surface for
+    /// links, tags and PF bits. The table stays structurally sound under
+    /// arbitrary field edits: a corrupted tag behaves like a miss/alias and
+    /// corrupted PF bits only change admit decisions.
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut LtEntry> {
+        self.sets.iter_mut().flatten().flatten()
+    }
+
+    /// Mutable view of the decoupled PF table (empty unless
+    /// [`PfMode::Decoupled`]); each slot is `(pf_bits, primed)`.
+    pub fn decoupled_pf_mut(&mut self) -> &mut [(u8, bool)] {
+        &mut self.decoupled_pf
     }
 }
 

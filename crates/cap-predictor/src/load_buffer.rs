@@ -208,11 +208,10 @@ impl LoadBuffer {
         self.tick += 1;
         let tick = self.tick;
         let set_idx = self.set_index(ip);
-        let set = &mut self.sets[set_idx];
-        let way = set
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|e| e.tag == ip))?;
-        let entry = set[way].as_mut().expect("way was just matched");
+        let entry = self.sets[set_idx]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.tag == ip)?;
         entry.lru = tick;
         Some(entry)
     }
@@ -227,26 +226,48 @@ impl LoadBuffer {
         let hit_way = set
             .iter()
             .position(|e| e.as_ref().is_some_and(|e| e.tag == ip));
-        if let Some(way) = hit_way {
-            let entry = set[way].as_mut().expect("way was just matched");
-            entry.lru = tick;
-            return (entry, false);
-        }
-        let way = set.iter().position(Option::is_none).unwrap_or_else(|| {
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.as_ref().map_or(0, |e| e.lru))
-                .map(|(i, _)| i)
-                .expect("set is never empty")
-        });
-        set[way] = Some(LbEntry::new(ip, &self.proto, tick));
-        (set[way].as_mut().expect("just inserted"), true)
+        let (way, fresh) = match hit_way {
+            Some(way) => (way, false),
+            None => {
+                // Prefer an empty way, else evict the LRU one. `fold`
+                // defaults to way 0, so a (config-impossible) empty set
+                // cannot make this panic.
+                let way = set.iter().position(Option::is_none).unwrap_or_else(|| {
+                    set.iter()
+                        .enumerate()
+                        .fold((0usize, u64::MAX), |best, (i, e)| {
+                            let lru = e.as_ref().map_or(0, |e| e.lru);
+                            if lru < best.1 { (i, lru) } else { best }
+                        })
+                        .0
+                });
+                set[way] = None;
+                (way, true)
+            }
+        };
+        let entry = set[way].get_or_insert_with(|| LbEntry::new(ip, &self.proto, tick));
+        entry.lru = tick;
+        (entry, fresh)
     }
 
     /// Number of live entries (diagnostics).
     #[must_use]
     pub fn occupancy(&self) -> usize {
         self.sets.iter().flatten().flatten().count()
+    }
+
+    /// Iterates over live entries (diagnostics, invariant checking).
+    pub fn entries(&self) -> impl Iterator<Item = &LbEntry> {
+        self.sets.iter().flatten().flatten()
+    }
+
+    /// Mutably iterates over live entries. This is the fault-injection
+    /// surface: a chaos harness may corrupt any entry field through it.
+    /// The LB itself stays structurally sound under arbitrary field edits —
+    /// set geometry is untouched and lookups tolerate stale tags (a
+    /// corrupted tag simply behaves like an evicted/aliased entry).
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut LbEntry> {
+        self.sets.iter_mut().flatten().flatten()
     }
 }
 

@@ -223,6 +223,11 @@ impl StridePredictor {
     pub fn load_buffer(&self) -> &LoadBuffer {
         &self.lb
     }
+
+    /// Mutable access to the Load Buffer (fault injection / chaos testing).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        &mut self.lb
+    }
 }
 
 impl AddressPredictor for StridePredictor {

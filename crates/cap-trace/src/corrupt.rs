@@ -1,0 +1,212 @@
+//! Seeded corruption generator over the text trace format.
+//!
+//! Produces the mutation classes a trace pipeline meets in the wild —
+//! truncated transfers, bit-garbled bytes, dropped fields, interleaved
+//! junk — as pure functions of a `cap_rand` stream, so every corrupted
+//! byte string is replayable from a seed. The contract the chaos suite in
+//! `cap-faults` enforces: [`crate::io::read_trace`] returns a
+//! [`crate::io::ParseTraceError`] (never panics) on every mutation, and
+//! [`crate::io::read_trace_lenient`] recovers the intact lines.
+
+use cap_rand::{seq::SliceRandom, Rng};
+
+/// The corruption classes the generator can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Cut the stream at an arbitrary byte (partial write / lost tail).
+    Truncate,
+    /// Flip random bits in random bytes (storage or transport garbling —
+    /// may produce invalid UTF-8).
+    BitGarble,
+    /// Remove one whitespace-separated field from a line (format drift).
+    FieldDrop,
+    /// Insert lines of junk between events (interleaved foreign output).
+    JunkLines,
+}
+
+impl CorruptionKind {
+    /// Every corruption class, for sweeps.
+    pub const ALL: [CorruptionKind; 4] = [
+        CorruptionKind::Truncate,
+        CorruptionKind::BitGarble,
+        CorruptionKind::FieldDrop,
+        CorruptionKind::JunkLines,
+    ];
+}
+
+/// Applies one randomly chosen corruption class to `bytes`, returning the
+/// mutated stream and the class applied. Inputs too small to mutate (empty
+/// streams) come back unchanged.
+#[must_use]
+pub fn corrupt<R: Rng>(bytes: &[u8], rng: &mut R) -> (Vec<u8>, CorruptionKind) {
+    let kind = *CorruptionKind::ALL
+        .choose(rng)
+        .unwrap_or(&CorruptionKind::BitGarble);
+    (corrupt_as(bytes, kind, rng), kind)
+}
+
+/// Applies a specific corruption class to `bytes`.
+#[must_use]
+pub fn corrupt_as<R: Rng>(bytes: &[u8], kind: CorruptionKind, rng: &mut R) -> Vec<u8> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    match kind {
+        CorruptionKind::Truncate => {
+            let cut = rng.gen_range(0..bytes.len());
+            bytes[..cut].to_vec()
+        }
+        CorruptionKind::BitGarble => {
+            let mut out = bytes.to_vec();
+            let flips = rng.gen_range(1..=8usize);
+            for _ in 0..flips {
+                let i = rng.gen_range(0..out.len());
+                out[i] ^= 1u8 << rng.gen_range(0..8u32);
+            }
+            out
+        }
+        CorruptionKind::FieldDrop => drop_field(bytes, rng),
+        CorruptionKind::JunkLines => insert_junk(bytes, rng),
+    }
+}
+
+/// Removes one whitespace-separated field from a randomly chosen non-empty
+/// line. Falls back to the input when no line has a droppable field.
+fn drop_field<R: Rng>(bytes: &[u8], rng: &mut R) -> Vec<u8> {
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let candidates: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.split(|&b| b == b' ').filter(|f| !f.is_empty()).count() >= 2)
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&target) = candidates.as_slice().choose(rng) else {
+        return bytes.to_vec();
+    };
+    let mut out = Vec::with_capacity(bytes.len());
+    for (i, line) in lines.iter().enumerate() {
+        if i > 0 {
+            out.push(b'\n');
+        }
+        if i == target {
+            let fields: Vec<&[u8]> = line
+                .split(|&b| b == b' ')
+                .filter(|f| !f.is_empty())
+                .collect();
+            let victim = rng.gen_range(0..fields.len());
+            let kept: Vec<&[u8]> = fields
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != victim)
+                .map(|(_, f)| *f)
+                .collect();
+            out.extend_from_slice(&kept.join(&b' '));
+        } else {
+            out.extend_from_slice(line);
+        }
+    }
+    out
+}
+
+/// Inserts 1–3 junk lines (random printable garbage) at random line
+/// boundaries, leaving every original line intact.
+fn insert_junk<R: Rng>(bytes: &[u8], rng: &mut R) -> Vec<u8> {
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let junk_count = rng.gen_range(1..=3usize);
+    let mut insert_at: Vec<usize> = (0..junk_count)
+        .map(|_| rng.gen_range(0..=lines.len()))
+        .collect();
+    insert_at.sort_unstable();
+    let mut parts: Vec<Vec<u8>> = Vec::with_capacity(lines.len() + junk_count);
+    let mut pending = insert_at.into_iter().peekable();
+    for (i, line) in lines.iter().enumerate() {
+        while pending.peek().is_some_and(|&at| at == i) {
+            parts.push(junk_line(rng));
+            pending.next();
+        }
+        parts.push(line.to_vec());
+    }
+    for _ in pending {
+        parts.push(junk_line(rng));
+    }
+    parts.join(&b'\n' as &u8)
+}
+
+/// Junk content is drawn from printable non-space ASCII, so a junk line is
+/// a single unparseable field (or a harmless `#` comment) and can never
+/// alias a well-formed event.
+fn junk_line<R: Rng>(rng: &mut R) -> Vec<u8> {
+    let len = rng.gen_range(1..24usize);
+    (0..len)
+        .map(|_| rng.gen_range(0x21..0x7Fu32) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::io::write_trace;
+    use cap_rand::{rngs::StdRng, SeedableRng};
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut b = TraceBuilder::new();
+        for i in 0..20u64 {
+            b.load(0x400 + i * 4, 0x1000 + i * 8, 8);
+            b.cond_branch(0x500 + i * 4, i % 2 == 0);
+        }
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &b.finish()).expect("write to Vec cannot fail");
+        buf
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let bytes = sample_bytes();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(corrupt(&bytes, &mut a), corrupt(&bytes, &mut b));
+    }
+
+    #[test]
+    fn truncate_shortens_the_stream() {
+        let bytes = sample_bytes();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = corrupt_as(&bytes, CorruptionKind::Truncate, &mut rng);
+        assert!(out.len() < bytes.len());
+        assert_eq!(out, bytes[..out.len()]);
+    }
+
+    #[test]
+    fn bit_garble_changes_but_preserves_length() {
+        let bytes = sample_bytes();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = corrupt_as(&bytes, CorruptionKind::BitGarble, &mut rng);
+        assert_eq!(out.len(), bytes.len());
+        assert_ne!(out, bytes);
+    }
+
+    #[test]
+    fn field_drop_removes_exactly_one_field() {
+        let bytes = sample_bytes();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = corrupt_as(&bytes, CorruptionKind::FieldDrop, &mut rng);
+        let count = |b: &[u8]| b.split(|&c| c == b' ').filter(|f| !f.is_empty()).count();
+        assert_eq!(count(&out), count(&bytes) - 1);
+    }
+
+    #[test]
+    fn junk_lines_add_lines() {
+        let bytes = sample_bytes();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = corrupt_as(&bytes, CorruptionKind::JunkLines, &mut rng);
+        let lines = |b: &[u8]| b.iter().filter(|&&c| c == b'\n').count();
+        assert!(lines(&out) > lines(&bytes));
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(corrupt(&[], &mut rng).0.is_empty());
+    }
+}

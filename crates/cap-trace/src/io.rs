@@ -198,11 +198,92 @@ impl<'a> LineParser<'a> {
     }
 }
 
+/// Parses one non-blank, non-comment line into an event. Shared by the
+/// strict and lenient readers; every failure mode is a structured
+/// [`ParseTraceError::Malformed`] carrying `line_no` — this function never
+/// panics, whatever the input bytes were.
+fn parse_event_line(trimmed: &str, line_no: usize) -> Result<TraceEvent, ParseTraceError> {
+    let mut fields = trimmed.split_whitespace();
+    let Some(tag) = fields.next() else {
+        // Unreachable through the public readers (blank lines are skipped
+        // before this call), but a structured error beats an expect.
+        return Err(ParseTraceError::Malformed {
+            line: line_no,
+            reason: "empty line".to_owned(),
+        });
+    };
+    let mut p = LineParser {
+        fields,
+        line: line_no,
+    };
+    let event = match tag {
+        "L" => TraceEvent::Load(LoadRecord {
+            ip: p.hex()?,
+            addr: p.hex()?,
+            offset: p.int()?,
+            size: p.int()?,
+            value: p.hex()?,
+            dst: p.reg()?,
+            addr_src: p.reg()?,
+        }),
+        "S" => TraceEvent::Store(StoreRecord {
+            ip: p.hex()?,
+            addr: p.hex()?,
+            size: p.int()?,
+            data_src: p.reg()?,
+            addr_src: p.reg()?,
+        }),
+        "B" => {
+            let ip = p.hex()?;
+            let taken: u8 = p.int()?;
+            let target = p.hex()?;
+            let kind = match p.next()? {
+                "C" => BranchKind::Conditional,
+                "A" => BranchKind::Call,
+                "R" => BranchKind::Return,
+                "J" => BranchKind::Jump,
+                other => return Err(p.err(format!("bad branch kind '{other}'"))),
+            };
+            TraceEvent::Branch(BranchRecord {
+                ip,
+                taken: taken != 0,
+                target,
+                kind,
+            })
+        }
+        "O" => {
+            let ip = p.hex()?;
+            let latency = match p.next()? {
+                "A" => OpLatency::Alu,
+                "M" => OpLatency::Mul,
+                "D" => OpLatency::Div,
+                "F" => OpLatency::FpAdd,
+                "P" => OpLatency::FpMul,
+                other => return Err(p.err(format!("bad latency class '{other}'"))),
+            };
+            TraceEvent::Op(OpRecord {
+                ip,
+                latency,
+                dst: p.reg()?,
+                srcs: [p.reg()?, p.reg()?],
+            })
+        }
+        other => return Err(p.err(format!("unknown event tag '{other}'"))),
+    };
+    if let Some(extra) = p.fields.next() {
+        return Err(p.err(format!("trailing field '{extra}'")));
+    }
+    Ok(event)
+}
+
 /// Reads a trace from the text format.
 ///
 /// # Errors
 ///
-/// Returns [`ParseTraceError`] on I/O failure or any malformed line.
+/// Returns [`ParseTraceError`] on I/O failure or any malformed line
+/// (including non-UTF-8 bytes, surfaced as [`ParseTraceError::Io`]). This
+/// reader never panics, whatever bytes `r` yields — the guarantee the
+/// corruption suite in `cap-faults` exercises.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
     let mut trace = Trace::new();
     for (i, line) in r.lines().enumerate() {
@@ -212,74 +293,74 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut fields = trimmed.split_whitespace();
-        let tag = fields.next().expect("non-empty line has a first field");
-        let mut p = LineParser {
-            fields,
-            line: line_no,
-        };
-        let event = match tag {
-            "L" => TraceEvent::Load(LoadRecord {
-                ip: p.hex()?,
-                addr: p.hex()?,
-                offset: p.int()?,
-                size: p.int()?,
-                value: p.hex()?,
-                dst: p.reg()?,
-                addr_src: p.reg()?,
-            }),
-            "S" => TraceEvent::Store(StoreRecord {
-                ip: p.hex()?,
-                addr: p.hex()?,
-                size: p.int()?,
-                data_src: p.reg()?,
-                addr_src: p.reg()?,
-            }),
-            "B" => {
-                let ip = p.hex()?;
-                let taken: u8 = p.int()?;
-                let target = p.hex()?;
-                let kind = match p.next()? {
-                    "C" => BranchKind::Conditional,
-                    "A" => BranchKind::Call,
-                    "R" => BranchKind::Return,
-                    "J" => BranchKind::Jump,
-                    other => return Err(p.err(format!("bad branch kind '{other}'"))),
-                };
-                TraceEvent::Branch(BranchRecord {
-                    ip,
-                    taken: taken != 0,
-                    target,
-                    kind,
-                })
-            }
-            "O" => {
-                let ip = p.hex()?;
-                let latency = match p.next()? {
-                    "A" => OpLatency::Alu,
-                    "M" => OpLatency::Mul,
-                    "D" => OpLatency::Div,
-                    "F" => OpLatency::FpAdd,
-                    "P" => OpLatency::FpMul,
-                    other => return Err(p.err(format!("bad latency class '{other}'"))),
-                };
-                TraceEvent::Op(OpRecord {
-                    ip,
-                    latency,
-                    dst: p.reg()?,
-                    srcs: [p.reg()?, p.reg()?],
-                })
-            }
-            other => {
-                return Err(ParseTraceError::Malformed {
-                    line: line_no,
-                    reason: format!("unknown event tag '{other}'"),
-                })
-            }
-        };
-        trace.push(event);
+        trace.push(parse_event_line(trimmed, line_no)?);
     }
     Ok(trace)
+}
+
+/// Outcome of a lossy [`read_trace_lenient`] pass.
+#[derive(Debug)]
+#[must_use]
+pub struct LenientParse {
+    /// The events recovered from well-formed lines.
+    pub trace: Trace,
+    /// Number of malformed lines skipped.
+    pub skipped: usize,
+    /// The first skip, as `(1-based line number, reason)` — a ready-made
+    /// warning message for callers that log degradation.
+    pub first_error: Option<(usize, String)>,
+}
+
+impl LenientParse {
+    /// True when every line parsed cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0
+    }
+}
+
+/// Reads a trace in lossy mode: malformed lines (including lines that are
+/// not valid UTF-8) are skipped and counted instead of aborting the parse,
+/// so a partially corrupted stream still yields every recoverable event.
+///
+/// # Errors
+///
+/// Only genuine I/O errors from `r` abort the parse; malformed content
+/// never does.
+pub fn read_trace_lenient<R: BufRead>(mut r: R) -> io::Result<LenientParse> {
+    let mut out = LenientParse {
+        trace: Trace::new(),
+        skipped: 0,
+        first_error: None,
+    };
+    let mut raw = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        raw.clear();
+        if r.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let skip = |out: &mut LenientParse, reason: String| {
+            out.skipped += 1;
+            if out.first_error.is_none() {
+                out.first_error = Some((line_no, reason));
+            }
+        };
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            skip(&mut out, "invalid UTF-8".to_owned());
+            continue;
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_event_line(trimmed, line_no) {
+            Ok(event) => out.trace.push(event),
+            Err(e) => skip(&mut out, e.to_string()),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -348,6 +429,45 @@ mod tests {
         let text = "L zz 1008 8 4 0 - -\n";
         let err = read_trace(text.as_bytes()).expect_err("must fail");
         assert!(err.to_string().contains("bad hex"));
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let text = "L 400 1008 8 4 0 - - junk\n";
+        let err = read_trace(text.as_bytes()).expect_err("must fail");
+        assert!(err.to_string().contains("trailing field"));
+    }
+
+    #[test]
+    fn lenient_skips_malformed_lines_and_counts_them() {
+        let text = "L 400 1008 8 4 0 - -\nX what\nL 404 2000 0 4 0 - -\n";
+        let parsed = read_trace_lenient(text.as_bytes()).expect("no io error");
+        assert_eq!(parsed.trace.len(), 2);
+        assert_eq!(parsed.skipped, 1);
+        let (line, reason) = parsed.first_error.expect("skip recorded");
+        assert_eq!(line, 2);
+        assert!(reason.contains("unknown event tag"));
+    }
+
+    #[test]
+    fn lenient_survives_invalid_utf8() {
+        let mut bytes = b"L 400 1008 8 4 0 - -\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        bytes.extend_from_slice(b"L 404 2000 0 4 0 - -\n");
+        let parsed = read_trace_lenient(bytes.as_slice()).expect("no io error");
+        assert_eq!(parsed.trace.len(), 2);
+        assert_eq!(parsed.skipped, 1);
+        assert!(!parsed.is_clean());
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict() {
+        let trace = catalog()[0].generate(1_000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write to Vec cannot fail");
+        let parsed = read_trace_lenient(buf.as_slice()).expect("no io error");
+        assert!(parsed.is_clean());
+        assert_eq!(parsed.trace, trace);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod alloc;
 pub mod builder;
+pub mod corrupt;
 pub mod gen;
 pub mod io;
 pub mod record;

@@ -126,15 +126,18 @@ impl Cache {
             return true;
         }
         self.misses += 1;
-        let victim = ways
+        // Victim: the invalid or least-recently-used way. A (config-
+        // impossible) zero-way set yields no victim rather than a panic.
+        if let Some(victim) = ways
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("set has at least one way");
-        *victim = Line {
-            tag,
-            lru: self.tick,
-            valid: true,
-        };
+        {
+            *victim = Line {
+                tag,
+                lru: self.tick,
+                valid: true,
+            };
+        }
         false
     }
 

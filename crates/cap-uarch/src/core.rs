@@ -226,11 +226,12 @@ impl OooCore {
             let seq = seq as u64;
             // Apply predictor table updates that are past the gap.
             if let Some(p) = predictor.as_deref_mut() {
-                while pending
+                while let Some(u) = pending
                     .front()
                     .is_some_and(|u| u.seq + gap as u64 <= seq)
+                    .then(|| pending.pop_front())
+                    .flatten()
                 {
-                    let u = pending.pop_front().expect("non-empty");
                     p.update(&u.ctx, u.actual, &u.pred);
                     self.stats.pred.record(&u.pred, u.actual);
                     if let Some(n) = in_flight.get_mut(&u.ctx.ip) {
@@ -248,8 +249,9 @@ impl OooCore {
                 .alloc(fetch + u64::from(self.config.frontend_latency));
             // ROB: the instruction `rob_entries` older must have committed.
             if self.commit_ring.len() >= self.config.rob_entries {
-                let oldest = self.commit_ring.pop_front().expect("ring non-empty");
-                dispatch = dispatch.max(oldest);
+                if let Some(oldest) = self.commit_ring.pop_front() {
+                    dispatch = dispatch.max(oldest);
+                }
             }
 
             let complete = match event {
@@ -327,9 +329,15 @@ impl OooCore {
                     // data; its readiness is a floor on the load's data
                     // delivery regardless of address prediction.
                     let forward_floor = self.store_ready.get(&(load.addr >> 2)).copied();
-                    let data_ready = match prediction {
-                        Some(pred) if pred.speculate => {
-                            let predicted = pred.addr.expect("speculate implies addr");
+                    // A speculative access needs a concrete address; a
+                    // `speculate` flag with no address (impossible from the
+                    // shipped predictors, but reachable from a fault-injected
+                    // one) falls through to the non-speculative path.
+                    let spec_addr = prediction
+                        .filter(|p| p.speculate)
+                        .and_then(|p| p.addr);
+                    let data_ready = match spec_addr {
+                        Some(predicted) => {
                             // The prediction is available in the front end
                             // ("address prediction is performed in an early
                             // stage of the pipeline", §4.1), so the

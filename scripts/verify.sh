@@ -20,6 +20,10 @@ cargo test -q --offline --workspace
 step "quickstart example"
 cargo run -q --release --offline --example quickstart
 
+step "faults: chaos suite + 1k-mutation corruption smoke"
+cargo test -q --offline -p cap-faults
+cargo run -q --release --offline -p cap-faults --example corruption_smoke
+
 step "hermeticity: no external crates in any manifest"
 if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml | grep -v 'cap-rand'; then
     echo "ERROR: external dependency reference found in a manifest" >&2
