@@ -1,0 +1,78 @@
+//! Bench: snapshot encode/decode throughput and checkpoint overhead.
+//!
+//! Checkpointing only earns its keep if publishing a snapshot is cheap
+//! next to the simulation it protects. Three measurements keep that
+//! honest: (1) encoding a warmed paper-default hybrid (full LB + LT
+//! tables) to archive bytes, (2) decoding it back — the CRC-verified,
+//! invariant-checked path every resume takes, and (3) a supervised run
+//! with checkpoints every 2 000 events against the same run with
+//! checkpointing off, which prices the end-to-end overhead including the
+//! atomic write + fsync + rotate.
+
+use cap_bench::bench_kit::Criterion;
+use cap_harness::supervisor::{run, PredictorKind, SupervisorConfig};
+use cap_predictor::drive::run_immediate;
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_predictor::metrics::PredictorStats;
+use cap_snapshot::{SnapshotArchive, SnapshotBuilder};
+use cap_trace::io::write_trace;
+use cap_trace::suites::catalog;
+
+fn archive_of(p: &HybridPredictor, stats: &PredictorStats) -> Vec<u8> {
+    let mut b = SnapshotBuilder::new();
+    b.add("predictor", p);
+    b.add("stats", stats);
+    b.finish()
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = catalog()[0].generate(20_000);
+    let mut warmed = HybridPredictor::new(HybridConfig::paper_default());
+    let stats = run_immediate(&mut warmed, &trace);
+    let bytes = archive_of(&warmed, &stats);
+    println!("warmed hybrid archive: {} bytes", bytes.len());
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+
+    group.bench_function("encode_warmed_hybrid", |b| {
+        b.iter(|| archive_of(&warmed, &stats));
+    });
+
+    group.bench_function("decode_warmed_hybrid", |b| {
+        b.iter(|| {
+            let archive = SnapshotArchive::parse(&bytes).expect("pristine bytes parse");
+            archive
+                .restore::<HybridPredictor>("predictor")
+                .expect("pristine bytes restore")
+        });
+    });
+
+    // End-to-end checkpoint overhead: same supervised run, with and
+    // without checkpoint publication (atomic write + fsync + rotation).
+    let dir = std::env::temp_dir().join(format!("cap-bench-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path = dir.join("trace.txt");
+    {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("serialize");
+        std::fs::write(&trace_path, buf).expect("write trace file");
+    }
+
+    group.bench_function("supervised_run_no_checkpoints", |b| {
+        b.iter(|| run(&SupervisorConfig::new(&trace_path, PredictorKind::Hybrid)).expect("runs"));
+    });
+
+    group.bench_function("supervised_run_checkpoint_every_2k", |b| {
+        let ckpt_dir = dir.join("ckpts");
+        let mut cfg = SupervisorConfig::new(&trace_path, PredictorKind::Hybrid);
+        cfg.checkpoint_dir = Some(ckpt_dir);
+        cfg.checkpoint_every = 2_000;
+        b.iter(|| run(&cfg).expect("runs"));
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+cap_bench::bench_main!(bench);

@@ -45,11 +45,16 @@ pub enum FaultKind {
     /// supports it directly — drivers apply it to their own
     /// `ControlState` via [`flip_random_bit`].
     Ghr,
+    /// Corrupt the *serialized* form of a predictor — the checkpoint bytes
+    /// on disk — rather than any live structure. Like [`FaultKind::Ghr`],
+    /// no [`FaultTarget`] supports it; drivers apply it to their snapshot
+    /// buffers via [`crate::snapshot::corrupt_snapshot`].
+    SnapshotBytes,
 }
 
 impl FaultKind {
     /// Every fault class, for sweeps and default plans.
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::LbHistory,
         FaultKind::LbOffset,
         FaultKind::LbConfidence,
@@ -60,6 +65,7 @@ impl FaultKind {
         FaultKind::LtTag,
         FaultKind::LtPf,
         FaultKind::Ghr,
+        FaultKind::SnapshotBytes,
     ];
 }
 
@@ -71,7 +77,7 @@ pub fn flip_random_bit<R: Rng>(v: u64, rng: &mut R) -> u64 {
 }
 
 /// What happened when a plan was injected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[must_use]
 pub struct InjectionReport {
     /// Faults the plan attempted.
@@ -110,17 +116,6 @@ impl InjectionReport {
                 Some((_, m)) => *m += n,
                 None => self.by_kind.push((kind, n)),
             }
-        }
-    }
-}
-
-impl Default for InjectionReport {
-    fn default() -> Self {
-        Self {
-            attempted: 0,
-            applied: 0,
-            skipped: 0,
-            by_kind: Vec::new(),
         }
     }
 }

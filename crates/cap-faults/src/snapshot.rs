@@ -1,0 +1,137 @@
+//! Corruption of serialized snapshot archives.
+//!
+//! The predictor-state faults in [`crate::plan`] mutate *live* structures;
+//! this module attacks the other persistence surface — the checkpoint
+//! bytes a [`cap_snapshot::SnapshotArchive`] was encoded into. The loader
+//! contract under attack: **any** byte-level damage must surface as a
+//! structured [`cap_snapshot::SnapshotError`] (never a panic, never an
+//! unbounded allocation), and damage inside a section payload must be
+//! pinned to that section by the CRC check.
+
+use cap_rand::{rngs::StdRng, Rng};
+
+/// The classes of byte-level snapshot damage the generator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotMutationKind {
+    /// Flip one random bit anywhere in the archive.
+    BitFlip,
+    /// Cut the archive at a random byte (models a crash mid-write).
+    Truncate,
+    /// Zero a random run of bytes (models a hole from a sparse flush).
+    ZeroRun,
+    /// Overwrite a random run with random bytes (models block reuse).
+    GarbleRun,
+    /// Splice the head of the archive onto itself at a random offset
+    /// (models a rename racing a partially flushed temp file).
+    Splice,
+}
+
+impl SnapshotMutationKind {
+    /// Every mutation class, for sweeps.
+    pub const ALL: [SnapshotMutationKind; 5] = [
+        SnapshotMutationKind::BitFlip,
+        SnapshotMutationKind::Truncate,
+        SnapshotMutationKind::ZeroRun,
+        SnapshotMutationKind::GarbleRun,
+        SnapshotMutationKind::Splice,
+    ];
+}
+
+/// Applies one seeded random mutation to a copy of `bytes` and reports
+/// which class was applied. Inputs shorter than 2 bytes are returned
+/// truncated to empty (there is nothing else meaningful to do to them).
+#[must_use]
+pub fn corrupt_snapshot(bytes: &[u8], rng: &mut StdRng) -> (Vec<u8>, SnapshotMutationKind) {
+    if bytes.len() < 2 {
+        return (Vec::new(), SnapshotMutationKind::Truncate);
+    }
+    let kind = SnapshotMutationKind::ALL[rng.gen_range(0..SnapshotMutationKind::ALL.len())];
+    let mut out = bytes.to_vec();
+    match kind {
+        SnapshotMutationKind::BitFlip => {
+            let i = rng.gen_range(0..out.len());
+            out[i] ^= 1 << rng.gen_range(0..8u32);
+        }
+        SnapshotMutationKind::Truncate => {
+            let keep = rng.gen_range(0..out.len());
+            out.truncate(keep);
+        }
+        SnapshotMutationKind::ZeroRun => {
+            let start = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..=(out.len() - start).min(64));
+            for b in &mut out[start..start + len] {
+                *b = 0;
+            }
+        }
+        SnapshotMutationKind::GarbleRun => {
+            let start = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..=(out.len() - start).min(64));
+            for b in &mut out[start..start + len] {
+                *b = rng.gen_range(0..=u32::from(u8::MAX)) as u8;
+            }
+        }
+        SnapshotMutationKind::Splice => {
+            let cut = rng.gen_range(1..out.len());
+            let head_len = rng.gen_range(1..=cut);
+            let mut spliced = out[..cut].to_vec();
+            spliced.extend_from_slice(&out[..head_len]);
+            out = spliced;
+        }
+    }
+    (out, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_rand::SeedableRng;
+    use cap_snapshot::{SnapshotArchive, SnapshotBuilder};
+
+    fn archive() -> Vec<u8> {
+        let mut b = SnapshotBuilder::new();
+        b.add_raw("alpha", (0u32..200).flat_map(u32::to_le_bytes).collect());
+        b.add_raw("beta", vec![0xAB; 333]);
+        b.finish()
+    }
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let bytes = archive();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(corrupt_snapshot(&bytes, &mut a), corrupt_snapshot(&bytes, &mut b));
+    }
+
+    #[test]
+    fn every_kind_is_produced() {
+        let bytes = archive();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; SnapshotMutationKind::ALL.len()];
+        for _ in 0..200 {
+            let (_, kind) = corrupt_snapshot(&bytes, &mut rng);
+            seen[SnapshotMutationKind::ALL.iter().position(|&k| k == kind).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn tiny_inputs_collapse_to_empty() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (out, kind) = corrupt_snapshot(&[0x42], &mut rng);
+        assert!(out.is_empty());
+        assert_eq!(kind, SnapshotMutationKind::Truncate);
+    }
+
+    #[test]
+    fn corrupted_archives_parse_to_structured_errors_only() {
+        let bytes = archive();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..300 {
+            let (mutated, _) = corrupt_snapshot(&bytes, &mut rng);
+            // Ok (mutation hit slack the format tolerates — e.g. a bit flip
+            // that truncation later removed) or a structured error; the
+            // test's assertion is simply that this never panics.
+            let _ = SnapshotArchive::parse(&mutated);
+        }
+    }
+}

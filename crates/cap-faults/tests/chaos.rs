@@ -140,6 +140,64 @@ fn chaos_1000_corrupted_traces_never_panic_either_parser() {
 }
 
 #[test]
+fn chaos_1000_corrupted_snapshots_never_panic_and_name_their_section() {
+    use cap_faults::snapshot::{corrupt_snapshot, SnapshotMutationKind};
+    use cap_snapshot::{SnapshotArchive, SnapshotBuilder, SnapshotError};
+
+    // A realistic archive: a warmed hybrid predictor plus driver state.
+    let trace = catalog()[1].generate(6_000);
+    let mut p = HybridPredictor::new(HybridConfig::paper_default());
+    let stats = run_immediate(&mut p, &trace);
+    let mut b = SnapshotBuilder::new();
+    b.add("predictor", &p);
+    b.add("stats", &stats);
+    let bytes = b.finish();
+
+    let mut rng = StdRng::seed_from_u64(0x05EE_DBAD);
+    let mut kinds_seen = [0usize; SnapshotMutationKind::ALL.len()];
+    let mut still_parse = 0usize;
+    let mut structured = 0usize;
+    for _ in 0..1_000 {
+        let (mutated, kind) = corrupt_snapshot(&bytes, &mut rng);
+        kinds_seen[SnapshotMutationKind::ALL.iter().position(|&k| k == kind).unwrap()] += 1;
+        match SnapshotArchive::parse(&mutated) {
+            Ok(archive) => {
+                still_parse += 1;
+                // Framing survived; restoring may still fail — but only
+                // with a structured error, never a panic.
+                let _ = archive.restore::<HybridPredictor>("predictor");
+            }
+            Err(e) => {
+                structured += 1;
+                // Every error self-describes; payload damage names the
+                // section the CRC pinned it to.
+                assert!(!e.to_string().is_empty());
+                if let SnapshotError::CrcMismatch { section, .. } = &e {
+                    assert!(
+                        section == "predictor" || section == "stats",
+                        "CRC failure must name a real section, got '{section}'"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(still_parse + structured, 1_000);
+    assert!(
+        kinds_seen.iter().all(|&n| n > 50),
+        "all snapshot mutation kinds exercised: {kinds_seen:?}"
+    );
+    assert!(
+        structured > 500,
+        "most mutations of a CRC-checked format must be caught ({structured})"
+    );
+
+    // The pristine bytes must still restore a working predictor.
+    let archive = SnapshotArchive::parse(&bytes).expect("pristine archive parses");
+    let mut restored: HybridPredictor = archive.restore("predictor").expect("restores");
+    run_immediate(&mut restored, &trace);
+}
+
+#[test]
 fn chaos_recovery_bound_is_finite_and_printed() {
     let trace = catalog()[0].generate(20_000);
     let plan = FaultPlan::new(0xFEED_BEEF, 128);

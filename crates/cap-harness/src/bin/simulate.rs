@@ -1,0 +1,224 @@
+//! `simulate` — the supervised, checkpointed, resumable trace runner.
+//!
+//! ```text
+//! simulate gen --out trace.txt [--suite <i>] [--loads <n>]
+//! simulate run --trace trace.txt [--predictor stride|cap|hybrid]
+//!          [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--keep <k>]
+//!          [--resume auto|<path>] [--kill-after <n>] [--chaos-every <n>]
+//!          [--seed <s>] [--json]
+//! ```
+//!
+//! `run` drives one predictor over a trace file, publishing
+//! crash-consistent checkpoints every `--checkpoint-every` events. A run
+//! that dies (or is told to die with `--kill-after`, which exits hard with
+//! status 137 like a SIGKILL) can be restarted with `--resume auto`: the
+//! newest valid checkpoint is recovered, torn files are swept up, and the
+//! finished run's metrics are bit-identical to an uninterrupted one.
+
+use cap_harness::supervisor::{
+    run, PredictorKind, Resume, RunOutcome, SupervisorConfig, SupervisorError,
+};
+use cap_trace::io::write_trace;
+use cap_trace::suites::catalog;
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Exit status of a `--kill-after` self-destruct (mirrors SIGKILL's 137).
+const KILLED_STATUS: i32 = 137;
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let i = args.iter().position(|a| a == flag);
+    if let Some(i) = i {
+        args.remove(i);
+    }
+    i.is_some()
+}
+
+fn parse_number(flag: &str, value: &str) -> u64 {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} wants a non-negative integer, got '{value}'");
+        exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: simulate gen --out <path> [--suite <i>] [--loads <n>]");
+    eprintln!("       simulate run --trace <path> [--predictor stride|cap|hybrid]");
+    eprintln!("                [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--keep <k>]");
+    eprintln!("                [--resume auto|<path>] [--kill-after <n>] [--chaos-every <n>]");
+    eprintln!("                [--seed <s>] [--json]");
+    exit(2);
+}
+
+fn cmd_gen(mut args: Vec<String>) {
+    let out: PathBuf = take_value(&mut args, "--out")
+        .unwrap_or_else(|| {
+            eprintln!("gen requires --out <path>");
+            exit(2);
+        })
+        .into();
+    let suite = take_value(&mut args, "--suite").map_or(1, |v| parse_number("--suite", &v)) as usize;
+    let loads = take_value(&mut args, "--loads").map_or(10_000, |v| parse_number("--loads", &v));
+    let specs = catalog();
+    if suite >= specs.len() {
+        eprintln!("--suite {suite} out of range (catalog has {})", specs.len());
+        exit(2);
+    }
+    let trace = specs[suite].generate(loads as usize);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &trace).expect("serializing to memory cannot fail");
+    if let Err(e) = std::fs::write(&out, bytes) {
+        eprintln!("cannot write {}: {e}", out.display());
+        exit(1);
+    }
+    println!(
+        "wrote {} ({} trace '{}', {} loads)",
+        out.display(),
+        trace.len(),
+        specs[suite].name,
+        trace.load_count()
+    );
+}
+
+fn outcome_json(kind: PredictorKind, outcome: &RunOutcome) -> String {
+    let s = &outcome.stats;
+    let resumed = outcome
+        .resumed_from
+        .as_ref()
+        .map_or("null".to_owned(), |p| format!("\"{}\"", p.display()));
+    format!(
+        "{{\n  \"predictor\": \"{}\",\n  \"events\": {},\n  \"loads\": {},\n  \
+         \"predictions\": {},\n  \"correct_predictions\": {},\n  \
+         \"prediction_rate_bits\": {},\n  \"accuracy_bits\": {},\n  \
+         \"checkpoints_written\": {},\n  \"faults_applied\": {},\n  \
+         \"resumed_from\": {},\n  \"recovery_removed\": {},\n  \"killed\": {}\n}}",
+        kind.name(),
+        outcome.events,
+        s.loads,
+        s.predictions,
+        s.correct_predictions,
+        s.prediction_rate().to_bits(),
+        s.accuracy().to_bits(),
+        outcome.checkpoints_written,
+        outcome.faults_applied,
+        resumed,
+        outcome.recovery_removed.len(),
+        outcome.killed,
+    )
+}
+
+fn cmd_run(mut args: Vec<String>) {
+    let trace: PathBuf = take_value(&mut args, "--trace")
+        .unwrap_or_else(|| {
+            eprintln!("run requires --trace <path>");
+            exit(2);
+        })
+        .into();
+    let kind = take_value(&mut args, "--predictor").map_or(PredictorKind::Hybrid, |v| {
+        PredictorKind::parse(&v).unwrap_or_else(|| {
+            eprintln!("--predictor wants stride|cap|hybrid, got '{v}'");
+            exit(2);
+        })
+    });
+    let json = take_flag(&mut args, "--json");
+
+    let mut config = SupervisorConfig::new(trace, kind);
+    config.checkpoint_dir = take_value(&mut args, "--checkpoint-dir").map(PathBuf::from);
+    if let Some(v) = take_value(&mut args, "--checkpoint-every") {
+        config.checkpoint_every = parse_number("--checkpoint-every", &v);
+    }
+    if let Some(v) = take_value(&mut args, "--keep") {
+        config.keep = parse_number("--keep", &v) as usize;
+    }
+    if let Some(v) = take_value(&mut args, "--kill-after") {
+        config.kill_after = Some(parse_number("--kill-after", &v));
+    }
+    if let Some(v) = take_value(&mut args, "--chaos-every") {
+        config.chaos_every = parse_number("--chaos-every", &v);
+    }
+    if let Some(v) = take_value(&mut args, "--seed") {
+        config.seed = parse_number("--seed", &v);
+    }
+    if let Some(v) = take_value(&mut args, "--resume") {
+        config.resume = if v == "auto" {
+            Resume::Auto
+        } else {
+            Resume::From(PathBuf::from(v))
+        };
+    }
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+    if config.checkpoint_every > 0 && config.checkpoint_dir.is_none() {
+        eprintln!("--checkpoint-every needs --checkpoint-dir");
+        exit(2);
+    }
+
+    match run(&config) {
+        Ok(outcome) if outcome.killed => {
+            // Simulate a crash: die hard, without reporting results — the
+            // checkpoints on disk are the only state that survives.
+            eprintln!(
+                "killed at event {} ({} checkpoints on disk)",
+                outcome.events, outcome.checkpoints_written
+            );
+            exit(KILLED_STATUS);
+        }
+        Ok(outcome) => {
+            if json {
+                println!("{}", outcome_json(kind, &outcome));
+            } else {
+                let s = &outcome.stats;
+                if let Some(path) = &outcome.resumed_from {
+                    println!("resumed from {}", path.display());
+                }
+                println!(
+                    "{} over {} events: {} loads, {} predictions, {} correct \
+                     (rate {:.4}, accuracy {:.4}), {} checkpoints, {} faults",
+                    kind.name(),
+                    outcome.events,
+                    s.loads,
+                    s.predictions,
+                    s.correct_predictions,
+                    s.prediction_rate(),
+                    s.accuracy(),
+                    outcome.checkpoints_written,
+                    outcome.faults_applied,
+                );
+            }
+        }
+        Err(e @ SupervisorError::Mismatch(_)) => {
+            eprintln!("refusing to resume: {e}");
+            exit(3);
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "gen" => cmd_gen(args),
+        "run" => cmd_run(args),
+        _ => usage(),
+    }
+}

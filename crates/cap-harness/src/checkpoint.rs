@@ -1,0 +1,184 @@
+//! Crash-consistent checkpoint files.
+//!
+//! A checkpoint is a [`cap_snapshot`] archive persisted under a
+//! predictable name, `ckpt-{events:012}.capsnap`, so lexicographic order
+//! *is* chronological order. Three disciplines make the directory safe to
+//! crash into at any instruction:
+//!
+//! 1. **Atomic publication** — [`write_checkpoint`] writes to a `.tmp`
+//!    sibling, `fsync`s it, and only then `rename`s it into place. A crash
+//!    mid-write leaves a `.tmp` orphan, never a half-written `.capsnap`.
+//! 2. **Bounded retention** — [`rotate_checkpoints`] prunes everything but
+//!    the newest `keep` files after each successful write.
+//! 3. **Skeptical recovery** — [`recover_latest`] walks newest-first,
+//!    *parses* each candidate before trusting it (a torn or corrupted file
+//!    fails its CRC and is deleted), and sweeps up `.tmp` orphans.
+
+use cap_snapshot::SnapshotArchive;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Extension of a published checkpoint file.
+pub const CHECKPOINT_EXT: &str = "capsnap";
+
+const PREFIX: &str = "ckpt-";
+const TMP_SUFFIX: &str = ".tmp";
+
+/// The canonical file name for a checkpoint taken after `events` trace
+/// events: zero-padded so lexicographic order matches event order.
+#[must_use]
+pub fn checkpoint_file_name(events: u64) -> String {
+    format!("{PREFIX}{events:012}.{CHECKPOINT_EXT}")
+}
+
+/// Parses `ckpt-000000001234.capsnap` back to `1234`; `None` for anything
+/// that is not a published checkpoint name.
+#[must_use]
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix(PREFIX)?;
+    let digits = rest.strip_suffix(&format!(".{CHECKPOINT_EXT}"))?;
+    if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Atomically publishes `bytes` as the checkpoint for `events`: write to a
+/// `.tmp` sibling, `sync_all`, then `rename` into place. Creates `dir` if
+/// needed.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem failures; on error the final path
+/// is untouched (at worst a `.tmp` orphan remains, which
+/// [`recover_latest`] sweeps up).
+pub fn write_checkpoint(dir: &Path, events: u64, bytes: &[u8]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(checkpoint_file_name(events));
+    let tmp_path = dir.join(format!("{}{TMP_SUFFIX}", checkpoint_file_name(events)));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Publishing the rename durably needs a directory fsync; best-effort,
+    // since not every filesystem supports opening a directory for sync.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// All published checkpoints in `dir`, oldest first, as
+/// `(events, path)` pairs. A missing directory is just empty.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(found),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(events) = name.to_str().and_then(parse_checkpoint_name) {
+            found.push((events, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Deletes all but the newest `keep` checkpoints; returns the removed
+/// paths. `keep == 0` is treated as 1 (the newest always survives).
+///
+/// # Errors
+///
+/// Propagates directory-read and delete failures.
+pub fn rotate_checkpoints(dir: &Path, keep: usize) -> io::Result<Vec<PathBuf>> {
+    let all = list_checkpoints(dir)?;
+    let keep = keep.max(1);
+    let excess = all.len().saturating_sub(keep);
+    let mut removed = Vec::with_capacity(excess);
+    for (_, path) in all.into_iter().take(excess) {
+        fs::remove_file(&path)?;
+        removed.push(path);
+    }
+    Ok(removed)
+}
+
+/// What [`recover_latest`] found.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// The newest checkpoint that parses as a valid snapshot archive, with
+    /// its bytes — `None` when no valid checkpoint exists.
+    pub chosen: Option<(PathBuf, Vec<u8>)>,
+    /// Files swept up during recovery: `.tmp` orphans from interrupted
+    /// writes, and published checkpoints newer than `chosen` that failed
+    /// to parse (torn, truncated, or corrupted).
+    pub removed: Vec<PathBuf>,
+}
+
+/// Picks the newest *valid* checkpoint in `dir`, cleaning up the debris a
+/// crash can leave behind: `.tmp` orphans are always deleted, and any
+/// checkpoint newer than the chosen one that fails [`SnapshotArchive`]
+/// validation (zero-length file, torn write, bit rot) is deleted too.
+/// Older checkpoints are left for [`rotate_checkpoints`].
+///
+/// # Errors
+///
+/// Propagates directory-read and delete failures. An unreadable candidate
+/// file is an error only if it cannot be `read` at all — parse failures
+/// are part of normal recovery, not errors.
+pub fn recover_latest(dir: &Path) -> io::Result<Recovery> {
+    let mut recovery = Recovery::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(recovery),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let is_tmp = name
+            .to_str()
+            .is_some_and(|n| n.starts_with(PREFIX) && n.ends_with(TMP_SUFFIX));
+        if is_tmp {
+            fs::remove_file(entry.path())?;
+            recovery.removed.push(entry.path());
+        }
+    }
+    let mut candidates = list_checkpoints(dir)?;
+    candidates.reverse(); // newest first
+    for (_, path) in candidates {
+        let bytes = fs::read(&path)?;
+        if SnapshotArchive::parse(&bytes).is_ok() {
+            recovery.chosen = Some((path, bytes));
+            break;
+        }
+        fs::remove_file(&path)?;
+        recovery.removed.push(path);
+    }
+    Ok(recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_sort_chronologically() {
+        assert_eq!(checkpoint_file_name(42), "ckpt-000000000042.capsnap");
+        assert_eq!(parse_checkpoint_name("ckpt-000000000042.capsnap"), Some(42));
+        assert_eq!(parse_checkpoint_name("ckpt-42.capsnap"), None);
+        assert_eq!(parse_checkpoint_name("ckpt-000000000042.capsnap.tmp"), None);
+        assert_eq!(parse_checkpoint_name("other.capsnap"), None);
+        assert!(checkpoint_file_name(999) < checkpoint_file_name(1_000));
+    }
+}

@@ -23,6 +23,13 @@ use cap_predictor::types::AddressPredictor;
 use cap_predictor::variable::{VariableHistoryCap, VariableHistoryConfig};
 use cap_trace::suites::Suite;
 
+/// Rows of a core-timing comparison: workload name, baseline IPC, variant
+/// IPC, speedup, and the variant's prediction rate.
+pub type CoreCompareRows = Vec<(String, f64, f64, f64, f64)>;
+
+/// Constructor of a boxed predictor, for name→factory tables.
+type PredictorCtor = fn() -> Box<dyn AddressPredictor>;
+
 /// §3.3 — base-address CAP vs the rejected delta-correlation variant.
 #[must_use]
 pub fn delta_correlation(scale: &Scale) -> (Vec<SuiteResults>, ExperimentReport) {
@@ -185,7 +192,7 @@ pub fn profile_guided(scale: &Scale) -> (Vec<(String, f64, f64)>, ExperimentRepo
 /// prefetching: the projected next-invocation line is pulled into the
 /// cache in the background whenever a confident stride prediction is made.
 #[must_use]
-pub fn prefetch(scale: &Scale) -> (Vec<(String, f64, f64, f64, f64)>, ExperimentReport) {
+pub fn prefetch(scale: &Scale) -> (CoreCompareRows, ExperimentReport) {
     use cap_uarch::core::{run_trace, CoreConfig};
     let base_core = CoreConfig::paper_default();
     let mut pf_core = CoreConfig::paper_default();
@@ -250,7 +257,7 @@ pub fn prefetch(scale: &Scale) -> (Vec<(String, f64, f64, f64, f64)>, Experiment
 /// §5.4 — speculative control flow: wrong-path pollution with and without
 /// reorder-buffer-like predictor state recovery.
 #[must_use]
-pub fn wrong_path(scale: &Scale) -> (Vec<(String, f64, f64, f64, f64)>, ExperimentReport) {
+pub fn wrong_path(scale: &Scale) -> (CoreCompareRows, ExperimentReport) {
     use cap_predictor::drive::run_with_wrong_path;
     let mut rows = Vec::new();
     for suite in Suite::ALL {
@@ -296,7 +303,7 @@ pub fn wrong_path(scale: &Scale) -> (Vec<(String, f64, f64, f64, f64)>, Experime
 /// §1 — value predictability vs address predictability.
 #[must_use]
 pub fn value_vs_address(scale: &Scale) -> (Vec<(String, f64, f64)>, ExperimentReport) {
-    let make: [(&str, fn() -> Box<dyn AddressPredictor>); 3] = [
+    let make: [(&str, PredictorCtor); 3] = [
         ("last", || {
             Box::new(LastAddressPredictor::new(LoadBufferConfig::paper_default()))
         }),

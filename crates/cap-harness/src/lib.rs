@@ -28,8 +28,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod runner;
+pub mod supervisor;
 pub mod table;
 
 pub use experiments::ExperimentReport;

@@ -1,0 +1,784 @@
+//! The supervised resumable runner.
+//!
+//! [`run`] drives one predictor over one trace file event-by-event
+//! (through [`cap_trace::cursor::TraceCursor`]), periodically publishing
+//! crash-consistent checkpoints (see [`crate::checkpoint`]) that capture
+//! *everything* the run depends on — predictor tables, control-flow state,
+//! statistics, the supervisor's PRNG, and the exact byte position in the
+//! trace — so a run killed at an arbitrary event and resumed from its
+//! latest checkpoint finishes with **bit-identical** final metrics.
+//!
+//! The supervisor also owns the operational concerns around that loop:
+//! retry-with-backoff on transient trace I/O ([`with_retry`]), optional
+//! chaos injection into the live predictor (`chaos_every`, drawing from
+//! the checkpointed PRNG so even chaotic runs resume deterministically),
+//! and a `kill_after` self-destruct used by the differential
+//! kill-and-resume tests.
+
+use crate::checkpoint::{recover_latest, rotate_checkpoints, write_checkpoint};
+use cap_faults::plan::FaultPlan;
+use cap_faults::target::FaultTarget;
+use cap_predictor::cap::{CapConfig, CapPredictor};
+use cap_predictor::drive::ControlState;
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_predictor::load_buffer::LoadBufferConfig;
+use cap_predictor::metrics::PredictorStats;
+use cap_predictor::stride::{StrideParams, StridePredictor};
+use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
+use cap_rand::{rngs::StdRng, SeedableRng};
+use cap_snapshot::{
+    crc32, Restorable, SectionReader, SectionWriter, Snapshot, SnapshotArchive, SnapshotBuilder,
+    SnapshotError,
+};
+use cap_trace::cursor::{CursorPos, TraceCursor};
+use cap_trace::io::ParseTraceError;
+use cap_trace::TraceEvent;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Which predictor the supervisor drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Stride-only baseline (§3.2).
+    Stride,
+    /// Pure CAP (§3.3).
+    Cap,
+    /// The paper's hybrid (§3.5).
+    Hybrid,
+}
+
+impl PredictorKind {
+    /// The CLI/JSON name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Stride => "stride",
+            PredictorKind::Cap => "cap",
+            PredictorKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stride" => Some(PredictorKind::Stride),
+            "cap" => Some(PredictorKind::Cap),
+            "hybrid" => Some(PredictorKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            PredictorKind::Stride => 0,
+            PredictorKind::Cap => 1,
+            PredictorKind::Hybrid => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(PredictorKind::Stride),
+            1 => Some(PredictorKind::Cap),
+            2 => Some(PredictorKind::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+/// A predictor of any kind, with paper-default configuration — the
+/// supervisor's runtime dispatch over the three predictor types (the
+/// `AddressPredictor + Snapshot + FaultTarget` combination is not
+/// dyn-compatible, so an enum carries it instead).
+#[derive(Debug)]
+pub enum AnyPredictor {
+    /// Stride-only baseline.
+    Stride(StridePredictor),
+    /// Pure CAP.
+    Cap(CapPredictor),
+    /// Stride + CAP hybrid.
+    Hybrid(HybridPredictor),
+}
+
+impl AnyPredictor {
+    /// A fresh paper-default predictor of the given kind.
+    #[must_use]
+    pub fn new(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Stride => AnyPredictor::Stride(StridePredictor::new(
+                LoadBufferConfig::paper_default(),
+                StrideParams::paper_default(),
+            )),
+            PredictorKind::Cap => AnyPredictor::Cap(CapPredictor::new(CapConfig::paper_default())),
+            PredictorKind::Hybrid => {
+                AnyPredictor::Hybrid(HybridPredictor::new(HybridConfig::paper_default()))
+            }
+        }
+    }
+
+    /// The kind of the wrapped predictor.
+    #[must_use]
+    pub fn kind(&self) -> PredictorKind {
+        match self {
+            AnyPredictor::Stride(_) => PredictorKind::Stride,
+            AnyPredictor::Cap(_) => PredictorKind::Cap,
+            AnyPredictor::Hybrid(_) => PredictorKind::Hybrid,
+        }
+    }
+
+    /// Dispatches [`AddressPredictor::predict`].
+    pub fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        match self {
+            AnyPredictor::Stride(p) => p.predict(ctx),
+            AnyPredictor::Cap(p) => p.predict(ctx),
+            AnyPredictor::Hybrid(p) => p.predict(ctx),
+        }
+    }
+
+    /// Dispatches [`AddressPredictor::update`].
+    pub fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
+        match self {
+            AnyPredictor::Stride(p) => p.update(ctx, actual, pred),
+            AnyPredictor::Cap(p) => p.update(ctx, actual, pred),
+            AnyPredictor::Hybrid(p) => p.update(ctx, actual, pred),
+        }
+    }
+
+    /// The chaos-injection surface of the wrapped predictor.
+    pub fn as_fault_target(&mut self) -> &mut dyn FaultTarget {
+        match self {
+            AnyPredictor::Stride(p) => p,
+            AnyPredictor::Cap(p) => p,
+            AnyPredictor::Hybrid(p) => p,
+        }
+    }
+}
+
+impl Snapshot for AnyPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(self.kind().tag());
+        match self {
+            AnyPredictor::Stride(p) => p.write_state(w),
+            AnyPredictor::Cap(p) => p.write_state(w),
+            AnyPredictor::Hybrid(p) => p.write_state(w),
+        }
+    }
+}
+
+impl Restorable for AnyPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.take_u8("predictor kind tag")?;
+        match PredictorKind::from_tag(tag) {
+            Some(PredictorKind::Stride) => Ok(AnyPredictor::Stride(StridePredictor::read_state(r)?)),
+            Some(PredictorKind::Cap) => Ok(AnyPredictor::Cap(CapPredictor::read_state(r)?)),
+            Some(PredictorKind::Hybrid) => Ok(AnyPredictor::Hybrid(HybridPredictor::read_state(r)?)),
+            None => Err(r.bad_value(format!("unknown predictor kind tag {tag}"))),
+        }
+    }
+}
+
+/// Identity of a trace file — length plus a CRC of its head — recorded in
+/// every checkpoint so a resume against the wrong (or rewritten) trace is
+/// refused instead of silently producing garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceId {
+    /// Total file length in bytes.
+    pub len: u64,
+    /// CRC-32 of the first 4 KiB (or the whole file if shorter).
+    pub head_crc: u32,
+}
+
+/// Computes the [`TraceId`] of a trace file.
+///
+/// # Errors
+///
+/// Propagates open/read failures.
+pub fn trace_identity(path: &Path) -> io::Result<TraceId> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    let mut head = vec![0u8; 4096.min(len) as usize];
+    f.read_exact(&mut head)?;
+    Ok(TraceId {
+        len,
+        head_crc: crc32(&head),
+    })
+}
+
+/// Retry schedule for transient I/O: `attempts` tries total, sleeping
+/// `base_delay * 2^i` between try `i` and try `i+1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (>= 1) before the last error is surfaced.
+    pub attempts: u32,
+    /// Backoff base; doubles after every failed attempt.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt + 1` (0-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_delay * 2u32.saturating_pow(attempt.min(16))
+    }
+}
+
+/// Runs `op` under `policy`, retrying (with exponential backoff) only
+/// while `is_transient` says the error is worth retrying. The final error
+/// is returned unchanged.
+///
+/// # Errors
+///
+/// The last error from `op` once attempts are exhausted or the error is
+/// not transient.
+pub fn with_retry<T, E, F, P>(policy: &RetryPolicy, is_transient: P, mut op: F) -> Result<T, E>
+where
+    F: FnMut() -> Result<T, E>,
+    P: Fn(&E) -> bool,
+{
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt + 1 < policy.attempts.max(1) && is_transient(&e) => {
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// How (and whether) a run resumes from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resume {
+    /// Start fresh, ignoring any checkpoints on disk.
+    No,
+    /// Recover the newest valid checkpoint in the checkpoint directory
+    /// (fresh start if there is none).
+    Auto,
+    /// Resume from this specific checkpoint file.
+    From(PathBuf),
+}
+
+/// Everything the supervisor needs for one run.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The trace file to drive.
+    pub trace: PathBuf,
+    /// Which predictor to run.
+    pub kind: PredictorKind,
+    /// Seed for the supervisor's PRNG (chaos stream).
+    pub seed: u64,
+    /// Where checkpoints live; `None` disables checkpointing and `Auto`
+    /// resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Publish a checkpoint every this many trace events (0 = never).
+    pub checkpoint_every: u64,
+    /// How many checkpoints to retain after rotation.
+    pub keep: usize,
+    /// Resume mode.
+    pub resume: Resume,
+    /// Abort (cleanly, from the caller's perspective — the CLI turns this
+    /// into a hard `exit`) after this many trace events, simulating a
+    /// crash for the differential tests.
+    pub kill_after: Option<u64>,
+    /// Inject one planned fault into the live predictor every this many
+    /// trace events (0 = never). Draws from the checkpointed PRNG.
+    pub chaos_every: u64,
+    /// Retry schedule for transient trace/checkpoint I/O.
+    pub retry: RetryPolicy,
+}
+
+impl SupervisorConfig {
+    /// A minimal config: no checkpoints, no chaos, no kill.
+    #[must_use]
+    pub fn new(trace: impl Into<PathBuf>, kind: PredictorKind) -> Self {
+        Self {
+            trace: trace.into(),
+            kind,
+            seed: 0x0CA9_5EED,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            keep: 3,
+            resume: Resume::No,
+            kill_after: None,
+            chaos_every: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a supervised run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final prediction statistics.
+    pub stats: PredictorStats,
+    /// Trace events consumed in total (including the pre-resume prefix).
+    pub events: u64,
+    /// Checkpoints published by *this* process.
+    pub checkpoints_written: u64,
+    /// The checkpoint this run resumed from, if any.
+    pub resumed_from: Option<PathBuf>,
+    /// Files recovery swept up (tmp orphans, invalid checkpoints).
+    pub recovery_removed: Vec<PathBuf>,
+    /// Faults chaos injection actually applied.
+    pub faults_applied: u64,
+    /// True when the run stopped at `kill_after` rather than end of trace.
+    pub killed: bool,
+}
+
+/// Everything that can go wrong in a supervised run.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// Filesystem failure (trace open, checkpoint write, recovery).
+    Io(io::Error),
+    /// The trace stream failed to parse.
+    Trace(ParseTraceError),
+    /// A checkpoint failed to decode.
+    Snapshot(SnapshotError),
+    /// The checkpoint is valid but belongs to a different run (wrong
+    /// predictor kind, seed, or trace identity) — or the config is
+    /// self-contradictory.
+    Mismatch(String),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Io(e) => write!(f, "i/o error: {e}"),
+            SupervisorError::Trace(e) => write!(f, "trace error: {e}"),
+            SupervisorError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            SupervisorError::Mismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+impl From<io::Error> for SupervisorError {
+    fn from(e: io::Error) -> Self {
+        SupervisorError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for SupervisorError {
+    fn from(e: ParseTraceError) -> Self {
+        SupervisorError::Trace(e)
+    }
+}
+
+impl From<SnapshotError> for SupervisorError {
+    fn from(e: SnapshotError) -> Self {
+        SupervisorError::Snapshot(e)
+    }
+}
+
+/// The live state a checkpoint must capture exactly.
+struct RunState {
+    predictor: AnyPredictor,
+    control: ControlState,
+    stats: PredictorStats,
+    rng: StdRng,
+    pos: CursorPos,
+}
+
+impl RunState {
+    fn fresh(config: &SupervisorConfig) -> Self {
+        Self {
+            predictor: AnyPredictor::new(config.kind),
+            control: ControlState::default(),
+            stats: PredictorStats::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            pos: CursorPos::default(),
+        }
+    }
+}
+
+const SEC_META: &str = "meta";
+const SEC_PREDICTOR: &str = "predictor";
+const SEC_CONTROL: &str = "control";
+const SEC_STATS: &str = "stats";
+const SEC_RNG: &str = "rng";
+const SEC_CURSOR: &str = "cursor";
+
+/// Serializes a full checkpoint archive for the given live state.
+fn encode_checkpoint(config: &SupervisorConfig, identity: TraceId, state: &RunState) -> Vec<u8> {
+    let mut meta = SectionWriter::new();
+    meta.put_u8(config.kind.tag());
+    meta.put_u64(config.seed);
+    meta.put_u64(identity.len);
+    meta.put_u32(identity.head_crc);
+
+    let mut b = SnapshotBuilder::new();
+    b.add_raw(SEC_META, meta.into_bytes());
+    b.add(SEC_PREDICTOR, &state.predictor);
+    b.add(SEC_CONTROL, &state.control);
+    b.add(SEC_STATS, &state.stats);
+    b.add(SEC_RNG, &state.rng);
+    b.add(SEC_CURSOR, &state.pos);
+    b.finish()
+}
+
+/// Decodes a checkpoint archive, refusing one taken by a different run.
+fn decode_checkpoint(
+    bytes: &[u8],
+    config: &SupervisorConfig,
+    identity: TraceId,
+) -> Result<RunState, SupervisorError> {
+    let archive = SnapshotArchive::parse(bytes)?;
+    let meta_bytes = archive.section(SEC_META)?;
+    let mut meta = SectionReader::new(meta_bytes, SEC_META);
+    let tag = meta.take_u8("predictor kind tag")?;
+    let kind = PredictorKind::from_tag(tag)
+        .ok_or_else(|| meta.bad_value(format!("unknown predictor kind tag {tag}")))?;
+    let seed = meta.take_u64("supervisor seed")?;
+    let len = meta.take_u64("trace length")?;
+    let head_crc = meta.take_u32("trace head crc")?;
+    meta.finish()?;
+
+    if kind != config.kind {
+        return Err(SupervisorError::Mismatch(format!(
+            "checkpoint holds a {} predictor, run wants {}",
+            kind.name(),
+            config.kind.name()
+        )));
+    }
+    if seed != config.seed {
+        return Err(SupervisorError::Mismatch(format!(
+            "checkpoint seed {seed:#x} != run seed {:#x}",
+            config.seed
+        )));
+    }
+    let ckpt_id = TraceId { len, head_crc };
+    if ckpt_id != identity {
+        return Err(SupervisorError::Mismatch(format!(
+            "checkpoint was taken against a different trace \
+             (len {len}, head crc {head_crc:#010x}; file has len {}, head crc {:#010x})",
+            identity.len, identity.head_crc
+        )));
+    }
+
+    Ok(RunState {
+        predictor: archive.restore(SEC_PREDICTOR)?,
+        control: archive.restore(SEC_CONTROL)?,
+        stats: archive.restore(SEC_STATS)?,
+        rng: archive.restore(SEC_RNG)?,
+        pos: archive.restore(SEC_CURSOR)?,
+    })
+}
+
+/// Resolves the resume mode into an initial [`RunState`].
+fn initial_state(
+    config: &SupervisorConfig,
+    identity: TraceId,
+) -> Result<(RunState, Option<PathBuf>, Vec<PathBuf>), SupervisorError> {
+    match &config.resume {
+        Resume::No => Ok((RunState::fresh(config), None, Vec::new())),
+        Resume::Auto => {
+            let Some(dir) = &config.checkpoint_dir else {
+                return Err(SupervisorError::Mismatch(
+                    "resume=auto needs a checkpoint directory".to_owned(),
+                ));
+            };
+            let recovery = recover_latest(dir)?;
+            match recovery.chosen {
+                Some((path, bytes)) => {
+                    let state = decode_checkpoint(&bytes, config, identity)?;
+                    Ok((state, Some(path), recovery.removed))
+                }
+                None => Ok((RunState::fresh(config), None, recovery.removed)),
+            }
+        }
+        Resume::From(path) => {
+            let bytes = with_retry(&config.retry, |_| true, || std::fs::read(path))?;
+            let state = decode_checkpoint(&bytes, config, identity)?;
+            Ok((state, Some(path.clone()), Vec::new()))
+        }
+    }
+}
+
+/// Drives one supervised, checkpointed, resumable run to completion (or
+/// to `kill_after`).
+///
+/// # Errors
+///
+/// [`SupervisorError`] on unreadable traces, malformed trace lines,
+/// undecodable or mismatched checkpoints, or exhausted I/O retries.
+pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
+    let identity = with_retry(&config.retry, |_| true, || trace_identity(&config.trace))?;
+    let (mut state, resumed_from, recovery_removed) = initial_state(config, identity)?;
+
+    let mut cursor = with_retry(&config.retry, |_| true, || {
+        TraceCursor::open_at(&config.trace, state.pos)
+    })?;
+
+    // One planned fault per chaos tick, drawn from the checkpointed RNG so
+    // a resumed chaotic run replays the exact fault stream of an
+    // uninterrupted one.
+    let chaos_plan = FaultPlan::new(config.seed, 1);
+    let mut checkpoints_written = 0u64;
+    let mut faults_applied = 0u64;
+
+    loop {
+        let next = with_retry(
+            &config.retry,
+            |e| matches!(e, ParseTraceError::Io(_)),
+            || cursor.next_event(),
+        )?;
+        let Some(event) = next else { break };
+
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: state.control.ghr,
+                    path: state.control.path,
+                    pending: 0,
+                };
+                let pred = state.predictor.predict(&ctx);
+                state.predictor.update(&ctx, load.addr, &pred);
+                state.stats.record(&pred, load.addr);
+            }
+            TraceEvent::Branch(b) => state.control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+
+        let events = cursor.position().events;
+
+        // Chaos strictly before checkpointing: the checkpoint then captures
+        // the post-fault state and the advanced RNG, so resume replays the
+        // remainder of the run exactly.
+        if config.chaos_every > 0 && events % config.chaos_every == 0 {
+            let report = chaos_plan.inject_with(state.predictor.as_fault_target(), &mut state.rng);
+            faults_applied += report.applied as u64;
+        }
+
+        if config.checkpoint_every > 0 && events % config.checkpoint_every == 0 {
+            if let Some(dir) = &config.checkpoint_dir {
+                state.pos = cursor.position();
+                let bytes = encode_checkpoint(config, identity, &state);
+                with_retry(&config.retry, |_| true, || {
+                    write_checkpoint(dir, events, &bytes)
+                })?;
+                rotate_checkpoints(dir, config.keep)?;
+                checkpoints_written += 1;
+            }
+        }
+
+        if config.kill_after == Some(events) {
+            return Ok(RunOutcome {
+                stats: state.stats,
+                events,
+                checkpoints_written,
+                resumed_from,
+                recovery_removed,
+                faults_applied,
+                killed: true,
+            });
+        }
+    }
+
+    Ok(RunOutcome {
+        stats: state.stats,
+        events: cursor.position().events,
+        checkpoints_written,
+        resumed_from,
+        recovery_removed,
+        faults_applied,
+        killed: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_trace::io::write_trace;
+    use cap_trace::suites::catalog;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cap-supervisor-{tag}-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn write_temp_trace(dir: &Path, loads: usize) -> PathBuf {
+        let trace = catalog()[1].generate(loads);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).expect("serialize");
+        let path = dir.join("trace.txt");
+        fs::write(&path, bytes).expect("write trace");
+        path
+    }
+
+    fn assert_stats_eq(a: &PredictorStats, b: &PredictorStats) {
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.correct_predictions, b.correct_predictions);
+        assert_eq!(a.spec_accesses, b.spec_accesses);
+        assert_eq!(a.correct_spec, b.correct_spec);
+        assert_eq!(a.both_predicted_spec, b.both_predicted_spec);
+        assert_eq!(a.selector_states, b.selector_states);
+        assert_eq!(a.miss_selections, b.miss_selections);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let dir = temp_dir("resume");
+        let trace = write_temp_trace(&dir, 6_000);
+
+        // Reference: one uninterrupted run.
+        let reference = run(&SupervisorConfig::new(&trace, PredictorKind::Hybrid)).unwrap();
+        assert!(!reference.killed);
+        assert!(reference.stats.loads > 0);
+
+        // Killed run: checkpoints every 512 events, dies at 3_000.
+        let ckpt_dir = dir.join("ckpts");
+        let mut cfg = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        cfg.checkpoint_dir = Some(ckpt_dir.clone());
+        cfg.checkpoint_every = 512;
+        cfg.kill_after = Some(3_000);
+        let killed = run(&cfg).unwrap();
+        assert!(killed.killed);
+        assert!(killed.checkpoints_written > 0);
+
+        // Resumed run: picks up the newest checkpoint, finishes the trace.
+        let mut cfg2 = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        cfg2.checkpoint_dir = Some(ckpt_dir);
+        cfg2.checkpoint_every = 512;
+        cfg2.resume = Resume::Auto;
+        let resumed = run(&cfg2).unwrap();
+        assert!(resumed.resumed_from.is_some());
+        assert_eq!(resumed.events, reference.events);
+        assert_stats_eq(&resumed.stats, &reference.stats);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaotic_kill_and_resume_is_bit_identical() {
+        let dir = temp_dir("chaos-resume");
+        let trace = write_temp_trace(&dir, 5_000);
+
+        let mut base = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        base.chaos_every = 97;
+        base.seed = 0xD1CE;
+        let reference = run(&base).unwrap();
+        assert!(reference.faults_applied > 0, "chaos must land on a warm predictor");
+
+        let ckpt_dir = dir.join("ckpts");
+        let mut cfg = base.clone();
+        cfg.checkpoint_dir = Some(ckpt_dir.clone());
+        cfg.checkpoint_every = 300;
+        cfg.kill_after = Some(2_500);
+        assert!(run(&cfg).unwrap().killed);
+
+        let mut cfg2 = base.clone();
+        cfg2.checkpoint_dir = Some(ckpt_dir);
+        cfg2.resume = Resume::Auto;
+        let resumed = run(&cfg2).unwrap();
+        assert_stats_eq(&resumed.stats, &reference.stats);
+        // The resumed process replays the chaos stream from the checkpoint
+        // onward (it overlaps the killed run between its last checkpoint
+        // and the kill point, so the counts don't partition — only the
+        // final state matters, and that is bit-identical above).
+        assert!(resumed.faults_applied > 0);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_refuses_foreign_checkpoints() {
+        let dir = temp_dir("mismatch");
+        let trace = write_temp_trace(&dir, 2_000);
+        let ckpt_dir = dir.join("ckpts");
+
+        let mut cfg = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        cfg.checkpoint_dir = Some(ckpt_dir.clone());
+        cfg.checkpoint_every = 500;
+        run(&cfg).unwrap();
+
+        // Wrong predictor kind.
+        let mut wrong_kind = SupervisorConfig::new(&trace, PredictorKind::Stride);
+        wrong_kind.checkpoint_dir = Some(ckpt_dir.clone());
+        wrong_kind.resume = Resume::Auto;
+        assert!(matches!(
+            run(&wrong_kind).unwrap_err(),
+            SupervisorError::Mismatch(_)
+        ));
+
+        // Wrong seed.
+        let mut wrong_seed = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        wrong_seed.checkpoint_dir = Some(ckpt_dir.clone());
+        wrong_seed.resume = Resume::Auto;
+        wrong_seed.seed = 1;
+        assert!(matches!(
+            run(&wrong_seed).unwrap_err(),
+            SupervisorError::Mismatch(_)
+        ));
+
+        // Different trace content (same length class not required — the
+        // head CRC changes).
+        let other = dir.join("other-trace.txt");
+        fs::write(&other, fs::read(&trace).unwrap().split_off(10)).unwrap();
+        let mut wrong_trace = SupervisorConfig::new(&other, PredictorKind::Hybrid);
+        wrong_trace.checkpoint_dir = Some(ckpt_dir);
+        wrong_trace.resume = Resume::Auto;
+        assert!(matches!(
+            run(&wrong_trace).unwrap_err(),
+            SupervisorError::Mismatch(_)
+        ));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn with_retry_respects_transience() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(0),
+        };
+        let mut calls = 0;
+        let result: Result<u32, &str> = with_retry(&policy, |_| true, || {
+            calls += 1;
+            if calls < 3 { Err("transient") } else { Ok(7) }
+        });
+        assert_eq!(result, Ok(7));
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let result: Result<u32, &str> = with_retry(&policy, |_| false, || {
+            calls += 1;
+            Err("fatal")
+        });
+        assert_eq!(result, Err("fatal"));
+        assert_eq!(calls, 1, "non-transient errors must not be retried");
+    }
+
+    #[test]
+    fn predictor_kind_names_roundtrip() {
+        for kind in [PredictorKind::Stride, PredictorKind::Cap, PredictorKind::Hybrid] {
+            assert_eq!(PredictorKind::parse(kind.name()), Some(kind));
+            assert_eq!(PredictorKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(PredictorKind::parse("nonsense"), None);
+        assert_eq!(PredictorKind::from_tag(9), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Checkpoint-directory robustness: rotation keeps exactly the newest K,
+//! and recovery survives every kind of debris a crash can leave behind —
+//! leftover `.tmp` files, zero-length checkpoints, torn writes — picking
+//! the newest *valid* checkpoint and sweeping the wreckage up.
+
+use cap_harness::checkpoint::{
+    checkpoint_file_name, list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint,
+};
+use cap_snapshot::SnapshotBuilder;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cap-checkpoint-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A minimal but *valid* snapshot archive whose payload encodes `n`.
+fn valid_archive(n: u64) -> Vec<u8> {
+    let mut b = SnapshotBuilder::new();
+    b.add_raw("payload", n.to_le_bytes().to_vec());
+    b.finish()
+}
+
+#[test]
+fn write_is_atomic_and_leaves_no_tmp_behind() {
+    let dir = temp_dir("atomic");
+    let path = write_checkpoint(&dir, 42, &valid_archive(42)).expect("writes");
+    assert_eq!(path.file_name().unwrap(), "ckpt-000000000042.capsnap");
+    let names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["ckpt-000000000042.capsnap".to_owned()]);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rotation_keeps_exactly_the_newest_k() {
+    let dir = temp_dir("rotate");
+    for events in [100u64, 200, 300, 400, 500] {
+        write_checkpoint(&dir, events, &valid_archive(events)).expect("writes");
+    }
+    let removed = rotate_checkpoints(&dir, 2).expect("rotates");
+    assert_eq!(removed.len(), 3);
+    let remaining: Vec<u64> = list_checkpoints(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![400, 500]);
+
+    // keep = 0 still preserves the newest.
+    rotate_checkpoints(&dir, 0).expect("rotates");
+    let remaining: Vec<u64> = list_checkpoints(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![500]);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_picks_newest_valid_and_sweeps_the_debris() {
+    let dir = temp_dir("recover");
+    // Two good checkpoints...
+    write_checkpoint(&dir, 1_000, &valid_archive(1)).expect("writes");
+    write_checkpoint(&dir, 2_000, &valid_archive(2)).expect("writes");
+    // ...then the crash: a zero-length published file, a torn (truncated)
+    // newest checkpoint, and a leftover .tmp from an interrupted write.
+    fs::write(dir.join(checkpoint_file_name(3_000)), b"").expect("zero-length");
+    let torn = &valid_archive(4)[..10];
+    fs::write(dir.join(checkpoint_file_name(4_000)), torn).expect("torn");
+    fs::write(
+        dir.join(format!("{}.tmp", checkpoint_file_name(5_000))),
+        b"half-written",
+    )
+    .expect("tmp orphan");
+
+    let recovery = recover_latest(&dir).expect("recovers");
+    let (chosen, bytes) = recovery.chosen.expect("a valid checkpoint exists");
+    assert_eq!(chosen.file_name().unwrap(), checkpoint_file_name(2_000).as_str());
+    assert_eq!(bytes, valid_archive(2));
+
+    // The zero-length file, the torn file, and the tmp orphan are gone;
+    // the older valid checkpoint is left for rotation.
+    assert_eq!(recovery.removed.len(), 3);
+    let remaining: Vec<u64> = list_checkpoints(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![1_000, 2_000]);
+    assert!(!dir
+        .join(format!("{}.tmp", checkpoint_file_name(5_000)))
+        .exists());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_of_an_empty_or_missing_directory_is_clean() {
+    let dir = temp_dir("empty");
+    let recovery = recover_latest(&dir).expect("empty dir recovers");
+    assert!(recovery.chosen.is_none());
+    assert!(recovery.removed.is_empty());
+
+    let missing = dir.join("never-created");
+    let recovery = recover_latest(&missing).expect("missing dir recovers");
+    assert!(recovery.chosen.is_none());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_with_only_invalid_checkpoints_reports_none_and_cleans_all() {
+    let dir = temp_dir("all-bad");
+    fs::write(dir.join(checkpoint_file_name(10)), b"").expect("zero-length");
+    fs::write(dir.join(checkpoint_file_name(20)), b"not a snapshot").expect("garbage");
+    let recovery = recover_latest(&dir).expect("recovers");
+    assert!(recovery.chosen.is_none());
+    assert_eq!(recovery.removed.len(), 2);
+    assert!(list_checkpoints(&dir).unwrap().is_empty());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_files_are_never_touched() {
+    let dir = temp_dir("foreign");
+    fs::write(dir.join("notes.txt"), b"keep me").expect("write");
+    fs::write(dir.join("ckpt-12.capsnap"), b"wrong digit count").expect("write");
+    write_checkpoint(&dir, 7, &valid_archive(7)).expect("writes");
+
+    rotate_checkpoints(&dir, 1).expect("rotates");
+    let recovery = recover_latest(&dir).expect("recovers");
+    assert!(recovery.chosen.is_some());
+    assert!(dir.join("notes.txt").exists());
+    assert!(dir.join("ckpt-12.capsnap").exists(), "non-canonical names are ignored");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -397,6 +397,91 @@ impl AddressPredictor for CapPredictor {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for CapParams {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.history.write_state(w);
+        w.put_bool(self.global_correlation);
+        w.put_u32(self.offset_lsb_bits);
+        w.put_u8(self.conf_threshold);
+        w.put_u8(self.conf_max);
+        w.put_bool(self.hysteresis);
+        self.cfi.write_state(w);
+        w.put_bool(self.confidence_enabled);
+        w.put_bool(self.speculative_history);
+    }
+}
+
+impl Restorable for CapParams {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let params = Self {
+            history: HistorySpec::read_state(r)?,
+            global_correlation: r.take_bool("cap global correlation")?,
+            offset_lsb_bits: r.take_u32("cap offset lsb bits")?,
+            conf_threshold: r.take_u8("cap conf threshold")?,
+            conf_max: r.take_u8("cap conf max")?,
+            hysteresis: r.take_bool("cap hysteresis")?,
+            cfi: crate::confidence::CfiMode::read_state(r)?,
+            confidence_enabled: r.take_bool("cap confidence enabled")?,
+            speculative_history: r.take_bool("cap speculative history")?,
+        };
+        // offset_lsb() shifts 1u32 by this amount, so 32+ would overflow.
+        if params.offset_lsb_bits > 31 {
+            return Err(r.bad_value(format!(
+                "cap offset lsb bits {} above 31",
+                params.offset_lsb_bits
+            )));
+        }
+        if params.conf_threshold == 0 || params.conf_threshold > params.conf_max {
+            return Err(r.bad_value(format!(
+                "cap conf threshold {} outside 1..=max ({})",
+                params.conf_threshold, params.conf_max
+            )));
+        }
+        Ok(params)
+    }
+}
+
+impl Snapshot for CapComponent {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.params.write_state(w);
+        self.lt.write_state(w);
+    }
+}
+
+impl Restorable for CapComponent {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let params = CapParams::read_state(r)?;
+        let lt = LinkTable::read_state(r)?;
+        // Mirror CapComponent::new's cross-check without its panic.
+        if (1usize << params.history.index_bits) < lt.config().sets() {
+            return Err(r.bad_value(format!(
+                "history index bits {} cannot cover {} LT sets",
+                params.history.index_bits,
+                lt.config().sets()
+            )));
+        }
+        Ok(Self { params, lt })
+    }
+}
+
+impl Snapshot for CapPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.lb.write_state(w);
+        self.component.write_state(w);
+    }
+}
+
+impl Restorable for CapPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            lb: LoadBuffer::read_state(r)?,
+            component: CapComponent::read_state(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -206,6 +206,98 @@ impl ControlFlowIndication {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for SaturatingCounter {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(self.value);
+        w.put_u8(self.threshold);
+        w.put_u8(self.max);
+        w.put_bool(self.hysteresis);
+    }
+}
+
+impl Restorable for SaturatingCounter {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let value = r.take_u8("counter value")?;
+        let threshold = r.take_u8("counter threshold")?;
+        let max = r.take_u8("counter max")?;
+        let hysteresis = r.take_bool("counter hysteresis")?;
+        if threshold == 0 || threshold > max {
+            return Err(r.bad_value(format!(
+                "counter threshold {threshold} outside 1..=max ({max})"
+            )));
+        }
+        if value > max {
+            return Err(r.bad_value(format!("counter value {value} above max {max}")));
+        }
+        Ok(Self {
+            value,
+            threshold,
+            max,
+            hysteresis,
+        })
+    }
+}
+
+impl Snapshot for CfiMode {
+    fn write_state(&self, w: &mut SectionWriter) {
+        match self {
+            CfiMode::Off => w.put_u8(0),
+            CfiMode::LastMisprediction { bits } => {
+                w.put_u8(1);
+                w.put_u32(*bits);
+            }
+            CfiMode::PerPath { bits } => {
+                w.put_u8(2);
+                w.put_u32(*bits);
+            }
+        }
+    }
+}
+
+impl Restorable for CfiMode {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8("cfi mode tag")? {
+            0 => Ok(CfiMode::Off),
+            1 => {
+                let bits = r.take_u32("cfi bits")?;
+                if bits == 0 || bits > 63 {
+                    return Err(r.bad_value(format!("last-misprediction bits {bits} outside 1..=63")));
+                }
+                Ok(CfiMode::LastMisprediction { bits })
+            }
+            2 => {
+                let bits = r.take_u32("cfi bits")?;
+                // path_bits is a u64 bitmap, so at most 2^6 = 64 paths.
+                if bits == 0 || bits > 6 {
+                    return Err(r.bad_value(format!("per-path bits {bits} outside 1..=6")));
+                }
+                Ok(CfiMode::PerPath { bits })
+            }
+            tag => Err(r.bad_value(format!("unknown cfi mode tag {tag}"))),
+        }
+    }
+}
+
+impl Snapshot for ControlFlowIndication {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_opt_u64(self.bad_pattern);
+        w.put_u64(self.path_bits);
+        w.put_bool(self.initialised);
+    }
+}
+
+impl Restorable for ControlFlowIndication {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            bad_pattern: r.take_opt_u64("cfi bad pattern")?,
+            path_bits: r.take_u64("cfi path bits")?,
+            initialised: r.take_bool("cfi initialised")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -250,15 +250,14 @@ mod tests {
         let mut a_addr = 0x10_0000u64;
         let mut b_addr = 0x80_0000u64;
         let mut wrong_after_88 = 0;
-        let mut phase = 0usize;
-        for _ in 0..300 {
+        for phase in 0..300usize {
             let da = [8u64, 8, 100][phase % 3];
             let db = [8u64, 8, 52][phase % 3];
             let pred_a = step(&mut p, 0x40, a_addr);
             let pred_b = step(&mut p, 0x80, b_addr);
             // The aliased [8, 8] context predicts the address *after* the
             // big jump, i.e. the phase-0 access of the next cycle.
-            if phase % 3 == 0 {
+            if phase.is_multiple_of(3) {
                 for (pred, actual) in [(pred_a, a_addr), (pred_b, b_addr)] {
                     if pred.addr.is_some() && !pred.is_correct(actual) {
                         wrong_after_88 += 1;
@@ -267,7 +266,6 @@ mod tests {
             }
             a_addr += da;
             b_addr += db;
-            phase += 1;
         }
         assert!(
             wrong_after_88 > 20,

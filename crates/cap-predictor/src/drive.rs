@@ -45,6 +45,24 @@ impl ControlState {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for ControlState {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u64(self.ghr);
+        w.put_u64(self.path);
+    }
+}
+
+impl Restorable for ControlState {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            ghr: r.take_u64("control ghr")?,
+            path: r.take_u64("control path")?,
+        })
+    }
+}
+
 /// Runs a predictor over a trace under the immediate-update model (§4):
 /// each load is predicted and resolved before the next load is seen.
 ///

@@ -182,6 +182,66 @@ impl HistoryBuffer {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for HistorySpec {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_len(self.length);
+        w.put_u32(self.shift);
+        w.put_u32(self.index_bits);
+        w.put_u32(self.tag_bits);
+    }
+}
+
+impl Restorable for HistorySpec {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let length = r.take_u64("history length")?;
+        let shift = r.take_u32("history shift")?;
+        let index_bits = r.take_u32("history index bits")?;
+        let tag_bits = r.take_u32("history tag bits")?;
+        // Mirror HistorySpec::validate without its panics, plus a sanity
+        // ceiling on length so hostile specs can't demand huge buffers.
+        if length == 0 || length > 1 << 16 {
+            return Err(r.bad_value(format!("history length {length} outside 1..=65536")));
+        }
+        if shift == 0 || shift > 63 {
+            return Err(r.bad_value(format!("history shift {shift} outside 1..=63")));
+        }
+        let width = index_bits.checked_add(tag_bits);
+        if !matches!(width, Some(1..=63)) {
+            return Err(r.bad_value(format!(
+                "folded width index {index_bits} + tag {tag_bits} outside 1..=63"
+            )));
+        }
+        Ok(Self {
+            length: length as usize,
+            shift,
+            index_bits,
+            tag_bits,
+        })
+    }
+}
+
+impl Snapshot for HistoryBuffer {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_len(self.addrs.len());
+        for &a in &self.addrs {
+            w.put_u64(a);
+        }
+    }
+}
+
+impl Restorable for HistoryBuffer {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.take_len(8, "history address count")?;
+        let mut addrs = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            addrs.push_back(r.take_u64("history address")?);
+        }
+        Ok(Self { addrs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -252,6 +252,83 @@ impl AddressPredictor for HybridPredictor {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for LtUpdatePolicy {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(match self {
+            Self::Always => 0,
+            Self::UnlessStrideCorrect => 1,
+            Self::UnlessStrideCorrectAndSelected => 2,
+        });
+    }
+}
+
+impl Restorable for LtUpdatePolicy {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8("lt update policy tag")? {
+            0 => Ok(Self::Always),
+            1 => Ok(Self::UnlessStrideCorrect),
+            2 => Ok(Self::UnlessStrideCorrectAndSelected),
+            t => Err(r.bad_value(format!("lt update policy tag {t} unknown"))),
+        }
+    }
+}
+
+impl Snapshot for SelectorPolicy {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(match self {
+            Self::Dynamic => 0,
+            Self::StaticStride => 1,
+            Self::StaticCap => 2,
+        });
+    }
+}
+
+impl Restorable for SelectorPolicy {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8("selector policy tag")? {
+            0 => Ok(Self::Dynamic),
+            1 => Ok(Self::StaticStride),
+            2 => Ok(Self::StaticCap),
+            t => Err(r.bad_value(format!("selector policy tag {t} unknown"))),
+        }
+    }
+}
+
+impl Snapshot for HybridPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.lb.write_state(w);
+        self.cap.write_state(w);
+        self.stride.params().write_state(w);
+        self.lt_update.write_state(w);
+        self.selector_policy.write_state(w);
+    }
+}
+
+impl Restorable for HybridPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let lb = LoadBuffer::read_state(r)?;
+        let cap = CapComponent::read_state(r)?;
+        let stride_params = StrideParams::read_state(r)?;
+        Ok(Self {
+            lb,
+            cap,
+            stride: StrideComponent::new(stride_params),
+            lt_update: LtUpdatePolicy::read_state(r)?,
+            selector_policy: SelectorPolicy::read_state(r)?,
+        })
+    }
+}
+
+impl HybridPredictor {
+    /// Number of live Link Table entries (diagnostics).
+    #[must_use]
+    pub fn cap_link_table_occupancy(&self) -> usize {
+        self.cap.link_table().occupancy()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,10 +481,3 @@ mod tests {
     }
 }
 
-impl HybridPredictor {
-    /// Number of live Link Table entries (diagnostics).
-    #[must_use]
-    pub fn cap_link_table_occupancy(&self) -> usize {
-        self.cap.link_table().occupancy()
-    }
-}

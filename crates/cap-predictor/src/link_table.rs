@@ -66,7 +66,7 @@ impl LinkTableConfig {
         assert!(self.entries.is_power_of_two(), "LT entries must be a power of two");
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.entries % self.assoc == 0 && (self.entries / self.assoc).is_power_of_two(),
+            self.entries.is_multiple_of(self.assoc) && (self.entries / self.assoc).is_power_of_two(),
             "LT sets must be a power of two"
         );
     }
@@ -260,6 +260,155 @@ impl LinkTable {
     /// [`PfMode::Decoupled`]); each slot is `(pf_bits, primed)`.
     pub fn decoupled_pf_mut(&mut self) -> &mut [(u8, bool)] {
         &mut self.decoupled_pf
+    }
+}
+
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for PfMode {
+    fn write_state(&self, w: &mut SectionWriter) {
+        match self {
+            PfMode::Off => w.put_u8(0),
+            PfMode::Inline => w.put_u8(1),
+            PfMode::Decoupled { extra_index_bits } => {
+                w.put_u8(2);
+                w.put_u32(*extra_index_bits);
+            }
+        }
+    }
+}
+
+impl Restorable for PfMode {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8("pf mode tag")? {
+            0 => Ok(PfMode::Off),
+            1 => Ok(PfMode::Inline),
+            2 => {
+                let extra_index_bits = r.take_u32("pf extra index bits")?;
+                if extra_index_bits > 16 {
+                    return Err(r.bad_value(format!("pf extra index bits {extra_index_bits} above 16")));
+                }
+                Ok(PfMode::Decoupled { extra_index_bits })
+            }
+            tag => Err(r.bad_value(format!("unknown pf mode tag {tag}"))),
+        }
+    }
+}
+
+impl Snapshot for LinkTableConfig {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_len(self.entries);
+        w.put_len(self.assoc);
+        self.pf_mode.write_state(w);
+    }
+}
+
+impl Restorable for LinkTableConfig {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let entries = r.take_u64("lt entries")?;
+        let assoc = r.take_u64("lt associativity")?;
+        let pf_mode = PfMode::read_state(r)?;
+        // Mirror LinkTableConfig::validate without its panics, with a
+        // ceiling so hostile configs can't demand unbounded allocation.
+        if !entries.is_power_of_two() || entries > 1 << 24 {
+            return Err(r.bad_value(format!("lt entries {entries} not a power of two <= 2^24")));
+        }
+        if assoc == 0 || assoc > entries || entries % assoc != 0 || !(entries / assoc).is_power_of_two() {
+            return Err(r.bad_value(format!("lt associativity {assoc} incompatible with {entries} entries")));
+        }
+        let config = Self {
+            entries: entries as usize,
+            assoc: assoc as usize,
+            pf_mode,
+        };
+        if let PfMode::Decoupled { extra_index_bits } = pf_mode {
+            if (config.sets() as u64) << extra_index_bits > 1 << 26 {
+                return Err(r.bad_value(format!(
+                    "decoupled pf table of {} sets << {extra_index_bits} bits above 2^26 slots",
+                    config.sets()
+                )));
+            }
+        }
+        Ok(config)
+    }
+}
+
+impl Snapshot for LtEntry {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u64(self.tag);
+        w.put_u64(self.link);
+        w.put_u8(self.pf);
+        w.put_bool(self.pf_primed);
+        w.put_u64(self.lru);
+    }
+}
+
+impl Restorable for LtEntry {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            tag: r.take_u64("lt entry tag")?,
+            link: r.take_u64("lt entry link")?,
+            pf: r.take_u8("lt entry pf bits")?,
+            pf_primed: r.take_bool("lt entry pf primed")?,
+            lru: r.take_u64("lt entry lru")?,
+        })
+    }
+}
+
+impl Snapshot for LinkTable {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.config.write_state(w);
+        w.put_u64(self.tick);
+        for set in &self.sets {
+            for way in set {
+                match way {
+                    Some(entry) => {
+                        w.put_bool(true);
+                        entry.write_state(w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+        }
+        for &(pf, primed) in &self.decoupled_pf {
+            w.put_u8(pf);
+            w.put_bool(primed);
+        }
+    }
+}
+
+impl Restorable for LinkTable {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let config = LinkTableConfig::read_state(r)?;
+        let tick = r.take_u64("lt tick")?;
+        let mut sets = Vec::with_capacity(config.sets());
+        for _ in 0..config.sets() {
+            let mut set = Vec::with_capacity(config.assoc);
+            for _ in 0..config.assoc {
+                set.push(if r.take_bool("lt way presence")? {
+                    Some(LtEntry::read_state(r)?)
+                } else {
+                    None
+                });
+            }
+            sets.push(set);
+        }
+        let decoupled_len = match config.pf_mode {
+            PfMode::Decoupled { extra_index_bits } => config.sets() << extra_index_bits,
+            _ => 0,
+        };
+        let mut decoupled_pf = Vec::with_capacity(decoupled_len);
+        for _ in 0..decoupled_len {
+            let pf = r.take_u8("decoupled pf bits")?;
+            let primed = r.take_bool("decoupled pf primed")?;
+            decoupled_pf.push((pf, primed));
+        }
+        Ok(Self {
+            config,
+            sets,
+            decoupled_pf,
+            tick,
+        })
     }
 }
 

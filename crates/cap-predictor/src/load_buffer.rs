@@ -160,7 +160,7 @@ impl LoadBufferConfig {
         assert!(self.entries.is_power_of_two(), "LB entries must be a power of two");
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.entries % self.assoc == 0 && (self.entries / self.assoc).is_power_of_two(),
+            self.entries.is_multiple_of(self.assoc) && (self.entries / self.assoc).is_power_of_two(),
             "LB sets must be a power of two"
         );
     }
@@ -268,6 +268,166 @@ impl LoadBuffer {
     /// corrupted tag simply behaves like an evicted/aliased entry).
     pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut LbEntry> {
         self.sets.iter_mut().flatten().flatten()
+    }
+}
+
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for StrideState {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(match self {
+            StrideState::Init => 0,
+            StrideState::Transient => 1,
+            StrideState::Steady => 2,
+        });
+    }
+}
+
+impl Restorable for StrideState {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        match r.take_u8("stride state tag")? {
+            0 => Ok(StrideState::Init),
+            1 => Ok(StrideState::Transient),
+            2 => Ok(StrideState::Steady),
+            tag => Err(r.bad_value(format!("unknown stride state tag {tag}"))),
+        }
+    }
+}
+
+impl Snapshot for IntervalCounter {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u32(self.learned);
+        w.put_u32(self.run);
+    }
+}
+
+impl Restorable for IntervalCounter {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            learned: r.take_u32("interval learned")?,
+            run: r.take_u32("interval run")?,
+        })
+    }
+}
+
+impl Snapshot for LbEntry {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u64(self.tag);
+        self.history.write_state(w);
+        self.spec_history.write_state(w);
+        w.put_u32(self.offset_lsb);
+        self.cap_conf.write_state(w);
+        self.cap_cfi.write_state(w);
+        w.put_bool(self.stride_seen);
+        w.put_u64(self.last_addr);
+        w.put_i64(self.stride);
+        self.stride_state.write_state(w);
+        self.stride_conf.write_state(w);
+        self.stride_cfi.write_state(w);
+        self.interval.write_state(w);
+        w.put_u8(self.selector);
+        w.put_u64(self.lru);
+    }
+}
+
+impl Restorable for LbEntry {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let entry = Self {
+            tag: r.take_u64("lb entry tag")?,
+            history: HistoryBuffer::read_state(r)?,
+            spec_history: HistoryBuffer::read_state(r)?,
+            offset_lsb: r.take_u32("lb offset lsb")?,
+            cap_conf: SaturatingCounter::read_state(r)?,
+            cap_cfi: ControlFlowIndication::read_state(r)?,
+            stride_seen: r.take_bool("lb stride seen")?,
+            last_addr: r.take_u64("lb last addr")?,
+            stride: r.take_i64("lb stride")?,
+            stride_state: StrideState::read_state(r)?,
+            stride_conf: SaturatingCounter::read_state(r)?,
+            stride_cfi: ControlFlowIndication::read_state(r)?,
+            interval: IntervalCounter::read_state(r)?,
+            selector: r.take_u8("lb selector")?,
+            lru: r.take_u64("lb lru")?,
+        };
+        if entry.selector > 3 {
+            return Err(r.bad_value(format!("lb selector {} above 3 (2-bit counter)", entry.selector)));
+        }
+        Ok(entry)
+    }
+}
+
+impl Snapshot for LoadBufferConfig {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_len(self.entries);
+        w.put_len(self.assoc);
+    }
+}
+
+impl Restorable for LoadBufferConfig {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let entries = r.take_u64("lb entries")?;
+        let assoc = r.take_u64("lb associativity")?;
+        // Mirror LoadBufferConfig::validate without its panics, with a
+        // ceiling so hostile configs can't demand unbounded allocation.
+        if !entries.is_power_of_two() || entries > 1 << 24 {
+            return Err(r.bad_value(format!("lb entries {entries} not a power of two <= 2^24")));
+        }
+        if assoc == 0 || assoc > entries || entries % assoc != 0 || !(entries / assoc).is_power_of_two() {
+            return Err(r.bad_value(format!("lb associativity {assoc} incompatible with {entries} entries")));
+        }
+        Ok(Self {
+            entries: entries as usize,
+            assoc: assoc as usize,
+        })
+    }
+}
+
+impl Snapshot for LoadBuffer {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.config.write_state(w);
+        self.proto.cap_conf.write_state(w);
+        self.proto.stride_conf.write_state(w);
+        w.put_u64(self.tick);
+        for set in &self.sets {
+            for way in set {
+                match way {
+                    Some(entry) => {
+                        w.put_bool(true);
+                        entry.write_state(w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+        }
+    }
+}
+
+impl Restorable for LoadBuffer {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let config = LoadBufferConfig::read_state(r)?;
+        let proto = LbEntryProto {
+            cap_conf: SaturatingCounter::read_state(r)?,
+            stride_conf: SaturatingCounter::read_state(r)?,
+        };
+        let tick = r.take_u64("lb tick")?;
+        let mut sets = Vec::with_capacity(config.sets());
+        for _ in 0..config.sets() {
+            let mut set = Vec::with_capacity(config.assoc);
+            for _ in 0..config.assoc {
+                set.push(if r.take_bool("lb way presence")? {
+                    Some(LbEntry::read_state(r)?)
+                } else {
+                    None
+                });
+            }
+            sets.push(set);
+        }
+        Ok(Self {
+            config,
+            proto,
+            sets,
+            tick,
+        })
     }
 }
 

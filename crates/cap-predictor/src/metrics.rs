@@ -133,6 +133,42 @@ impl PredictorStats {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for PredictorStats {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u64(self.loads);
+        w.put_u64(self.predictions);
+        w.put_u64(self.spec_accesses);
+        w.put_u64(self.correct_spec);
+        w.put_u64(self.correct_predictions);
+        w.put_u64(self.both_predicted_spec);
+        for s in self.selector_states {
+            w.put_u64(s);
+        }
+        w.put_u64(self.miss_selections);
+    }
+}
+
+impl Restorable for PredictorStats {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let mut stats = Self {
+            loads: r.take_u64("stats loads")?,
+            predictions: r.take_u64("stats predictions")?,
+            spec_accesses: r.take_u64("stats spec accesses")?,
+            correct_spec: r.take_u64("stats correct spec")?,
+            correct_predictions: r.take_u64("stats correct predictions")?,
+            both_predicted_spec: r.take_u64("stats both predicted spec")?,
+            ..Self::default()
+        };
+        for s in &mut stats.selector_states {
+            *s = r.take_u64("stats selector state")?;
+        }
+        stats.miss_selections = r.take_u64("stats miss selections")?;
+        Ok(stats)
+    }
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0

@@ -287,6 +287,14 @@ impl AddressPredictor for ProfileGuidedPredictor {
     }
 }
 
+impl ProfileGuidedPredictor {
+    /// Number of live Load Buffer entries (diagnostics).
+    #[must_use]
+    pub fn lb_occupancy(&self) -> usize {
+        self.lb.occupancy()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,10 +398,3 @@ mod tests {
     }
 }
 
-impl ProfileGuidedPredictor {
-    /// Number of live Load Buffer entries (diagnostics).
-    #[must_use]
-    pub fn lb_occupancy(&self) -> usize {
-        self.lb.occupancy()
-    }
-}

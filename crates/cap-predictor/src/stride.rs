@@ -270,6 +270,56 @@ impl AddressPredictor for StridePredictor {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for StrideParams {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u8(self.conf_threshold);
+        w.put_u8(self.conf_max);
+        w.put_bool(self.hysteresis);
+        self.cfi.write_state(w);
+        w.put_bool(self.interval);
+        w.put_bool(self.catch_up);
+    }
+}
+
+impl Restorable for StrideParams {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let params = Self {
+            conf_threshold: r.take_u8("stride conf threshold")?,
+            conf_max: r.take_u8("stride conf max")?,
+            hysteresis: r.take_bool("stride hysteresis")?,
+            cfi: CfiMode::read_state(r)?,
+            interval: r.take_bool("stride interval")?,
+            catch_up: r.take_bool("stride catch up")?,
+        };
+        if params.conf_threshold == 0 || params.conf_threshold > params.conf_max {
+            return Err(r.bad_value(format!(
+                "stride conf threshold {} outside 1..=max ({})",
+                params.conf_threshold, params.conf_max
+            )));
+        }
+        Ok(params)
+    }
+}
+
+impl Snapshot for StridePredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.component.params.write_state(w);
+        self.lb.write_state(w);
+    }
+}
+
+impl Restorable for StridePredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let params = StrideParams::read_state(r)?;
+        Ok(Self {
+            lb: LoadBuffer::read_state(r)?,
+            component: StrideComponent::new(params),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

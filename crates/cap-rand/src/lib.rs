@@ -139,6 +139,13 @@ impl Xoshiro256PlusPlus {
         }
         Self { s }
     }
+
+    /// The raw state words, for checkpointing. `from_state(x.state())`
+    /// reproduces the generator at exactly this stream position.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
 }
 
 impl SeedableRng for Xoshiro256PlusPlus {

@@ -1,0 +1,142 @@
+//! Structured decode errors.
+//!
+//! Every way a snapshot can fail to load maps to one variant, and every
+//! variant names the *section* it arose in — the contract the chaos suite
+//! in `cap-faults` enforces: hostile bytes may produce any of these, but
+//! never a panic.
+
+/// Why a snapshot (or one of its sections) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The container does not start with the snapshot magic.
+    BadMagic {
+        /// The bytes found where the magic should be (possibly short).
+        found: Vec<u8>,
+    },
+    /// The container's format version is not one this build can read.
+    VersionSkew {
+        /// Version stored in the container.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// Fewer bytes were available than a field required.
+    Truncated {
+        /// Section being decoded (`"container"` for the outer framing).
+        section: String,
+        /// The field or structure being read when bytes ran out.
+        what: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A section's stored CRC-32 does not match its payload.
+    CrcMismatch {
+        /// Section whose checksum failed.
+        section: String,
+        /// CRC stored in the container.
+        stored: u32,
+        /// CRC computed over the payload as read.
+        computed: u32,
+    },
+    /// A stored length or count is larger than the bytes that could back
+    /// it — rejected *before* any allocation is sized from it.
+    WidthOverflow {
+        /// Section being decoded.
+        section: String,
+        /// The count or length field in question.
+        what: &'static str,
+        /// The stored value.
+        value: u64,
+        /// The maximum the surrounding bytes could support.
+        limit: u64,
+    },
+    /// A decoded value violates the target type's invariants (bad enum
+    /// tag, non-power-of-two geometry, counter above its ceiling, ...).
+    BadValue {
+        /// Section being decoded.
+        section: String,
+        /// What was wrong.
+        what: String,
+    },
+    /// A section the restore required is absent from the container.
+    MissingSection {
+        /// The section name looked up.
+        name: String,
+    },
+    /// A section decoded cleanly but left unread bytes behind — the
+    /// payload does not have the shape the type expected.
+    TrailingBytes {
+        /// Section being decoded.
+        section: String,
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+}
+
+impl SnapshotError {
+    /// The section the error arose in, where one is known.
+    #[must_use]
+    pub fn section(&self) -> Option<&str> {
+        match self {
+            SnapshotError::Truncated { section, .. }
+            | SnapshotError::CrcMismatch { section, .. }
+            | SnapshotError::WidthOverflow { section, .. }
+            | SnapshotError::BadValue { section, .. }
+            | SnapshotError::TrailingBytes { section, .. } => Some(section),
+            SnapshotError::MissingSection { name } => Some(name),
+            SnapshotError::BadMagic { .. } | SnapshotError::VersionSkew { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot: bad magic {found:02x?}")
+            }
+            SnapshotError::VersionSkew { found, supported } => {
+                write!(f, "snapshot format version {found} unsupported (this build reads <= {supported})")
+            }
+            SnapshotError::Truncated {
+                section,
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "section '{section}': truncated reading {what} (needed {needed} bytes, {available} left)"
+            ),
+            SnapshotError::CrcMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section '{section}': CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            SnapshotError::WidthOverflow {
+                section,
+                what,
+                value,
+                limit,
+            } => write!(
+                f,
+                "section '{section}': {what} of {value} exceeds what {limit} remaining bytes can hold"
+            ),
+            SnapshotError::BadValue { section, what } => {
+                write!(f, "section '{section}': {what}")
+            }
+            SnapshotError::MissingSection { name } => {
+                write!(f, "snapshot has no section '{name}'")
+            }
+            SnapshotError::TrailingBytes { section, remaining } => {
+                write!(f, "section '{section}': {remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

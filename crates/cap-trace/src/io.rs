@@ -202,7 +202,7 @@ impl<'a> LineParser<'a> {
 /// strict and lenient readers; every failure mode is a structured
 /// [`ParseTraceError::Malformed`] carrying `line_no` — this function never
 /// panics, whatever the input bytes were.
-fn parse_event_line(trimmed: &str, line_no: usize) -> Result<TraceEvent, ParseTraceError> {
+pub(crate) fn parse_event_line(trimmed: &str, line_no: usize) -> Result<TraceEvent, ParseTraceError> {
     let mut fields = trimmed.split_whitespace();
     let Some(tag) = fields.next() else {
         // Unreachable through the public readers (blank lines are skipped
@@ -298,6 +298,20 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
     Ok(trace)
 }
 
+/// One malformed line skipped by [`read_trace_lenient`], with enough
+/// position information to inspect the damage in the source stream (`dd`,
+/// hex editors, or a re-read with [`crate::cursor::TraceCursor`] all work
+/// in byte offsets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number.
+    pub line: usize,
+    /// Byte offset of the start of the line in the input stream.
+    pub byte_offset: u64,
+    /// Why the line was rejected.
+    pub reason: String,
+}
+
 /// Outcome of a lossy [`read_trace_lenient`] pass.
 #[derive(Debug)]
 #[must_use]
@@ -309,6 +323,8 @@ pub struct LenientParse {
     /// The first skip, as `(1-based line number, reason)` — a ready-made
     /// warning message for callers that log degradation.
     pub first_error: Option<(usize, String)>,
+    /// Every skipped line with its byte offset, in stream order.
+    pub skips: Vec<SkippedLine>,
 }
 
 impl LenientParse {
@@ -332,20 +348,29 @@ pub fn read_trace_lenient<R: BufRead>(mut r: R) -> io::Result<LenientParse> {
         trace: Trace::new(),
         skipped: 0,
         first_error: None,
+        skips: Vec::new(),
     };
     let mut raw = Vec::new();
     let mut line_no = 0usize;
+    let mut consumed = 0u64;
     loop {
         raw.clear();
         if r.read_until(b'\n', &mut raw)? == 0 {
             break;
         }
         line_no += 1;
+        let line_start = consumed;
+        consumed += raw.len() as u64;
         let skip = |out: &mut LenientParse, reason: String| {
             out.skipped += 1;
             if out.first_error.is_none() {
-                out.first_error = Some((line_no, reason));
+                out.first_error = Some((line_no, reason.clone()));
             }
+            out.skips.push(SkippedLine {
+                line: line_no,
+                byte_offset: line_start,
+                reason,
+            });
         };
         let Ok(line) = std::str::from_utf8(&raw) else {
             skip(&mut out, "invalid UTF-8".to_owned());
@@ -468,6 +493,28 @@ mod tests {
         let parsed = read_trace_lenient(buf.as_slice()).expect("no io error");
         assert!(parsed.is_clean());
         assert_eq!(parsed.trace, trace);
+    }
+
+    #[test]
+    fn lenient_records_byte_offset_of_every_skip() {
+        let good1 = "L 400 1008 8 4 0 - -\n";
+        let bad1 = "X what\n";
+        let good2 = "L 404 2000 0 4 0 - -\n";
+        let bad2 = "L zz zz\n";
+        let text = format!("{good1}{bad1}{good2}{bad2}");
+        let parsed = read_trace_lenient(text.as_bytes()).expect("no io error");
+        assert_eq!(parsed.skipped, 2);
+        assert_eq!(parsed.skips.len(), 2);
+        assert_eq!(parsed.skips[0].line, 2);
+        assert_eq!(parsed.skips[0].byte_offset, good1.len() as u64);
+        assert!(parsed.skips[0].reason.contains("unknown event tag"));
+        assert_eq!(
+            parsed.skips[1].byte_offset,
+            (good1.len() + bad1.len() + good2.len()) as u64
+        );
+        // The offset points at the damaged bytes in the original stream.
+        let start = parsed.skips[1].byte_offset as usize;
+        assert!(text[start..].starts_with("L zz"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod alloc;
 pub mod builder;
 pub mod corrupt;
+pub mod cursor;
 pub mod gen;
 pub mod io;
 pub mod record;

@@ -715,7 +715,7 @@ fn build_suite_mix(
             let is_w95 = suite == Suite::W95;
             add_globals(&mut mix, seats, rng, if is_w95 { 320 } else { 256 }, if is_w95 { 16 } else { 20 });
             add_bump_lists(&mut mix, seats, rng, 2, 28, 2);
-            add_long_array(&mut mix, seats, rng, 3072, if is_w95 { 2 } else { 2 });
+            add_long_array(&mut mix, seats, rng, 3072, 2);
             add_lists(&mut mix, seats, rng, 8, 10 + v % 4, 1);
             add_call_sites(&mut mix, seats, rng, 12, 6, 1);
             mix.add(

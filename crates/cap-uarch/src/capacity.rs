@@ -80,6 +80,46 @@ impl SlotTracker {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for SlotTracker {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u32(self.width);
+        w.put_u64(self.frontier);
+        // HashMap iteration order is unspecified: sort for a canonical
+        // encoding so identical states produce identical bytes.
+        let mut bookings: Vec<(u64, u32)> = self.used.iter().map(|(&c, &n)| (c, n)).collect();
+        bookings.sort_unstable();
+        w.put_len(bookings.len());
+        for (cycle, used) in bookings {
+            w.put_u64(cycle);
+            w.put_u32(used);
+        }
+    }
+}
+
+impl Restorable for SlotTracker {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let width = r.take_u32("slot tracker width")?;
+        if width == 0 {
+            return Err(r.bad_value("slot tracker width is zero".to_string()));
+        }
+        let frontier = r.take_u64("slot tracker frontier")?;
+        let len = r.take_len(12, "slot tracker booking count")?;
+        let mut used = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let cycle = r.take_u64("slot tracker cycle")?;
+            let count = r.take_u32("slot tracker booking")?;
+            used.insert(cycle, count);
+        }
+        Ok(Self {
+            width,
+            used,
+            frontier,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -394,7 +394,7 @@ impl OooCore {
             self.stats.instructions += 1;
 
             // Allow trackers to prune below the dispatch frontier.
-            if self.stats.instructions % 8192 == 0 {
+            if self.stats.instructions.is_multiple_of(8192) {
                 self.fetch_slots.retire_below(fetch);
                 self.dispatch_slots.retire_below(dispatch);
                 self.alu.retire_below(dispatch);
@@ -404,7 +404,7 @@ impl OooCore {
         }
 
         // Drain gap-pending predictor updates.
-        if let Some(p) = predictor.as_deref_mut() {
+        if let Some(p) = predictor {
             while let Some(u) = pending.pop_front() {
                 p.update(&u.ctx, u.actual, &u.pred);
                 self.stats.pred.record(&u.pred, u.actual);
@@ -414,6 +414,163 @@ impl OooCore {
         self.stats.cycles = self.last_commit;
         self.stats.l1_hit_rate = self.mem.l1_hit_rate();
         self.stats.clone()
+    }
+}
+
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for CoreConfig {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u32(self.width);
+        w.put_len(self.rob_entries);
+        w.put_u32(self.alu_units);
+        w.put_u32(self.mem_ports);
+        w.put_u32(self.frontend_latency);
+        w.put_u32(self.redirect_penalty);
+        w.put_u32(self.agen_latency);
+        w.put_u32(self.replay_penalty);
+        w.put_bool(self.prefetch);
+        self.l1.write_state(w);
+        self.l2.write_state(w);
+        self.latency.write_state(w);
+    }
+}
+
+impl Restorable for CoreConfig {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let width = r.take_u32("core width")?;
+        let rob_entries = r.take_u64("core rob entries")?;
+        let config = Self {
+            width,
+            rob_entries: rob_entries as usize,
+            alu_units: r.take_u32("core alu units")?,
+            mem_ports: r.take_u32("core mem ports")?,
+            frontend_latency: r.take_u32("core frontend latency")?,
+            redirect_penalty: r.take_u32("core redirect penalty")?,
+            agen_latency: r.take_u32("core agen latency")?,
+            replay_penalty: r.take_u32("core replay penalty")?,
+            prefetch: r.take_bool("core prefetch")?,
+            l1: CacheConfig::read_state(r)?,
+            l2: CacheConfig::read_state(r)?,
+            latency: crate::hierarchy::LatencyConfig::read_state(r)?,
+        };
+        if config.width == 0 || config.alu_units == 0 || config.mem_ports == 0 {
+            return Err(r.bad_value("core width/alu/ports must be positive".to_string()));
+        }
+        if rob_entries == 0 || rob_entries > 1 << 24 {
+            return Err(r.bad_value(format!(
+                "core rob entries {rob_entries} outside 1..=2^24"
+            )));
+        }
+        Ok(config)
+    }
+}
+
+impl Snapshot for CoreStats {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64(self.instructions);
+        w.put_u64(self.loads);
+        w.put_u64(self.branch_mispredicts);
+        w.put_u64(self.prefetches);
+        w.put_u64(self.l1_hit_rate.to_bits());
+        self.pred.write_state(w);
+    }
+}
+
+impl Restorable for CoreStats {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let stats = Self {
+            cycles: r.take_u64("stats cycles")?,
+            instructions: r.take_u64("stats instructions")?,
+            loads: r.take_u64("stats loads")?,
+            branch_mispredicts: r.take_u64("stats branch mispredicts")?,
+            prefetches: r.take_u64("stats prefetches")?,
+            l1_hit_rate: f64::from_bits(r.take_u64("stats l1 hit rate")?),
+            pred: PredictorStats::read_state(r)?,
+        };
+        if !stats.l1_hit_rate.is_finite() {
+            return Err(r.bad_value("stats l1 hit rate is not finite".to_string()));
+        }
+        Ok(stats)
+    }
+}
+
+impl Snapshot for OooCore {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.config.write_state(w);
+        self.mem.write_state(w);
+        self.branch.write_state(w);
+        self.fetch_slots.write_state(w);
+        self.dispatch_slots.write_state(w);
+        self.commit_slots.write_state(w);
+        self.alu.write_state(w);
+        self.ports.write_state(w);
+        for t in self.reg_ready {
+            w.put_u64(t);
+        }
+        // Canonical (sorted) encoding for the store-forwarding map.
+        let mut stores: Vec<(u64, u64)> = self.store_ready.iter().map(|(&a, &t)| (a, t)).collect();
+        stores.sort_unstable();
+        w.put_len(stores.len());
+        for (word, ready) in stores {
+            w.put_u64(word);
+            w.put_u64(ready);
+        }
+        w.put_len(self.commit_ring.len());
+        for &t in &self.commit_ring {
+            w.put_u64(t);
+        }
+        w.put_u64(self.redirect_time);
+        w.put_u64(self.last_commit);
+        self.control.write_state(w);
+        self.stats.write_state(w);
+    }
+}
+
+impl Restorable for OooCore {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let config = CoreConfig::read_state(r)?;
+        let mem = MemoryHierarchy::read_state(r)?;
+        let branch = HybridBranchPredictor::read_state(r)?;
+        let fetch_slots = SlotTracker::read_state(r)?;
+        let dispatch_slots = SlotTracker::read_state(r)?;
+        let commit_slots = SlotTracker::read_state(r)?;
+        let alu = SlotTracker::read_state(r)?;
+        let ports = SlotTracker::read_state(r)?;
+        let mut reg_ready = [0u64; RegId::COUNT];
+        for t in &mut reg_ready {
+            *t = r.take_u64("register ready time")?;
+        }
+        let n_stores = r.take_len(16, "store forwarding count")?;
+        let mut store_ready = HashMap::with_capacity(n_stores);
+        for _ in 0..n_stores {
+            let word = r.take_u64("store word address")?;
+            let ready = r.take_u64("store ready time")?;
+            store_ready.insert(word, ready);
+        }
+        let ring_len = r.take_len(8, "commit ring length")?;
+        let mut commit_ring = VecDeque::with_capacity(ring_len);
+        for _ in 0..ring_len {
+            commit_ring.push_back(r.take_u64("commit time")?);
+        }
+        Ok(Self {
+            config,
+            mem,
+            branch,
+            fetch_slots,
+            dispatch_slots,
+            commit_slots,
+            alu,
+            ports,
+            reg_ready,
+            store_ready,
+            commit_ring,
+            redirect_time: r.take_u64("redirect time")?,
+            last_commit: r.take_u64("last commit")?,
+            control: ControlState::read_state(r)?,
+            stats: CoreStats::read_state(r)?,
+        })
     }
 }
 

@@ -99,6 +99,44 @@ impl MemoryHierarchy {
     }
 }
 
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+impl Snapshot for LatencyConfig {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_u32(self.l1);
+        w.put_u32(self.l2);
+        w.put_u32(self.memory);
+    }
+}
+
+impl Restorable for LatencyConfig {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            l1: r.take_u32("l1 latency")?,
+            l2: r.take_u32("l2 latency")?,
+            memory: r.take_u32("memory latency")?,
+        })
+    }
+}
+
+impl Snapshot for MemoryHierarchy {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.l1.write_state(w);
+        self.l2.write_state(w);
+        self.latency.write_state(w);
+    }
+}
+
+impl Restorable for MemoryHierarchy {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            l1: Cache::read_state(r)?,
+            l2: Cache::read_state(r)?,
+            latency: LatencyConfig::read_state(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

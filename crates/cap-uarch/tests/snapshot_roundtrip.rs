@@ -1,0 +1,80 @@
+//! Snapshot round-trip fidelity for the timing core.
+//!
+//! The core is snapshotted between two trace segments; the restored core
+//! (and its restored address predictor) must replay the second segment to
+//! bit-identical timing statistics, and re-encoding the restored state
+//! must reproduce the original bytes.
+
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_snapshot::{Restorable, Snapshot, SnapshotArchive, SnapshotBuilder};
+use cap_uarch::core::{CoreConfig, CoreStats, OooCore};
+use cap_trace::Trace;
+
+fn traces() -> (Trace, Trace) {
+    let catalog = cap_trace::suites::catalog();
+    (catalog[0].generate(8_000), catalog[2].generate(8_000))
+}
+
+fn assert_stats_eq(a: &CoreStats, b: &CoreStats) {
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.loads, b.loads);
+    assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
+    assert_eq!(a.prefetches, b.prefetches);
+    assert_eq!(a.l1_hit_rate.to_bits(), b.l1_hit_rate.to_bits());
+    assert_eq!(a.pred, b.pred);
+}
+
+#[test]
+fn core_resume_is_bit_identical() {
+    let (first, second) = traces();
+
+    // Uninterrupted: both segments through one core and predictor.
+    let mut core = OooCore::new(CoreConfig::paper_default());
+    let mut pred = HybridPredictor::new(HybridConfig::paper_default());
+    core.run(&first, Some(&mut pred), 0);
+    let reference = core.run(&second, Some(&mut pred), 0);
+
+    // Interrupted: snapshot after the first segment, restore into fresh
+    // objects, replay the second segment there.
+    let mut core2 = OooCore::new(CoreConfig::paper_default());
+    let mut pred2 = HybridPredictor::new(HybridConfig::paper_default());
+    core2.run(&first, Some(&mut pred2), 0);
+
+    let mut b = SnapshotBuilder::new();
+    b.add("core", &core2);
+    b.add("predictor", &pred2);
+    let bytes = b.finish();
+    let archive = SnapshotArchive::parse(&bytes).expect("own snapshot parses");
+    let mut restored_core: OooCore = archive.restore("core").expect("core restores");
+    let mut restored_pred: HybridPredictor =
+        archive.restore("predictor").expect("predictor restores");
+
+    let resumed = restored_core.run(&second, Some(&mut restored_pred), 0);
+    assert_stats_eq(&resumed, &reference);
+}
+
+#[test]
+fn core_reencode_is_identical() {
+    let (first, _) = traces();
+    let mut core = OooCore::new(CoreConfig::paper_default());
+    core.run(&first, None, 0);
+    let payload = core.to_payload();
+    let restored = OooCore::from_payload(&payload, "core").expect("core payload restores");
+    assert_eq!(restored.to_payload(), payload);
+}
+
+#[test]
+fn hostile_core_payload_never_panics() {
+    // Truncations at every prefix of a real core payload must yield a
+    // structured error, not a panic.
+    let (first, _) = traces();
+    let mut core = OooCore::new(CoreConfig::paper_default());
+    core.run(&first, None, 0);
+    let payload = core.to_payload();
+    let step = (payload.len() / 257).max(1);
+    for cut in (0..payload.len()).step_by(step) {
+        let err = OooCore::from_payload(&payload[..cut], "core");
+        assert!(err.is_err(), "truncated payload at {cut} must not decode");
+    }
+}

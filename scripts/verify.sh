@@ -24,6 +24,42 @@ step "faults: chaos suite + 1k-mutation corruption smoke"
 cargo test -q --offline -p cap-faults
 cargo run -q --release --offline -p cap-faults --example corruption_smoke
 
+step "clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "snapshot: crate tests + scripted kill-and-resume smoke"
+cargo test -q --offline -p cap-snapshot
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SIMULATE=(cargo run -q --release --offline -p cap-harness --bin simulate --)
+"${SIMULATE[@]}" gen --out "$SMOKE_DIR/trace.txt" --loads 8000
+"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" --json \
+    > "$SMOKE_DIR/reference.json"
+KILLED_STATUS=0
+"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
+    --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
+    --kill-after 6000 || KILLED_STATUS=$?
+if [ "$KILLED_STATUS" -ne 137 ]; then
+    echo "ERROR: --kill-after must exit 137, got $KILLED_STATUS" >&2
+    exit 1
+fi
+"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
+    --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
+    --resume auto --json > "$SMOKE_DIR/resumed.json"
+grep -q '"resumed_from": "' "$SMOKE_DIR/resumed.json" || {
+    echo "ERROR: resumed run did not recover a checkpoint" >&2
+    exit 1
+}
+for key in loads predictions correct_predictions prediction_rate_bits; do
+    ref=$(grep "\"$key\"" "$SMOKE_DIR/reference.json")
+    res=$(grep "\"$key\"" "$SMOKE_DIR/resumed.json")
+    if [ "$ref" != "$res" ]; then
+        echo "ERROR: kill-and-resume diverged on $key: '$ref' vs '$res'" >&2
+        exit 1
+    fi
+done
+echo "kill-and-resume smoke: bit-identical metrics after resume"
+
 step "hermeticity: no external crates in any manifest"
 if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml | grep -v 'cap-rand'; then
     echo "ERROR: external dependency reference found in a manifest" >&2
