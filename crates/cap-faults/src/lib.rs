@@ -46,6 +46,7 @@
 pub mod invariants;
 pub mod plan;
 pub mod recovery;
+pub mod service;
 pub mod snapshot;
 pub mod target;
 
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::invariants::{check_invariants, InvariantViolation};
     pub use crate::plan::{FaultKind, FaultPlan, InjectionReport};
     pub use crate::recovery::{measure_recovery, RecoveryConfig, RecoveryReport};
+    pub use crate::service::{ServiceFault, ServiceFaultConfig, ServiceFaultPlan};
     pub use crate::snapshot::{corrupt_snapshot, SnapshotMutationKind};
     pub use crate::target::FaultTarget;
 }

@@ -23,6 +23,7 @@
 //! figures that *did* reproduce.
 
 use cap_harness::experiments::{ext, fig10, fig11, fig12, fig5, fig6, fig7, fig8, fig9, text};
+use cap_harness::json::JsonObject;
 use cap_harness::runner::Scale;
 use cap_harness::ExperimentReport;
 use std::sync::mpsc;
@@ -174,49 +175,27 @@ fn run_isolated(id: &'static str, scale: Scale, budget: Option<Duration>, inject
     }
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders the partial-results summary as JSON (hand-rolled: the workspace
-/// is dependency-free by design).
+/// Renders the partial-results summary via the workspace's shared JSON
+/// emitter ([`cap_harness::json`]).
 fn results_json(scale_name: &str, outcomes: &[Outcome]) -> String {
-    let mut body = String::from("{\n");
-    body.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    body.push_str("  \"experiments\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        let sep = if i + 1 < outcomes.len() { "," } else { "" };
-        let error = match &o.status {
-            Status::Panicked(msg) => format!(", \"error\": \"{}\"", json_escape(msg)),
-            _ => String::new(),
-        };
-        body.push_str(&format!(
-            "    {{\"id\": \"{}\", \"status\": \"{}\", \"seconds\": {:.3}{}}}{}\n",
-            o.id,
-            o.status.as_str(),
-            o.seconds,
-            error,
-            sep
-        ));
-    }
-    body.push_str("  ],\n");
+    let experiments = outcomes.iter().map(|o| {
+        let mut entry = JsonObject::new()
+            .string("id", o.id)
+            .string("status", o.status.as_str())
+            .f64("seconds", o.seconds, 3);
+        if let Status::Panicked(msg) = &o.status {
+            entry = entry.string("error", msg);
+        }
+        entry.compact()
+    });
     let ok = outcomes.iter().filter(|o| matches!(o.status, Status::Ok)).count();
-    body.push_str(&format!("  \"ok\": {ok},\n"));
-    body.push_str(&format!("  \"failed\": {}\n", outcomes.len() - ok));
-    body.push_str("}\n");
+    let mut body = JsonObject::new()
+        .string("scale", scale_name)
+        .array("experiments", experiments)
+        .u64("ok", ok as u64)
+        .u64("failed", (outcomes.len() - ok) as u64)
+        .pretty();
+    body.push('\n');
     body
 }
 

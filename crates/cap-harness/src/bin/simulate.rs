@@ -14,14 +14,37 @@
 //! status 137 like a SIGKILL) can be restarted with `--resume auto`: the
 //! newest valid checkpoint is recovered, torn files are swept up, and the
 //! finished run's metrics are bit-identical to an uninterrupted one.
+//!
+//! Service mode (the long-lived analogue of `run`):
+//!
+//! ```text
+//! simulate serve --addr 127.0.0.1:0 [--port-file <path>] [--workers <n>]
+//!          [--queue <n>] [--snapshot-dir <dir>] [--resume] [--keep <k>]
+//!          [--seed <s>] [--pin hybrid|stride-only|bypass]
+//! simulate client --addr <host:port> [--trace <path>] [--take <n>]
+//!          [--budget-ms <n>] [--stats] [--shutdown <drain-ms>] [--json]
+//! ```
+//!
+//! `serve` hosts the resilient prediction service over TCP; a client's
+//! shutdown request drains in-flight work under a bounded deadline and
+//! publishes a warm-restart snapshot (atomically, via the checkpoint
+//! machinery). `serve --resume` restores the newest valid snapshot, so a
+//! kill-and-restart cycle loses no trained predictor state.
 
+use cap_harness::checkpoint::{list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint};
+use cap_harness::json::JsonObject;
 use cap_harness::supervisor::{
     run, PredictorKind, Resume, RunOutcome, SupervisorConfig, SupervisorError,
 };
-use cap_trace::io::write_trace;
+use cap_predictor::drive::ControlState;
+use cap_service::prelude::*;
+use cap_trace::io::{read_trace, write_trace};
 use cap_trace::suites::catalog;
+use cap_trace::TraceEvent;
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Exit status of a `--kill-after` self-destruct (mirrors SIGKILL's 137).
 const KILLED_STATUS: i32 = 137;
@@ -58,6 +81,11 @@ fn usage() -> ! {
     eprintln!("                [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--keep <k>]");
     eprintln!("                [--resume auto|<path>] [--kill-after <n>] [--chaos-every <n>]");
     eprintln!("                [--seed <s>] [--json]");
+    eprintln!("       simulate serve [--addr <host:port>] [--port-file <path>]");
+    eprintln!("                [--workers <n>] [--queue <n>] [--snapshot-dir <dir>] [--resume]");
+    eprintln!("                [--keep <k>] [--seed <s>] [--pin hybrid|stride-only|bypass]");
+    eprintln!("       simulate client --addr <host:port> [--trace <path>] [--take <n>]");
+    eprintln!("                [--budget-ms <n>] [--stats] [--shutdown <drain-ms>] [--json]");
     exit(2);
 }
 
@@ -93,29 +121,66 @@ fn cmd_gen(mut args: Vec<String>) {
 
 fn outcome_json(kind: PredictorKind, outcome: &RunOutcome) -> String {
     let s = &outcome.stats;
-    let resumed = outcome
-        .resumed_from
-        .as_ref()
-        .map_or("null".to_owned(), |p| format!("\"{}\"", p.display()));
-    format!(
-        "{{\n  \"predictor\": \"{}\",\n  \"events\": {},\n  \"loads\": {},\n  \
-         \"predictions\": {},\n  \"correct_predictions\": {},\n  \
-         \"prediction_rate_bits\": {},\n  \"accuracy_bits\": {},\n  \
-         \"checkpoints_written\": {},\n  \"faults_applied\": {},\n  \
-         \"resumed_from\": {},\n  \"recovery_removed\": {},\n  \"killed\": {}\n}}",
-        kind.name(),
-        outcome.events,
-        s.loads,
-        s.predictions,
-        s.correct_predictions,
-        s.prediction_rate().to_bits(),
-        s.accuracy().to_bits(),
-        outcome.checkpoints_written,
-        outcome.faults_applied,
-        resumed,
-        outcome.recovery_removed.len(),
-        outcome.killed,
-    )
+    let resumed = outcome.resumed_from.as_ref().map(|p| p.display().to_string());
+    JsonObject::new()
+        .string("predictor", kind.name())
+        .u64("events", outcome.events)
+        .u64("loads", s.loads)
+        .u64("predictions", s.predictions)
+        .u64("correct_predictions", s.correct_predictions)
+        .u64("prediction_rate_bits", s.prediction_rate().to_bits())
+        .u64("accuracy_bits", s.accuracy().to_bits())
+        .u64("checkpoints_written", outcome.checkpoints_written)
+        .u64("faults_applied", outcome.faults_applied)
+        .opt_string("resumed_from", resumed.as_deref())
+        .u64("recovery_removed", outcome.recovery_removed.len() as u64)
+        .bool("killed", outcome.killed)
+        .pretty()
+}
+
+/// Renders service-wide stats as JSON — the service's stats endpoint,
+/// sharing the same emitter (and `_bits` convention for bit-exact
+/// floats) as `repro --json` and `run --json`.
+fn service_stats_json(stats: &ServiceStats) -> String {
+    let merged = stats.merged_predictor();
+    let workers = stats.workers.iter().map(|w| {
+        let breakers = w.breakers.iter().map(|b| {
+            JsonObject::new()
+                .string("component", b.component)
+                .string("state", b.state)
+                .u64("trips", b.trips)
+                .compact()
+        });
+        JsonObject::new()
+            .u64("worker", w.worker as u64)
+            .string("rung", w.rung.name())
+            .u64("served", w.served)
+            .u64("served_hybrid", w.served_by_rung[Rung::Hybrid.index()])
+            .u64("served_stride_only", w.served_by_rung[Rung::StrideOnly.index()])
+            .u64("served_bypass", w.served_by_rung[Rung::Bypass.index()])
+            .u64("deadline_queued", w.deadline_queued)
+            .u64("deadline_backend", w.deadline_backend)
+            .u64("backend_panics", w.backend_panics)
+            .u64("faults_latency", w.faults_latency)
+            .u64("faults_stall", w.faults_stall)
+            .u64("demotions", w.demotions)
+            .u64("promotions", w.promotions)
+            .u64("queue_depth", w.queue_depth as u64)
+            .array("breakers", breakers)
+            .compact()
+    });
+    JsonObject::new()
+        .u64("accepted", stats.accepted)
+        .u64("shed", stats.shed)
+        .u64("rejected_shutdown", stats.rejected_shutdown)
+        .string("worst_rung", stats.worst_rung().name())
+        .u64("loads", merged.loads)
+        .u64("predictions", merged.predictions)
+        .u64("correct_predictions", merged.correct_predictions)
+        .u64("prediction_rate_bits", merged.prediction_rate().to_bits())
+        .u64("accuracy_bits", merged.accuracy().to_bits())
+        .array("workers", workers)
+        .pretty()
 }
 
 fn cmd_run(mut args: Vec<String>) {
@@ -210,6 +275,242 @@ fn cmd_run(mut args: Vec<String>) {
     }
 }
 
+fn parse_rung(v: &str) -> Rung {
+    Rung::ALL
+        .into_iter()
+        .find(|r| r.name() == v)
+        .unwrap_or_else(|| {
+            eprintln!("--pin wants hybrid|stride-only|bypass, got '{v}'");
+            exit(2);
+        })
+}
+
+/// Hosts the prediction service over TCP until a client's shutdown
+/// frame, then drains, snapshots, and exits.
+fn cmd_serve(mut args: Vec<String>) {
+    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let port_file = take_value(&mut args, "--port-file").map(PathBuf::from);
+    let snapshot_dir = take_value(&mut args, "--snapshot-dir").map(PathBuf::from);
+    let resume = take_flag(&mut args, "--resume");
+    let keep = take_value(&mut args, "--keep").map_or(3, |v| parse_number("--keep", &v) as usize);
+
+    let mut config = ServiceConfig::default();
+    if let Some(v) = take_value(&mut args, "--workers") {
+        config.workers = parse_number("--workers", &v) as usize;
+    }
+    if let Some(v) = take_value(&mut args, "--queue") {
+        config.queue_capacity = parse_number("--queue", &v) as usize;
+    }
+    if let Some(v) = take_value(&mut args, "--seed") {
+        config.seed = parse_number("--seed", &v);
+    }
+    config.pin_rung = take_value(&mut args, "--pin").map(|v| parse_rung(&v));
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+    if resume && snapshot_dir.is_none() {
+        eprintln!("--resume needs --snapshot-dir");
+        exit(2);
+    }
+
+    // Warm restart: newest valid snapshot wins; corrupt or missing
+    // snapshots degrade to a cold start (the recovery sweep logs what
+    // it discards). A dead service is never the answer.
+    let recovered = if resume {
+        let dir = snapshot_dir.as_deref().expect("checked above");
+        match recover_latest(dir) {
+            Ok(recovery) => {
+                for path in &recovery.removed {
+                    eprintln!("swept invalid snapshot {}", path.display());
+                }
+                recovery.chosen
+            }
+            Err(e) => {
+                eprintln!("snapshot recovery failed ({e}); starting cold");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let recovered_from = recovered.as_ref().map(|(path, _)| path.clone());
+    let (service, warm) =
+        Service::restore_or_cold(config, recovered.as_ref().map(|(_, bytes)| bytes.as_slice()));
+    match (&recovered_from, warm) {
+        (Some(path), true) => eprintln!("warm restart from {}", path.display()),
+        (Some(path), false) => {
+            eprintln!("snapshot {} did not restore; started cold", path.display());
+        }
+        (None, _) => {}
+    }
+
+    let server = TcpServer::bind(addr.as_str(), service.handle(), stats_renderer())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            exit(1);
+        });
+    let local = server.local_addr().expect("bound socket has an address");
+    println!("serving on {local}");
+    if let Some(path) = &port_file {
+        // Scripts pass --addr host:0 and read the real port from here.
+        if let Err(e) = std::fs::write(path, format!("{}\n", local.port())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        }
+    }
+
+    let drain = server.run().unwrap_or_else(|e| {
+        eprintln!("accept loop failed: {e}");
+        exit(1);
+    });
+    let report = service.shutdown(drain);
+    if let Some(dir) = &snapshot_dir {
+        // Monotonic sequence numbers chain restarts; atomic publication
+        // and rotation come from the checkpoint machinery.
+        let seq = list_checkpoints(dir)
+            .ok()
+            .and_then(|list| list.last().map(|(n, _)| n + 1))
+            .unwrap_or(1);
+        match write_checkpoint(dir, seq, &report.snapshot) {
+            Ok(path) => {
+                let _ = rotate_checkpoints(dir, keep);
+                eprintln!("snapshot published to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("snapshot write failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    let served: u64 = report.workers.iter().map(|w| w.served).sum();
+    println!(
+        "drained ({} served, {} rejected during drain); snapshot {} bytes",
+        served,
+        report.drain_rejected,
+        report.snapshot.len()
+    );
+}
+
+fn stats_renderer() -> StatsRenderer {
+    Arc::new(|stats: &ServiceStats| service_stats_json(stats))
+}
+
+/// Drives a trace through a running server and/or issues control
+/// requests (stats, shutdown).
+fn cmd_client(mut args: Vec<String>) {
+    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| {
+        eprintln!("client requires --addr <host:port>");
+        exit(2);
+    });
+    let trace_path = take_value(&mut args, "--trace").map(PathBuf::from);
+    let take = take_value(&mut args, "--take").map(|v| parse_number("--take", &v));
+    let budget =
+        take_value(&mut args, "--budget-ms").map(|v| parse_number("--budget-ms", &v));
+    let want_stats = take_flag(&mut args, "--stats");
+    let shutdown_ms = take_value(&mut args, "--shutdown").map(|v| parse_number("--shutdown", &v));
+    let json = take_flag(&mut args, "--json");
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+
+    let mut client = TcpClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+
+    let mut sent = 0u64;
+    let mut correct = 0u64;
+    let mut errors = 0u64;
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", path.display());
+            exit(1);
+        });
+        let trace = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {}: {e}", path.display());
+            exit(1);
+        });
+        // Same control-flow tracking as the batch supervisor, so the
+        // service sees the GHR the paper's predictors expect.
+        let mut control = ControlState::default();
+        let budget = budget.map(Duration::from_millis);
+        'trace: for event in trace.events() {
+            match event {
+                TraceEvent::Load(load) => {
+                    if take.is_some_and(|limit| sent >= limit) {
+                        break 'trace;
+                    }
+                    sent += 1;
+                    let request = Request::Observe {
+                        ip: load.ip,
+                        offset: load.offset,
+                        ghr: control.ghr,
+                        actual: load.addr,
+                    };
+                    match client.serve(request, budget) {
+                        Ok(WireResponse::Response(Response::Observed {
+                            correct: hit, ..
+                        })) => correct += u64::from(hit),
+                        Ok(WireResponse::Error { .. }) => errors += 1,
+                        Ok(other) => {
+                            eprintln!("unexpected response {other:?}");
+                            exit(1);
+                        }
+                        Err(e) => {
+                            eprintln!("transport failed mid-trace: {e}");
+                            exit(1);
+                        }
+                    }
+                }
+                TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+                TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+            }
+        }
+        if json {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .u64("sent", sent)
+                    .u64("correct", correct)
+                    .u64("errors", errors)
+                    .pretty()
+            );
+        } else {
+            println!("sent {sent} loads: {correct} correct, {errors} structured errors");
+        }
+    }
+
+    if want_stats {
+        match client.stats() {
+            Ok(WireResponse::Stats(doc)) => println!("{doc}"),
+            Ok(other) => {
+                eprintln!("unexpected response {other:?}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("stats failed: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    if let Some(ms) = shutdown_ms {
+        match client.shutdown(Duration::from_millis(ms)) {
+            Ok(WireResponse::ShutdownAck) => eprintln!("server acknowledged shutdown"),
+            Ok(other) => {
+                eprintln!("unexpected response {other:?}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -219,6 +520,8 @@ fn main() {
     match cmd.as_str() {
         "gen" => cmd_gen(args),
         "run" => cmd_run(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         _ => usage(),
     }
 }

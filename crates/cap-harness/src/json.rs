@@ -1,0 +1,181 @@
+//! Hand-rolled JSON emission, shared by every JSON producer in the
+//! workspace (the repro driver's `--json` report, the simulate CLI's
+//! outcome report, and the prediction service's stats endpoint).
+//!
+//! The workspace is dependency-free by design, so this is a small
+//! builder, not a serializer: callers state each field explicitly, and
+//! floating-point values that must compare bit-exactly across runs are
+//! emitted via `f64::to_bits` by the caller (see the `*_bits`
+//! convention in the reports).
+//!
+//! [`JsonObject::pretty`] renders one field per line — scripts grep
+//! those lines (see `scripts/verify.sh`), so that shape is a contract.
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An ordered JSON object under construction. Fields render in
+/// insertion order; keys are emitted as given (keep them simple).
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_owned(), rendered));
+        self
+    }
+
+    /// Adds an escaped string field.
+    #[must_use]
+    pub fn string(self, key: &str, value: &str) -> Self {
+        self.push(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Adds a string field, or `null` when absent.
+    #[must_use]
+    pub fn opt_string(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.string(key, v),
+            None => self.push(key, "null".to_owned()),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a fixed-decimals float field (human-facing values only;
+    /// bit-exact values go through `f64::to_bits` and [`JsonObject::u64`]).
+    #[must_use]
+    pub fn f64(self, key: &str, value: f64, decimals: usize) -> Self {
+        self.push(key, format!("{value:.decimals$}"))
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.push(key, value.to_string())
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (nested objects/arrays).
+    #[must_use]
+    pub fn raw(self, key: &str, rendered_json: &str) -> Self {
+        self.push(key, rendered_json.to_owned())
+    }
+
+    /// Adds an array of pre-rendered JSON values.
+    #[must_use]
+    pub fn array(self, key: &str, items: impl IntoIterator<Item = String>) -> Self {
+        let items: Vec<String> = items.into_iter().collect();
+        self.push(key, format!("[{}]", items.join(", ")))
+    }
+
+    /// Compact single-line rendering (wire payloads, nesting).
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// Pretty rendering: one field per line, two-space indent, nested
+    /// raw values re-indented. Scripts grep these lines — one field per
+    /// line is a stable contract, field order is insertion order.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let sep = if i + 1 < self.fields.len() { "," } else { "" };
+            let v = v.replace('\n', "\n  ");
+            out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_the_awkward_characters() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn compact_renders_in_insertion_order() {
+        let obj = JsonObject::new()
+            .string("name", "x\"y")
+            .u64("count", 3)
+            .bool("ok", true)
+            .opt_string("missing", None)
+            .f64("secs", 1.5, 3);
+        assert_eq!(
+            obj.compact(),
+            "{\"name\": \"x\\\"y\", \"count\": 3, \"ok\": true, \
+             \"missing\": null, \"secs\": 1.500}"
+        );
+    }
+
+    #[test]
+    fn pretty_puts_one_field_per_line() {
+        let obj = JsonObject::new().u64("a", 1).string("b", "two");
+        assert_eq!(obj.pretty(), "{\n  \"a\": 1,\n  \"b\": \"two\"\n}");
+        // The greppable contract: every field is findable by line.
+        assert!(obj.pretty().lines().any(|l| l.contains("\"a\": 1")));
+    }
+
+    #[test]
+    fn arrays_and_nesting_compose() {
+        let inner = JsonObject::new().u64("id", 7).compact();
+        let obj = JsonObject::new()
+            .array("items", [inner.clone(), inner])
+            .raw("nested", &JsonObject::new().bool("deep", false).compact());
+        let text = obj.compact();
+        assert_eq!(
+            text,
+            "{\"items\": [{\"id\": 7}, {\"id\": 7}], \"nested\": {\"deep\": false}}"
+        );
+    }
+
+    #[test]
+    fn pretty_reindents_nested_pretty_values() {
+        let nested = JsonObject::new().u64("x", 1).pretty();
+        let outer = JsonObject::new().raw("inner", &nested).pretty();
+        assert_eq!(outer, "{\n  \"inner\": {\n    \"x\": 1\n  }\n}");
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod checkpoint;
 pub mod experiments;
+pub mod json;
 pub mod runner;
 pub mod supervisor;
 pub mod table;

@@ -209,13 +209,20 @@ pub fn trace_identity(path: &Path) -> io::Result<TraceId> {
 }
 
 /// Retry schedule for transient I/O: `attempts` tries total, sleeping
-/// `base_delay * 2^i` between try `i` and try `i+1`.
+/// `base_delay * 2^i` between try `i` and try `i+1`, and never spending
+/// more than `max_elapsed` wall-clock on the whole loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts (>= 1) before the last error is surfaced.
     pub attempts: u32,
     /// Backoff base; doubles after every failed attempt.
     pub base_delay: Duration,
+    /// Total-elapsed deadline across all attempts and backoff sleeps.
+    /// The loop never *starts* a sleep that would cross this line, so a
+    /// generous `attempts` cannot quietly turn into an unbounded stall
+    /// (exponential backoff reaches minutes by attempt ten). `None`
+    /// bounds the loop by attempt count alone.
+    pub max_elapsed: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -223,6 +230,7 @@ impl Default for RetryPolicy {
         Self {
             attempts: 4,
             base_delay: Duration::from_millis(5),
+            max_elapsed: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -235,28 +243,82 @@ impl RetryPolicy {
     }
 }
 
+/// How a [`with_retry`] loop ultimately failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// Attempts ran out, or the error was not transient: the last
+    /// error, unchanged.
+    Exhausted(E),
+    /// The total-elapsed deadline would have been crossed before the
+    /// next attempt; retrying stopped with time still charged to the
+    /// attempts made.
+    TimedOut {
+        /// Wall-clock spent in the loop when it gave up.
+        elapsed: Duration,
+        /// Attempts actually made.
+        attempts: u32,
+        /// The last error observed.
+        last: E,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Exhausted(e) => write!(f, "retries exhausted: {e}"),
+            RetryError::TimedOut {
+                elapsed,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "retry deadline exceeded after {attempts} attempts in {elapsed:.3?}: {last}"
+            ),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for RetryError<E> {}
+
 /// Runs `op` under `policy`, retrying (with exponential backoff) only
-/// while `is_transient` says the error is worth retrying. The final error
-/// is returned unchanged.
+/// while `is_transient` says the error is worth retrying, and only while
+/// the policy's total-elapsed deadline holds.
 ///
 /// # Errors
 ///
-/// The last error from `op` once attempts are exhausted or the error is
-/// not transient.
-pub fn with_retry<T, E, F, P>(policy: &RetryPolicy, is_transient: P, mut op: F) -> Result<T, E>
+/// [`RetryError::Exhausted`] with the last error once attempts run out
+/// or the error is not transient; [`RetryError::TimedOut`] when the
+/// next backoff sleep would cross `max_elapsed`.
+pub fn with_retry<T, E, F, P>(
+    policy: &RetryPolicy,
+    is_transient: P,
+    mut op: F,
+) -> Result<T, RetryError<E>>
 where
     F: FnMut() -> Result<T, E>,
     P: Fn(&E) -> bool,
 {
+    let start = std::time::Instant::now();
     let mut attempt = 0u32;
     loop {
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if attempt + 1 < policy.attempts.max(1) && is_transient(&e) => {
-                std::thread::sleep(policy.backoff(attempt));
+                let sleep = policy.backoff(attempt);
+                if let Some(limit) = policy.max_elapsed {
+                    let elapsed = start.elapsed();
+                    if elapsed + sleep > limit {
+                        return Err(RetryError::TimedOut {
+                            elapsed,
+                            attempts: attempt + 1,
+                            last: e,
+                        });
+                    }
+                }
+                std::thread::sleep(sleep);
                 attempt += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(RetryError::Exhausted(e)),
         }
     }
 }
@@ -353,6 +415,17 @@ pub enum SupervisorError {
     /// predictor kind, seed, or trace identity) — or the config is
     /// self-contradictory.
     Mismatch(String),
+    /// A transient-I/O retry loop hit its total-elapsed deadline
+    /// ([`RetryPolicy::max_elapsed`]) while the underlying error kept
+    /// recurring.
+    RetryTimeout {
+        /// Wall-clock spent retrying.
+        elapsed: Duration,
+        /// Attempts actually made.
+        attempts: u32,
+        /// The final underlying error.
+        last: Box<SupervisorError>,
+    },
 }
 
 impl fmt::Display for SupervisorError {
@@ -362,6 +435,14 @@ impl fmt::Display for SupervisorError {
             SupervisorError::Trace(e) => write!(f, "trace error: {e}"),
             SupervisorError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
             SupervisorError::Mismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+            SupervisorError::RetryTimeout {
+                elapsed,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "gave up retrying after {attempts} attempts in {elapsed:.3?}: {last}"
+            ),
         }
     }
 }
@@ -383,6 +464,26 @@ impl From<ParseTraceError> for SupervisorError {
 impl From<SnapshotError> for SupervisorError {
     fn from(e: SnapshotError) -> Self {
         SupervisorError::Snapshot(e)
+    }
+}
+
+impl<E> From<RetryError<E>> for SupervisorError
+where
+    SupervisorError: From<E>,
+{
+    fn from(e: RetryError<E>) -> Self {
+        match e {
+            RetryError::Exhausted(e) => e.into(),
+            RetryError::TimedOut {
+                elapsed,
+                attempts,
+                last,
+            } => SupervisorError::RetryTimeout {
+                elapsed,
+                attempts,
+                last: Box::new(last.into()),
+            },
+        }
     }
 }
 
@@ -754,9 +855,10 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 3,
             base_delay: Duration::from_millis(0),
+            max_elapsed: None,
         };
         let mut calls = 0;
-        let result: Result<u32, &str> = with_retry(&policy, |_| true, || {
+        let result: Result<u32, _> = with_retry(&policy, |_| true, || {
             calls += 1;
             if calls < 3 { Err("transient") } else { Ok(7) }
         });
@@ -764,12 +866,66 @@ mod tests {
         assert_eq!(calls, 3);
 
         let mut calls = 0;
-        let result: Result<u32, &str> = with_retry(&policy, |_| false, || {
+        let result: Result<u32, _> = with_retry(&policy, |_| false, || {
             calls += 1;
             Err("fatal")
         });
-        assert_eq!(result, Err("fatal"));
+        assert_eq!(result, Err(RetryError::Exhausted("fatal")));
         assert_eq!(calls, 1, "non-transient errors must not be retried");
+    }
+
+    #[test]
+    fn with_retry_enforces_the_total_elapsed_deadline() {
+        // Backoff doubles from 10ms; a 25ms budget admits the first
+        // sleep (10ms) but never the second (20ms), so a permanently
+        // failing op stops after two attempts — long before the 1000
+        // the attempt budget would allow.
+        let policy = RetryPolicy {
+            attempts: 1_000,
+            base_delay: Duration::from_millis(10),
+            max_elapsed: Some(Duration::from_millis(25)),
+        };
+        let mut calls = 0u32;
+        let start = std::time::Instant::now();
+        let result: Result<u32, _> = with_retry(&policy, |_| true, || {
+            calls += 1;
+            Err("still down")
+        });
+        match result {
+            Err(RetryError::TimedOut {
+                elapsed,
+                attempts,
+                last,
+            }) => {
+                assert_eq!(last, "still down");
+                assert_eq!(attempts, calls);
+                assert!(attempts < 10, "deadline must beat the attempt budget");
+                assert!(elapsed <= start.elapsed());
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "the loop returned promptly"
+        );
+
+        // The structured timeout converts into the supervisor's error
+        // taxonomy with its accounting intact.
+        let err: SupervisorError = RetryError::TimedOut {
+            elapsed: Duration::from_millis(25),
+            attempts: 2,
+            last: io::Error::other("disk flaky"),
+        }
+        .into();
+        match err {
+            SupervisorError::RetryTimeout {
+                attempts, last, ..
+            } => {
+                assert_eq!(attempts, 2);
+                assert!(matches!(*last, SupervisorError::Io(_)));
+            }
+            other => panic!("expected RetryTimeout, got {other}"),
+        }
     }
 
     #[test]

@@ -126,6 +126,92 @@ fn recovery_with_only_invalid_checkpoints_reports_none_and_cleans_all() {
 }
 
 #[test]
+fn rotation_at_the_keep_one_boundary() {
+    let dir = temp_dir("keep-one");
+
+    // Rotating an empty directory with keep = 1 is a no-op, not an error.
+    assert!(rotate_checkpoints(&dir, 1).expect("empty rotates").is_empty());
+
+    // A single checkpoint at keep = 1 sits exactly on the boundary:
+    // nothing may be removed.
+    write_checkpoint(&dir, 100, &valid_archive(100)).expect("writes");
+    assert!(rotate_checkpoints(&dir, 1).expect("rotates").is_empty());
+    assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
+
+    // Each additional write followed by keep = 1 rotation removes exactly
+    // the previous survivor — the steady-state of a running service.
+    for events in [200u64, 300, 400] {
+        write_checkpoint(&dir, events, &valid_archive(events)).expect("writes");
+        let removed = rotate_checkpoints(&dir, 1).expect("rotates");
+        assert_eq!(removed.len(), 1, "exactly the displaced checkpoint goes");
+        let remaining: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(remaining, vec![events]);
+    }
+
+    // The survivor is still a valid recovery source.
+    let recovery = recover_latest(&dir).expect("recovers");
+    let (chosen, _) = recovery.chosen.expect("survivor is recoverable");
+    assert_eq!(chosen.file_name().unwrap(), checkpoint_file_name(400).as_str());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_corrupt_checkpoints_yield_a_cold_service_not_an_error() {
+    use cap_service::prelude::*;
+    use std::time::Duration;
+
+    let dir = temp_dir("all-corrupt-service");
+    // Every checkpoint on disk is damaged in a different way: empty,
+    // garbage, a torn prefix of a real archive, and a real service
+    // snapshot with a flipped bit.
+    fs::write(dir.join(checkpoint_file_name(10)), b"").expect("empty");
+    fs::write(dir.join(checkpoint_file_name(20)), b"definitely not a snapshot").expect("garbage");
+    fs::write(dir.join(checkpoint_file_name(30)), &valid_archive(30)[..9]).expect("torn");
+    let mut flipped = {
+        let service = Service::start(ServiceConfig::default());
+        service.shutdown(Duration::from_millis(200)).snapshot
+    };
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    fs::write(dir.join(checkpoint_file_name(40)), &flipped).expect("bit-rotted");
+
+    // Recovery must not error; the CRC-failing candidates are swept and
+    // nothing survives to restore from.
+    let recovery = recover_latest(&dir).expect("recovery is not an error");
+    assert!(recovery.chosen.is_none(), "no corrupt checkpoint is trusted");
+    assert_eq!(recovery.removed.len(), 4);
+
+    // The serve path degrades to a cold start and the service works.
+    let snapshot_bytes = recovery.chosen.as_ref().map(|(_, b)| b.as_slice());
+    let (service, warm) = Service::restore_or_cold(ServiceConfig::default(), snapshot_bytes);
+    assert!(!warm, "nothing valid on disk means a cold start");
+    let handle = service.handle();
+    for i in 0..32u64 {
+        let response = handle
+            .call(
+                Request::Observe {
+                    ip: 0x42,
+                    offset: 0,
+                    ghr: 0,
+                    actual: 0x1000 + i * 8,
+                },
+                None,
+            )
+            .expect("cold service serves");
+        assert!(matches!(response, Response::Observed { .. }));
+    }
+    let stats = service.handle().stats().expect("stats");
+    assert_eq!(stats.merged_predictor().loads, 32);
+    let report = service.shutdown(Duration::from_secs(1));
+    assert_eq!(report.drain_rejected, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn foreign_files_are_never_touched() {
     let dir = temp_dir("foreign");
     fs::write(dir.join("notes.txt"), b"keep me").expect("write");

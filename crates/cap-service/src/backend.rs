@@ -1,0 +1,140 @@
+//! Prediction backends as shareable trait objects.
+//!
+//! A worker holds its backends as `Box<dyn SharedPredictor>` — the
+//! dyn-compatibility contract [`cap_predictor::types::SharedPredictor`]
+//! guarantees — so the primary/fallback pair is data, not a hardcoded
+//! enum: a service can serve hybrid-over-stride (the paper's ladder) or
+//! cap-over-stride without any new dispatch code. Restore paths decode
+//! through [`BackendKind`] tags because `Restorable` is a constructor
+//! and cannot ride on the trait object.
+
+use cap_predictor::cap::{CapConfig, CapPredictor};
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_predictor::load_buffer::LoadBufferConfig;
+use cap_predictor::stride::{StrideParams, StridePredictor};
+use cap_predictor::types::SharedPredictor;
+use cap_snapshot::{SectionReader, Restorable, SnapshotError};
+
+/// Which concrete predictor a backend slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The paper's stride + CAP hybrid (§3.5).
+    Hybrid,
+    /// Pure CAP (§3.3).
+    Cap,
+    /// Enhanced stride (§3.2).
+    Stride,
+}
+
+impl BackendKind {
+    /// Short lowercase name (breaker stats, CLI).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Hybrid => "hybrid",
+            BackendKind::Cap => "cap",
+            BackendKind::Stride => "stride",
+        }
+    }
+
+    /// Parses a CLI/wire name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hybrid" => Some(BackendKind::Hybrid),
+            "cap" => Some(BackendKind::Cap),
+            "stride" => Some(BackendKind::Stride),
+            _ => None,
+        }
+    }
+
+    /// Snapshot tag.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendKind::Hybrid => 0,
+            BackendKind::Cap => 1,
+            BackendKind::Stride => 2,
+        }
+    }
+
+    /// Inverse of [`BackendKind::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(BackendKind::Hybrid),
+            1 => Some(BackendKind::Cap),
+            2 => Some(BackendKind::Stride),
+            _ => None,
+        }
+    }
+
+    /// A fresh paper-default backend of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn SharedPredictor> {
+        match self {
+            BackendKind::Hybrid => Box::new(HybridPredictor::new(HybridConfig::paper_default())),
+            BackendKind::Cap => Box::new(CapPredictor::new(CapConfig::paper_default())),
+            BackendKind::Stride => Box::new(StridePredictor::new(
+                LoadBufferConfig::paper_default(),
+                StrideParams::paper_default(),
+            )),
+        }
+    }
+
+    /// Decodes a backend of this kind from a snapshot section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from the underlying predictor.
+    pub fn restore(
+        self,
+        r: &mut SectionReader<'_>,
+    ) -> Result<Box<dyn SharedPredictor>, SnapshotError> {
+        Ok(match self {
+            BackendKind::Hybrid => Box::new(HybridPredictor::read_state(r)?),
+            BackendKind::Cap => Box::new(CapPredictor::read_state(r)?),
+            BackendKind::Stride => Box::new(StridePredictor::read_state(r)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_predictor::types::LoadContext;
+    use cap_snapshot::SectionWriter;
+
+    #[test]
+    fn names_and_tags_roundtrip() {
+        for kind in [BackendKind::Hybrid, BackendKind::Cap, BackendKind::Stride] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("nope"), None);
+        assert_eq!(BackendKind::from_tag(7), None);
+    }
+
+    #[test]
+    fn build_snapshot_restore_preserves_behavior() {
+        for kind in [BackendKind::Hybrid, BackendKind::Cap, BackendKind::Stride] {
+            let mut original = kind.build();
+            // Train a short stride pattern so there is state to carry.
+            for i in 0..64u64 {
+                let ctx = LoadContext::new(0x500, 0, 0);
+                let pred = original.predict(&ctx);
+                original.update(&ctx, 0x9000 + i * 8, &pred);
+            }
+            let mut w = SectionWriter::new();
+            original.write_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SectionReader::new(&bytes, "backend");
+            let mut restored = kind.restore(&mut r).expect("restores");
+            r.finish().expect("all bytes consumed");
+
+            // Original and restored must predict identically from here.
+            let ctx = LoadContext::new(0x500, 0, 0);
+            assert_eq!(original.predict(&ctx), restored.predict(&ctx), "{}", kind.name());
+        }
+    }
+}

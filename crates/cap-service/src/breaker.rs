@@ -1,0 +1,278 @@
+//! Per-component circuit breakers.
+//!
+//! A [`CircuitBreaker`] wraps one backend component (hybrid, CAP, or
+//! stride) and keeps a three-state machine:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ──────────────────────────► Open
+//!     ▲                                  │ cooldown + seeded jitter
+//!     │ successes >= close_after         ▼
+//!     └───────────────────────────── HalfOpen
+//!                 (any failure in HalfOpen reopens immediately)
+//! ```
+//!
+//! All transitions are driven by an explicit `now: Instant` so unit
+//! tests are fully deterministic, and the probe jitter is drawn from a
+//! seeded [`cap_rand`] stream so two breakers with the same seed
+//! schedule identical probes — the same replayability discipline every
+//! other random stream in this workspace follows.
+
+use cap_rand::{rngs::StdRng, Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// The observable state of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through, consecutive failures are counted.
+    Closed,
+    /// Tripped: calls are refused until the jittered cooldown elapses.
+    Open,
+    /// Probing: a limited number of calls are let through; successes
+    /// close the breaker, any failure reopens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short lowercase name for stats and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Tuning knobs for one breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures in `Closed` that trip the breaker.
+    pub failure_threshold: u32,
+    /// Consecutive half-open successes that close the breaker — the
+    /// "sustained health" requirement before the ladder may step back
+    /// up through this component.
+    pub close_after: u32,
+    /// Base cooldown between tripping and the first probe.
+    pub cooldown: Duration,
+    /// Upper bound of the uniform jitter added to every cooldown, so
+    /// many breakers tripped by one incident do not probe in lockstep.
+    pub jitter: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            close_after: 3,
+            cooldown: Duration::from_millis(100),
+            jitter: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A closed/open/half-open circuit breaker with seeded probe jitter.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    /// When in `Open`, the instant the next probe is permitted.
+    probe_at: Option<Instant>,
+    rng: StdRng,
+    /// Lifetime count of Closed→Open transitions.
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning and jitter seed.
+    #[must_use]
+    pub fn new(config: BreakerConfig, seed: u64) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            probe_at: None,
+            rng: StdRng::seed_from_u64(seed),
+            trips: 0,
+        }
+    }
+
+    /// Current state, after accounting for an elapsed cooldown (an
+    /// `Open` breaker whose probe time has arrived reports `HalfOpen`).
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.probe_at {
+                if now >= at {
+                    self.state = BreakerState::HalfOpen;
+                    self.half_open_successes = 0;
+                    self.probe_at = None;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Whether a call may be attempted right now. `Closed` and
+    /// `HalfOpen` permit calls; `Open` refuses them until the jittered
+    /// cooldown elapses.
+    pub fn call_permitted(&mut self, now: Instant) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Records a successful call.
+    pub fn on_success(&mut self, now: Instant) {
+        match self.state(now) {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.config.close_after.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.half_open_successes = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call; may trip (or re-trip) the breaker.
+    pub fn on_failure(&mut self, now: Instant) {
+        match self.state(now) {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    self.trip(now);
+                }
+            }
+            // One bad probe is enough: reopen immediately.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.trips += 1;
+        self.consecutive_failures = 0;
+        self.half_open_successes = 0;
+        let jitter_ns = if self.config.jitter.is_zero() {
+            0
+        } else {
+            self.rng.gen_range(0..self.config.jitter.as_nanos() as u64)
+        };
+        self.probe_at = Some(now + self.config.cooldown + Duration::from_nanos(jitter_ns));
+    }
+
+    /// Lifetime number of times this breaker tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            close_after: 2,
+            cooldown: Duration::from_millis(100),
+            jitter: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(config(), 1);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(!b.call_permitted(t0));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(config(), 1);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success(t0);
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn cooldown_plus_jitter_gates_the_probe() {
+        let mut b = CircuitBreaker::new(config(), 7);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        // Before the base cooldown: definitely still open.
+        assert!(!b.call_permitted(t0 + Duration::from_millis(99)));
+        // After cooldown + max jitter: definitely probing.
+        assert!(b.call_permitted(t0 + Duration::from_millis(151)));
+        assert_eq!(
+            b.state(t0 + Duration::from_millis(151)),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn half_open_closes_after_sustained_success() {
+        let mut b = CircuitBreaker::new(config(), 7);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe = t0 + Duration::from_millis(151);
+        assert_eq!(b.state(probe), BreakerState::HalfOpen);
+        b.on_success(probe);
+        assert_eq!(b.state(probe), BreakerState::HalfOpen, "needs close_after");
+        b.on_success(probe);
+        assert_eq!(b.state(probe), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(config(), 7);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe = t0 + Duration::from_millis(151);
+        assert_eq!(b.state(probe), BreakerState::HalfOpen);
+        b.on_failure(probe);
+        assert_eq!(b.state(probe), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // And the new cooldown starts from the re-trip.
+        assert!(!b.call_permitted(probe + Duration::from_millis(99)));
+    }
+
+    #[test]
+    fn same_seed_schedules_identical_probes() {
+        let t0 = Instant::now();
+        let schedule = |seed: u64| {
+            let mut b = CircuitBreaker::new(config(), seed);
+            for _ in 0..3 {
+                b.on_failure(t0);
+            }
+            b.probe_at.expect("tripped breakers schedule a probe")
+        };
+        assert_eq!(schedule(42), schedule(42));
+        // Different seeds draw different jitter with overwhelming
+        // probability over a 50 ms range at nanosecond granularity.
+        assert_ne!(schedule(1), schedule(2));
+    }
+}

@@ -1,0 +1,167 @@
+//! The structured error surface of the service.
+//!
+//! Every request submitted to the service terminates in exactly one of
+//! two ways: a [`crate::service::Response`] or a [`ServiceError`]. There
+//! is no third outcome — no silent drop, no hang — and the chaos soak
+//! test holds the service to that contract under injected worker panics,
+//! latency spikes, and queue stalls.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a request did not produce a normal response.
+///
+/// Each variant is *actionable* for a caller: shed and pressure errors
+/// say "back off and retry", deadline errors say "your budget was too
+/// small or the service too slow", shutdown errors say "stop sending".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the worker's ingress
+    /// queue was full. This is the explicit backpressure signal — the
+    /// caller should slow down or retry later.
+    Shed {
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline budget expired before a worker finished
+    /// it. `stage` names where the budget ran out.
+    DeadlineExceeded {
+        /// Pipeline stage that observed the expiry (`"queued"` when the
+        /// request aged out before processing, `"backend"` after).
+        stage: &'static str,
+        /// The budget the request carried.
+        budget: Duration,
+    },
+    /// The service is draining or has shut down; no new work is
+    /// accepted. Queued requests that could not be served within the
+    /// drain deadline also get this error rather than vanishing.
+    ShuttingDown,
+    /// The worker thread processing this request panicked outside the
+    /// backend sandbox and its reply channel was lost. The caller got
+    /// this structured error instead of a hang.
+    WorkerLost {
+        /// Index of the worker that died.
+        worker: usize,
+    },
+    /// A backend call panicked. The panic was contained, the breaker
+    /// for that component recorded the failure, and the request was
+    /// answered with this error.
+    BackendPanicked {
+        /// Name of the backend component that panicked.
+        component: &'static str,
+    },
+    /// No reply arrived within the caller's patience window — a
+    /// belt-and-braces bound so a caller can never block forever even
+    /// if a worker wedges.
+    ReplyTimeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// The service snapshot could not be decoded (warm restart refused
+    /// it). Carries the underlying decode failure rendered as text.
+    BadSnapshot(String),
+    /// A wire-protocol frame was malformed.
+    Protocol(String),
+}
+
+impl ServiceError {
+    /// Stable wire code for the error class (used by the TCP protocol).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            ServiceError::Shed { .. } => 1,
+            ServiceError::DeadlineExceeded { .. } => 2,
+            ServiceError::ShuttingDown => 3,
+            ServiceError::WorkerLost { .. } => 4,
+            ServiceError::BackendPanicked { .. } => 5,
+            ServiceError::ReplyTimeout { .. } => 6,
+            ServiceError::BadSnapshot(_) => 7,
+            ServiceError::Protocol(_) => 8,
+        }
+    }
+
+    /// True for errors a caller may simply retry after backing off
+    /// (shed, deadline, reply-timeout); false for terminal ones.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Shed { .. }
+                | ServiceError::DeadlineExceeded { .. }
+                | ServiceError::ReplyTimeout { .. }
+                | ServiceError::BackendPanicked { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Shed { capacity } => {
+                write!(f, "request shed: ingress queue full (capacity {capacity})")
+            }
+            ServiceError::DeadlineExceeded { stage, budget } => {
+                write!(f, "deadline exceeded in stage '{stage}' (budget {budget:?})")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::WorkerLost { worker } => {
+                write!(f, "worker {worker} lost before replying")
+            }
+            ServiceError::BackendPanicked { component } => {
+                write!(f, "backend '{component}' panicked (contained)")
+            }
+            ServiceError::ReplyTimeout { waited } => {
+                write!(f, "no reply within {waited:?}")
+            }
+            ServiceError::BadSnapshot(why) => write!(f, "bad service snapshot: {why}"),
+            ServiceError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct() {
+        let all = [
+            ServiceError::Shed { capacity: 8 },
+            ServiceError::DeadlineExceeded {
+                stage: "queued",
+                budget: Duration::from_millis(1),
+            },
+            ServiceError::ShuttingDown,
+            ServiceError::WorkerLost { worker: 0 },
+            ServiceError::BackendPanicked { component: "hybrid" },
+            ServiceError::ReplyTimeout {
+                waited: Duration::from_secs(1),
+            },
+            ServiceError::BadSnapshot("x".into()),
+            ServiceError::Protocol("y".into()),
+        ];
+        let mut codes: Vec<u8> = all.iter().map(ServiceError::code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+
+    #[test]
+    fn retryability_classifies() {
+        assert!(ServiceError::Shed { capacity: 1 }.is_retryable());
+        assert!(!ServiceError::ShuttingDown.is_retryable());
+        assert!(!ServiceError::Protocol("p".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = ServiceError::DeadlineExceeded {
+            stage: "backend",
+            budget: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("backend"));
+        assert!(ServiceError::Shed { capacity: 64 }.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # cap-service — a resilient prediction service
+//!
+//! The paper's predictors run here as a long-lived, multi-worker
+//! **service**: prediction/train requests come in over an in-process
+//! [`service::ServiceHandle`] or the length-prefixed TCP protocol in
+//! [`net`], are routed by load IP to worker threads, and are answered
+//! under explicit robustness machinery:
+//!
+//! * **Backpressure** — each worker's ingress queue is a bounded
+//!   `sync_channel`; admission control sheds with a structured
+//!   [`error::ServiceError::Shed`] instead of queueing unboundedly
+//!   ([`service`]).
+//! * **Deadline budgets** — a request may carry a budget; it is checked
+//!   when dequeued (`queued` stage) and after backend work (`backend`
+//!   stage), and expiry is accounted, never silently ignored.
+//! * **Circuit breakers** — every backend slot sits behind a
+//!   closed/open/half-open [`breaker::CircuitBreaker`] with seeded,
+//!   jittered probe scheduling.
+//! * **Graceful degradation** — the [`ladder::Ladder`] steps each
+//!   worker down hybrid → stride-only → bypass under breaker trips or
+//!   queue pressure and climbs back one rung at a time after sustained
+//!   health — the service-granularity analogue of the paper's per-load
+//!   confidence fallback, with the same bias: a wrong (late, failing)
+//!   answer costs more than no answer.
+//! * **Warm restarts** — [`service::Service::shutdown`] drains under a
+//!   bounded deadline and emits a `cap-snapshot` archive from which
+//!   [`service::Service::start_restored`] resumes with bit-identical
+//!   predictor state; [`service::Service::restore_or_cold`] degrades a
+//!   corrupt snapshot to a cold start, never a dead service.
+//!
+//! Chaos comes from `cap_faults::service`: seeded plans of worker
+//! panics, latency spikes, and queue stalls that the soak tests drive
+//! through the whole stack. The load-bearing invariant — **every
+//! accepted request terminates in exactly one reply** — is what those
+//! tests prove.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cap_service::prelude::*;
+//! use std::time::Duration;
+//!
+//! let service = Service::start(ServiceConfig::default());
+//! let handle = service.handle();
+//! for i in 0..100u64 {
+//!     let r = handle.call(
+//!         Request::Observe { ip: 0x400, offset: 0, ghr: 0, actual: 0x1000 + i * 8 },
+//!         Some(Duration::from_millis(100)),
+//!     );
+//!     assert!(r.is_ok());
+//! }
+//! let report = service.shutdown(Duration::from_millis(500));
+//! let warm = Service::start_restored(ServiceConfig::default(), &report.snapshot).unwrap();
+//! let _ = warm.shutdown(Duration::from_millis(100));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod breaker;
+pub mod error;
+pub mod ladder;
+pub mod net;
+pub mod service;
+pub mod wire;
+
+/// Commonly used items, for glob import in binaries and tests.
+pub mod prelude {
+    pub use crate::backend::BackendKind;
+    pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+    pub use crate::error::ServiceError;
+    pub use crate::ladder::{Ladder, LadderConfig, LadderInputs, Rung};
+    pub use crate::net::{debug_stats_renderer, StatsRenderer, TcpClient, TcpServer};
+    pub use crate::service::{
+        Request, Response, Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownReport,
+        WorkerStats,
+    };
+    pub use crate::wire::{WireRequest, WireResponse};
+}

@@ -1,0 +1,241 @@
+//! Blocking TCP front end over [`crate::wire`].
+//!
+//! One thread per connection, frames dispatched straight into a
+//! [`ServiceHandle`] — the service's own queues provide all the
+//! backpressure, so a flood of connections cannot queue unbounded work;
+//! it gets structured `Shed` errors like everyone else. The server
+//! never trusts the peer: oversized frames, unknown opcodes, and torn
+//! reads all produce structured protocol errors or clean disconnects.
+//!
+//! Stats rendering is a pluggable callback so the serving binary can
+//! supply the workspace's shared JSON emitter without this crate
+//! depending on it.
+
+use crate::error::ServiceError;
+use crate::service::{ServiceHandle, ServiceStats};
+use crate::wire::{read_frame, write_frame, WireRequest, WireResponse};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Renders a stats document for the wire (the serving binary passes
+/// the workspace JSON emitter here).
+pub type StatsRenderer = Arc<dyn Fn(&ServiceStats) -> String + Send + Sync>;
+
+/// How often connection threads and the accept loop re-check the
+/// shutdown flag while blocked on I/O.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A bound TCP server ready to serve one [`ServiceHandle`].
+pub struct TcpServer {
+    listener: TcpListener,
+    handle: ServiceHandle,
+    render_stats: StatsRenderer,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local_addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port `0` to let the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handle: ServiceHandle,
+        render_stats: StatsRenderer,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            handle,
+            render_stats,
+        })
+    }
+
+    /// The address actually bound (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client sends a shutdown frame, then
+    /// joins every connection thread and returns the requested drain
+    /// budget. The caller owns the [`crate::service::Service`] and
+    /// performs the actual drain + snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop setup failures (per-connection I/O errors
+    /// only end that connection).
+    pub fn run(self) -> io::Result<Duration> {
+        self.listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(Mutex::new(Duration::from_millis(500)));
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+        while !stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let handle = self.handle.clone();
+                    let render = Arc::clone(&self.render_stats);
+                    let stop = Arc::clone(&stop);
+                    let drain = Arc::clone(&drain);
+                    conns.push(std::thread::spawn(move || {
+                        serve_connection(stream, &handle, &render, &stop, &drain);
+                    }));
+                    // Reap finished connection threads so a long-lived
+                    // server does not accumulate handles.
+                    conns.retain(|j| !j.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for join in conns {
+            let _ = join.join();
+        }
+        let budget = *drain.lock().expect("drain lock");
+        Ok(budget)
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    handle: &ServiceHandle,
+    render_stats: &StatsRenderer,
+    stop: &AtomicBool,
+    drain: &Mutex<Duration>,
+) {
+    let mut stream = stream;
+    // Request/response framing with small frames: Nagle + delayed ACK
+    // would add ~40ms to every roundtrip.
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean disconnect
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return, // torn frame or dead socket
+        };
+        let response = match WireRequest::decode(&payload) {
+            Ok(WireRequest::Serve { request, budget }) => match handle.call(request, budget) {
+                Ok(resp) => WireResponse::Response(resp),
+                Err(err) => WireResponse::from_error(&err),
+            },
+            Ok(WireRequest::Stats) => match handle.stats() {
+                Ok(stats) => WireResponse::Stats(render_stats(&stats)),
+                Err(err) => WireResponse::from_error(&err),
+            },
+            Ok(WireRequest::Shutdown { drain: budget }) => {
+                *drain.lock().expect("drain lock") = budget;
+                stop.store(true, Ordering::Release);
+                WireResponse::ShutdownAck
+            }
+            Err(err) => WireResponse::from_error(&err),
+        };
+        let is_ack = matches!(response, WireResponse::ShutdownAck);
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+        if is_ack {
+            return;
+        }
+    }
+}
+
+/// A blocking client for the TCP front end.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    fn roundtrip(&mut self, request: &WireRequest) -> Result<WireResponse, ServiceError> {
+        let io_err = |e: io::Error| ServiceError::Protocol(format!("transport: {e}"));
+        write_frame(&mut self.stream, &request.encode()).map_err(io_err)?;
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Some(payload) => WireResponse::decode(&payload),
+            None => Err(ServiceError::Protocol(
+                "server closed the connection mid-request".into(),
+            )),
+        }
+    }
+
+    /// Sends one prediction request.
+    ///
+    /// # Errors
+    ///
+    /// Service-side errors come back with their original
+    /// [`ServiceError::code`] inside [`WireResponse::Error`]; transport
+    /// failures surface as [`ServiceError::Protocol`].
+    pub fn serve(
+        &mut self,
+        request: crate::service::Request,
+        budget: Option<Duration>,
+    ) -> Result<WireResponse, ServiceError> {
+        self.roundtrip(&WireRequest::Serve { request, budget })
+    }
+
+    /// Fetches the server-rendered stats JSON.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn stats(&mut self) -> Result<WireResponse, ServiceError> {
+        self.roundtrip(&WireRequest::Stats)
+    }
+
+    /// Asks the server to drain under `drain`, snapshot, and exit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn shutdown(&mut self, drain: Duration) -> Result<WireResponse, ServiceError> {
+        self.roundtrip(&WireRequest::Shutdown { drain })
+    }
+}
+
+/// A plain debug renderer for stats (tests and servers that don't care
+/// about the JSON shape).
+#[must_use]
+pub fn debug_stats_renderer() -> StatsRenderer {
+    Arc::new(|stats: &ServiceStats| format!("{stats:?}"))
+}

@@ -1,0 +1,1222 @@
+//! The multi-worker prediction service.
+//!
+//! Requests enter through a [`ServiceHandle`], are routed by load IP to
+//! one of N worker threads over a **bounded** MPSC queue (admission
+//! control sheds with a structured [`ServiceError::Shed`] instead of
+//! queueing unboundedly), carry an optional **deadline budget** that is
+//! honored at every pipeline stage, and are served on whatever rung of
+//! the [`crate::ladder`] the worker currently trusts. Backend calls run
+//! inside `catch_unwind` sandboxes charged to per-component
+//! [`crate::breaker::CircuitBreaker`]s.
+//!
+//! The cardinal invariant, enforced structurally and proven by the
+//! chaos soak test: **every accepted request terminates in exactly one
+//! reply** — a response or a structured error — no matter what panics,
+//! stalls, or deadline expiries happen on the way.
+
+use crate::backend::BackendKind;
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::error::ServiceError;
+use crate::ladder::{Ladder, LadderConfig, LadderInputs, Rung};
+use cap_faults::service::{ServiceFault, ServiceFaultConfig, ServiceFaultPlan};
+use cap_predictor::metrics::PredictorStats;
+use cap_predictor::types::{LoadContext, Prediction, SharedPredictor};
+use cap_snapshot::{
+    Restorable, SectionReader, SectionWriter, Snapshot, SnapshotArchive, SnapshotBuilder,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Snapshot format version of the service archive.
+const SERVICE_SNAPSHOT_VERSION: u32 = 1;
+const SEC_SERVICE: &str = "service";
+
+/// Everything the service needs to start.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker (shard) count; requests are routed by load IP.
+    pub workers: usize,
+    /// Per-worker ingress queue capacity — the backpressure bound.
+    pub queue_capacity: usize,
+    /// Primary backend (top rung).
+    pub primary: BackendKind,
+    /// Fallback backend (middle rung).
+    pub fallback: BackendKind,
+    /// Ladder tuning (promotion streak, pressure watermarks).
+    pub ladder: LadderConfig,
+    /// Breaker tuning (thresholds, cooldown, jitter).
+    pub breaker: BreakerConfig,
+    /// Seed for every random stream the service owns (breaker jitter);
+    /// worker `i`'s streams derive from `seed + i`.
+    pub seed: u64,
+    /// Pin every worker to one rung and disable ladder movement
+    /// (benches pricing a rung; operational overrides).
+    pub pin_rung: Option<Rung>,
+    /// Initial chaos plan per worker (worker `i` draws from
+    /// `chaos_seed + i`); also settable at runtime via
+    /// [`ServiceHandle::set_chaos`].
+    pub chaos: Option<(u64, ServiceFaultConfig)>,
+    /// Upper bound on how long a caller waits for any reply — the
+    /// belt-and-braces guarantee that a caller can never hang.
+    pub reply_patience: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            primary: BackendKind::Hybrid,
+            fallback: BackendKind::Stride,
+            ladder: LadderConfig::default(),
+            breaker: BreakerConfig::default(),
+            seed: 0x5EB5_1CE5,
+            pin_rung: None,
+            chaos: None,
+            reply_patience: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A request to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Predict, then train with the resolved address — the serving
+    /// analogue of one trace event through the batch driver.
+    Observe {
+        /// Static IP of the load.
+        ip: u64,
+        /// Immediate offset from the opcode.
+        offset: i32,
+        /// Global branch-history register at fetch.
+        ghr: u64,
+        /// The load's actual effective address.
+        actual: u64,
+    },
+    /// Predict only; trains nothing.
+    Predict {
+        /// Static IP of the load.
+        ip: u64,
+        /// Immediate offset from the opcode.
+        offset: i32,
+        /// Global branch-history register at fetch.
+        ghr: u64,
+    },
+}
+
+impl Request {
+    fn ip(&self) -> u64 {
+        match self {
+            Request::Observe { ip, .. } | Request::Predict { ip, .. } => *ip,
+        }
+    }
+}
+
+/// A successful reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Observe`].
+    Observed {
+        /// Predicted address, if the active rung produced one.
+        addr: Option<u64>,
+        /// Whether confidence allowed speculation.
+        speculate: bool,
+        /// Whether the prediction matched the actual address.
+        correct: bool,
+        /// Rung the request was served on.
+        rung: Rung,
+    },
+    /// Reply to [`Request::Predict`].
+    Predicted {
+        /// Predicted address, if the active rung produced one.
+        addr: Option<u64>,
+        /// Whether confidence allowed speculation.
+        speculate: bool,
+        /// Rung the request was served on.
+        rung: Rung,
+    },
+}
+
+/// The state of one breaker, as reported in stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerStat {
+    /// Backend component the breaker guards.
+    pub component: &'static str,
+    /// Current state name (`closed` / `open` / `half-open`).
+    pub state: &'static str,
+    /// Lifetime Closed→Open transitions.
+    pub trips: u64,
+}
+
+/// One worker's view of the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Rung the worker is currently serving on.
+    pub rung: Rung,
+    /// Prediction requests served with a normal response.
+    pub served: u64,
+    /// Served requests per rung, [`Rung::ALL`] order.
+    pub served_by_rung: [u64; 3],
+    /// Requests that aged out in the queue.
+    pub deadline_queued: u64,
+    /// Requests whose budget expired during backend work.
+    pub deadline_backend: u64,
+    /// Backend panics contained by the sandbox.
+    pub backend_panics: u64,
+    /// Injected latency faults absorbed.
+    pub faults_latency: u64,
+    /// Injected queue stalls absorbed.
+    pub faults_stall: u64,
+    /// Ladder step-downs.
+    pub demotions: u64,
+    /// Ladder step-ups.
+    pub promotions: u64,
+    /// Primary and fallback breaker states.
+    pub breakers: Vec<BreakerStat>,
+    /// Queue depth at the instant stats were taken.
+    pub queue_depth: usize,
+    /// Prediction metrics of the active rung's answers.
+    pub predictor: PredictorStats,
+}
+
+/// Service-wide stats: handle-side admission counters plus every
+/// worker's [`WorkerStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted past backpressure control.
+    pub accepted: u64,
+    /// Requests shed by admission control (queue full).
+    pub shed: u64,
+    /// Requests refused because the service was shutting down.
+    pub rejected_shutdown: u64,
+    /// Per-worker detail.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ServiceStats {
+    /// All workers' predictor metrics merged.
+    #[must_use]
+    pub fn merged_predictor(&self) -> PredictorStats {
+        let mut all = PredictorStats::new();
+        for w in &self.workers {
+            all.merge(&w.predictor);
+        }
+        all
+    }
+
+    /// The worst rung any worker currently sits on.
+    #[must_use]
+    pub fn worst_rung(&self) -> Rung {
+        self.workers
+            .iter()
+            .map(|w| w.rung)
+            .max()
+            .unwrap_or(Rung::Hybrid)
+    }
+}
+
+/// What [`Service::shutdown`] produced.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Crash-consistent snapshot of every worker's predictor state and
+    /// metrics, restorable via [`Service::start_restored`].
+    pub snapshot: Vec<u8>,
+    /// Requests answered `ShuttingDown` during the drain (queued work
+    /// the drain deadline did not cover — answered, never dropped).
+    pub drain_rejected: u64,
+    /// Final per-worker stats at the instant each worker exited.
+    pub workers: Vec<WorkerStats>,
+}
+
+// ---------------------------------------------------------------------
+// Internal plumbing
+// ---------------------------------------------------------------------
+
+enum Job {
+    Serve(Request),
+    Stats,
+    Stop,
+}
+
+struct Envelope {
+    job: Job,
+    deadline: Option<(Instant, Duration)>,
+    reply: SyncSender<Result<Reply, ServiceError>>,
+}
+
+enum Reply {
+    Response(Response),
+    Stats(Box<WorkerStats>),
+    Stopped,
+}
+
+struct WorkerPort {
+    tx: SyncSender<Envelope>,
+    depth: Arc<AtomicUsize>,
+    chaos: Arc<Mutex<Option<ServiceFaultPlan>>>,
+}
+
+struct Inner {
+    ports: Vec<WorkerPort>,
+    accepting: AtomicBool,
+    drain_deadline: Arc<Mutex<Option<Instant>>>,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    queue_capacity: usize,
+    reply_patience: Duration,
+}
+
+/// Cheap cloneable submission handle to a running [`Service`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("workers", &self.inner.ports.len())
+            .field("accepting", &self.inner.accepting.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Stable IP→worker routing (splitmix-style scramble, then modulo).
+fn route(ip: u64, workers: usize) -> usize {
+    (ip.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % workers.max(1)
+}
+
+impl ServiceHandle {
+    fn submit(
+        &self,
+        job: Job,
+        worker: usize,
+        budget: Option<Duration>,
+    ) -> Result<Receiver<Result<Reply, ServiceError>>, ServiceError> {
+        let inner = &self.inner;
+        if !inner.accepting.load(Ordering::Acquire) {
+            inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::ShuttingDown);
+        }
+        let (tx, rx) = sync_channel(1);
+        let env = Envelope {
+            job,
+            deadline: budget.map(|b| (Instant::now() + b, b)),
+            reply: tx,
+        };
+        let port = &inner.ports[worker];
+        port.depth.fetch_add(1, Ordering::AcqRel);
+        match port.tx.try_send(env) {
+            Ok(()) => {
+                inner.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                port.depth.fetch_sub(1, Ordering::AcqRel);
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Shed {
+                    capacity: inner.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                port.depth.fetch_sub(1, Ordering::AcqRel);
+                Err(ServiceError::WorkerLost { worker })
+            }
+        }
+    }
+
+    fn wait(
+        &self,
+        rx: &Receiver<Result<Reply, ServiceError>>,
+        worker: usize,
+    ) -> Result<Reply, ServiceError> {
+        let patience = self.inner.reply_patience;
+        match rx.recv_timeout(patience) {
+            Ok(reply) => reply,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                Err(ServiceError::ReplyTimeout { waited: patience })
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Err(ServiceError::WorkerLost { worker })
+            }
+        }
+    }
+
+    /// Submits one request and waits for its outcome. `budget` is the
+    /// request's total deadline; `None` means no deadline.
+    ///
+    /// # Errors
+    ///
+    /// Every failure mode is a structured [`ServiceError`]; this method
+    /// cannot block longer than the configured reply patience.
+    pub fn call(
+        &self,
+        request: Request,
+        budget: Option<Duration>,
+    ) -> Result<Response, ServiceError> {
+        let worker = route(request.ip(), self.inner.ports.len());
+        let rx = self.submit(Job::Serve(request), worker, budget)?;
+        match self.wait(&rx, worker)? {
+            Reply::Response(r) => Ok(r),
+            Reply::Stats(_) | Reply::Stopped => Err(ServiceError::Protocol(
+                "mismatched reply kind for serve request".into(),
+            )),
+        }
+    }
+
+    /// Collects service-wide stats (one stats probe through every
+    /// worker's queue, so the answer reflects each worker's own view).
+    ///
+    /// # Errors
+    ///
+    /// Structured [`ServiceError`] if any worker cannot answer.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        let mut workers = Vec::with_capacity(self.inner.ports.len());
+        for w in 0..self.inner.ports.len() {
+            let rx = self.submit(Job::Stats, w, None)?;
+            match self.wait(&rx, w)? {
+                Reply::Stats(s) => workers.push(*s),
+                Reply::Response(_) | Reply::Stopped => {
+                    return Err(ServiceError::Protocol(
+                        "mismatched reply kind for stats request".into(),
+                    ))
+                }
+            }
+        }
+        Ok(ServiceStats {
+            accepted: self.inner.accepted.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::Relaxed),
+            workers,
+        })
+    }
+
+    /// Replaces every worker's chaos plan. `None` stops injection;
+    /// `Some((seed, config))` gives worker `i` a plan seeded `seed + i`.
+    pub fn set_chaos(&self, chaos: Option<(u64, ServiceFaultConfig)>) {
+        for (i, port) in self.inner.ports.iter().enumerate() {
+            let plan = chaos.map(|(seed, config)| {
+                ServiceFaultPlan::new(seed.wrapping_add(i as u64), config)
+            });
+            *port.chaos.lock().expect("chaos lock") = plan;
+        }
+    }
+
+    /// True while the service accepts new requests.
+    #[must_use]
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+struct Slot {
+    kind: BackendKind,
+    backend: Box<dyn SharedPredictor>,
+    breaker: CircuitBreaker,
+}
+
+struct Counters {
+    served: u64,
+    served_by_rung: [u64; 3],
+    deadline_queued: u64,
+    deadline_backend: u64,
+    backend_panics: u64,
+    faults_latency: u64,
+    faults_stall: u64,
+}
+
+struct Worker {
+    index: usize,
+    slots: [Slot; 2],
+    ladder: Ladder,
+    pin_rung: Option<Rung>,
+    stats: PredictorStats,
+    counters: Counters,
+    depth: Arc<AtomicUsize>,
+    chaos: Arc<Mutex<Option<ServiceFaultPlan>>>,
+    drain_deadline: Arc<Mutex<Option<Instant>>>,
+}
+
+/// What a worker leaves behind when it exits: everything a warm restart
+/// needs, plus its final stats.
+struct WorkerFinal {
+    slots: [Slot; 2],
+    stats: PredictorStats,
+    final_stats: WorkerStats,
+    drain_rejected: u64,
+}
+
+/// Outcome of one guarded backend call.
+enum Guarded {
+    Ok(Prediction),
+    Panicked,
+}
+
+impl Worker {
+    /// Runs `predict` + optional `update` on one slot inside a panic
+    /// sandbox, charging the slot's breaker. `fault` carries the
+    /// injected failure for this call, if any.
+    fn guarded_call(
+        slot: &mut Slot,
+        ctx: &LoadContext,
+        actual: Option<u64>,
+        fault: Option<ServiceFault>,
+        now: Instant,
+    ) -> Guarded {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(ServiceFault::WorkerPanic) => {
+                    panic!("injected worker panic (chaos)");
+                }
+                Some(ServiceFault::Latency(d)) => std::thread::sleep(d),
+                _ => {}
+            }
+            let pred = slot.backend.predict(ctx);
+            if let Some(actual) = actual {
+                slot.backend.update(ctx, actual, &pred);
+            }
+            pred
+        }));
+        match result {
+            Ok(pred) => {
+                slot.breaker.on_success(now);
+                Guarded::Ok(pred)
+            }
+            Err(_) => {
+                slot.breaker.on_failure(now);
+                Guarded::Panicked
+            }
+        }
+    }
+
+    fn worker_stats(&mut self, now: Instant) -> WorkerStats {
+        WorkerStats {
+            worker: self.index,
+            rung: self.pin_rung.unwrap_or_else(|| self.ladder.rung()),
+            served: self.counters.served,
+            served_by_rung: self.counters.served_by_rung,
+            deadline_queued: self.counters.deadline_queued,
+            deadline_backend: self.counters.deadline_backend,
+            backend_panics: self.counters.backend_panics,
+            faults_latency: self.counters.faults_latency,
+            faults_stall: self.counters.faults_stall,
+            demotions: self.ladder.demotions(),
+            promotions: self.ladder.promotions(),
+            breakers: self
+                .slots
+                .iter_mut()
+                .map(|s| BreakerStat {
+                    component: s.kind.name(),
+                    state: s.breaker.state(now).name(),
+                    trips: s.breaker.trips(),
+                })
+                .collect(),
+            queue_depth: self.depth.load(Ordering::Acquire),
+            predictor: self.stats,
+        }
+    }
+
+    /// Serves one prediction request; must reply exactly once (the
+    /// caller sends whatever this returns).
+    fn serve(&mut self, request: Request, deadline: Option<(Instant, Duration)>)
+        -> Result<Response, ServiceError> {
+        // Draw this request's injected fault (worker-panic and latency
+        // land inside the backend sandbox; stalls were already applied
+        // by the dispatch loop before the deadline check).
+        let fault = self
+            .chaos
+            .lock()
+            .expect("chaos lock")
+            .as_mut()
+            .and_then(ServiceFaultPlan::draw);
+        let fault = match fault {
+            Some(ServiceFault::QueueStall(d)) => {
+                // Stall the whole worker: everything behind this
+                // request backs up, which is the point.
+                self.counters.faults_stall += 1;
+                std::thread::sleep(d);
+                None
+            }
+            Some(ServiceFault::Latency(d)) => {
+                self.counters.faults_latency += 1;
+                Some(ServiceFault::Latency(d))
+            }
+            other => other,
+        };
+
+        let now = Instant::now();
+        // Rung decision: pinned, or reassessed from breaker + queue
+        // health.
+        let rung = match self.pin_rung {
+            Some(r) => r,
+            None => {
+                let inputs = LadderInputs {
+                    hybrid_available: self.slots[0].breaker.call_permitted(now),
+                    stride_available: self.slots[1].breaker.call_permitted(now),
+                    queue_depth: self.depth.load(Ordering::Acquire),
+                };
+                self.ladder.reassess(&inputs)
+            }
+        };
+
+        let (ctx, actual) = match request {
+            Request::Observe {
+                ip,
+                offset,
+                ghr,
+                actual,
+            } => (LoadContext::new(ip, offset, ghr), Some(actual)),
+            Request::Predict { ip, offset, ghr } => (LoadContext::new(ip, offset, ghr), None),
+        };
+
+        // Serve on the chosen rung. On Hybrid the fallback slot trains
+        // too (shadow training keeps the next rung warm, the same way
+        // the paper's hybrid trains both components); on StrideOnly the
+        // tripped primary is left alone; on Bypass nothing runs.
+        let (active_pred, healthy) = match rung {
+            Rung::Bypass => (Prediction::none(), true),
+            Rung::StrideOnly => {
+                match Self::guarded_call(&mut self.slots[1], &ctx, actual, fault, now) {
+                    Guarded::Ok(p) => (p, true),
+                    Guarded::Panicked => {
+                        self.counters.backend_panics += 1;
+                        self.ladder.note_outcome(false);
+                        return Err(ServiceError::BackendPanicked {
+                            component: self.slots[1].kind.name(),
+                        });
+                    }
+                }
+            }
+            Rung::Hybrid => {
+                let primary =
+                    Self::guarded_call(&mut self.slots[0], &ctx, actual, fault, now);
+                // Shadow-train the fallback (never fault-injected: the
+                // injected fault was spent on the active call).
+                if actual.is_some() {
+                    match Self::guarded_call(&mut self.slots[1], &ctx, actual, None, now) {
+                        Guarded::Ok(_) | Guarded::Panicked => {}
+                    }
+                }
+                match primary {
+                    Guarded::Ok(p) => (p, true),
+                    Guarded::Panicked => {
+                        self.counters.backend_panics += 1;
+                        self.ladder.note_outcome(false);
+                        return Err(ServiceError::BackendPanicked {
+                            component: self.slots[0].kind.name(),
+                        });
+                    }
+                }
+            }
+        };
+
+        // Budget check after the backend stage: work past the deadline
+        // is reported as such, not passed off as on-time.
+        if let Some((at, budget)) = deadline {
+            if Instant::now() > at {
+                self.counters.deadline_backend += 1;
+                self.ladder.note_outcome(false);
+                return Err(ServiceError::DeadlineExceeded {
+                    stage: "backend",
+                    budget,
+                });
+            }
+        }
+
+        self.ladder.note_outcome(healthy);
+        self.counters.served += 1;
+        self.counters.served_by_rung[rung.index()] += 1;
+
+        Ok(match request {
+            Request::Observe { actual, .. } => {
+                self.stats.record(&active_pred, actual);
+                Response::Observed {
+                    addr: active_pred.addr,
+                    speculate: active_pred.speculate,
+                    correct: active_pred.is_correct(actual),
+                    rung,
+                }
+            }
+            Request::Predict { .. } => Response::Predicted {
+                addr: active_pred.addr,
+                speculate: active_pred.speculate,
+                rung,
+            },
+        })
+    }
+
+    fn handle_envelope(&mut self, env: Envelope) -> ControlFlow {
+        // Drain mode: past the drain deadline every queued request is
+        // answered ShuttingDown — answered, never dropped.
+        let draining_expired = self
+            .drain_deadline
+            .lock()
+            .expect("drain lock")
+            .is_some_and(|d| Instant::now() > d);
+
+        match env.job {
+            Job::Stop => {
+                let _ = env.reply.send(Ok(Reply::Stopped));
+                ControlFlow::Stop
+            }
+            Job::Stats => {
+                let stats = self.worker_stats(Instant::now());
+                let _ = env.reply.send(Ok(Reply::Stats(Box::new(stats))));
+                ControlFlow::Continue
+            }
+            Job::Serve(request) => {
+                let outcome = if draining_expired {
+                    Err(ServiceError::ShuttingDown)
+                } else if let Some((at, budget)) = env.deadline {
+                    // Queued-stage deadline: the request may have aged
+                    // out before we ever looked at it.
+                    if Instant::now() > at {
+                        self.counters.deadline_queued += 1;
+                        Err(ServiceError::DeadlineExceeded {
+                            stage: "queued",
+                            budget,
+                        })
+                    } else {
+                        self.serve(request, env.deadline)
+                    }
+                } else {
+                    self.serve(request, None)
+                };
+                let _ = env.reply.send(outcome.map(Reply::Response));
+                ControlFlow::Continue
+            }
+        }
+    }
+
+    fn run(mut self, rx: &Receiver<Envelope>) -> WorkerFinal {
+        let mut drain_rejected = 0u64;
+        loop {
+            let Ok(env) = rx.recv() else { break };
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            let is_stop = matches!(env.job, Job::Stop);
+            let was_draining = self
+                .drain_deadline
+                .lock()
+                .expect("drain lock")
+                .is_some_and(|d| Instant::now() > d);
+            // The outer sandbox: if serving somehow panics outside the
+            // backend sandbox, the caller still gets a structured
+            // error, and the worker lives on.
+            let reply_tx = env.reply.clone();
+            let flow = catch_unwind(AssertUnwindSafe(|| self.handle_envelope(env)));
+            let flow = match flow {
+                Ok(flow) => flow,
+                Err(_) => {
+                    self.counters.backend_panics += 1;
+                    let _ = reply_tx.send(Err(ServiceError::WorkerLost {
+                        worker: self.index,
+                    }));
+                    ControlFlow::Continue
+                }
+            };
+            if was_draining && !is_stop {
+                drain_rejected += 1;
+            }
+            if matches!(flow, ControlFlow::Stop) {
+                // Drain the tail: everything still queued gets a
+                // structured ShuttingDown reply before the worker
+                // exits. (A submit racing the accepting flag can land
+                // an envelope here; it is answered, not dropped.)
+                while let Ok(tail) = rx.try_recv() {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    drain_rejected += 1;
+                    let _ = tail.reply.send(Err(ServiceError::ShuttingDown));
+                }
+                break;
+            }
+        }
+        let final_stats = self.worker_stats(Instant::now());
+        WorkerFinal {
+            slots: self.slots,
+            stats: self.stats,
+            final_stats,
+            drain_rejected,
+        }
+    }
+}
+
+enum ControlFlow {
+    Continue,
+    Stop,
+}
+
+// ---------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------
+
+/// A running prediction service: owns the worker threads; hand out
+/// [`ServiceHandle`]s with [`Service::handle`].
+pub struct Service {
+    inner: Arc<Inner>,
+    joins: Vec<JoinHandle<WorkerFinal>>,
+    config: ServiceConfig,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.joins.len())
+            .field("accepting", &self.inner.accepting.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts the service with fresh (cold) predictor state.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        Self::start_with(config, None).expect("cold start cannot fail")
+    }
+
+    /// Starts the service from a warm-restart snapshot produced by
+    /// [`Service::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadSnapshot`] when the bytes cannot be decoded
+    /// or describe a different topology than `config`.
+    pub fn start_restored(config: ServiceConfig, snapshot: &[u8]) -> Result<Self, ServiceError> {
+        Self::start_with(config, Some(snapshot))
+    }
+
+    /// Warm restart when possible, cold start otherwise: a corrupt or
+    /// missing snapshot must degrade to a cold start, never to a dead
+    /// service. Returns the service and whether the snapshot was used.
+    #[must_use]
+    pub fn restore_or_cold(config: ServiceConfig, snapshot: Option<&[u8]>) -> (Self, bool) {
+        if let Some(bytes) = snapshot {
+            match Self::start_restored(config.clone(), bytes) {
+                Ok(service) => return (service, true),
+                Err(_) => return (Self::start(config), false),
+            }
+        }
+        (Self::start(config), false)
+    }
+
+    fn start_with(config: ServiceConfig, snapshot: Option<&[u8]>) -> Result<Self, ServiceError> {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_capacity >= 1, "need a nonempty queue");
+
+        // Decode all worker states up front so a bad snapshot fails
+        // before any thread starts.
+        let restored: Option<Vec<([Slot; 2], PredictorStats)>> = match snapshot {
+            Some(bytes) => Some(decode_service_snapshot(bytes, &config)?),
+            None => None,
+        };
+
+        let drain_deadline = Arc::new(Mutex::new(None));
+        let mut ports = Vec::with_capacity(config.workers);
+        let mut joins = Vec::with_capacity(config.workers);
+        let states: Vec<Option<([Slot; 2], PredictorStats)>> = match restored {
+            Some(v) => v.into_iter().map(Some).collect(),
+            None => (0..config.workers).map(|_| None).collect(),
+        };
+
+        for (index, state) in states.into_iter().enumerate() {
+            let (tx, rx) = sync_channel::<Envelope>(config.queue_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let chaos = Arc::new(Mutex::new(config.chaos.map(|(seed, c)| {
+                ServiceFaultPlan::new(seed.wrapping_add(index as u64), c)
+            })));
+            let (slots, stats) = match state {
+                Some((slots, stats)) => (slots, stats),
+                None => (
+                    [
+                        Slot {
+                            kind: config.primary,
+                            backend: config.primary.build(),
+                            breaker: CircuitBreaker::new(
+                                config.breaker,
+                                config.seed.wrapping_add(index as u64 * 2),
+                            ),
+                        },
+                        Slot {
+                            kind: config.fallback,
+                            backend: config.fallback.build(),
+                            breaker: CircuitBreaker::new(
+                                config.breaker,
+                                config.seed.wrapping_add(index as u64 * 2 + 1),
+                            ),
+                        },
+                    ],
+                    PredictorStats::new(),
+                ),
+            };
+            let worker = Worker {
+                index,
+                slots,
+                ladder: Ladder::new(config.ladder, config.pin_rung.unwrap_or(Rung::Hybrid)),
+                pin_rung: config.pin_rung,
+                stats,
+                counters: Counters {
+                    served: 0,
+                    served_by_rung: [0; 3],
+                    deadline_queued: 0,
+                    deadline_backend: 0,
+                    backend_panics: 0,
+                    faults_latency: 0,
+                    faults_stall: 0,
+                },
+                depth: Arc::clone(&depth),
+                chaos: Arc::clone(&chaos),
+                drain_deadline: Arc::clone(&drain_deadline),
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("cap-service-worker-{index}"))
+                .spawn(move || worker.run(&rx))
+                .expect("spawn worker thread");
+            ports.push(WorkerPort { tx, depth, chaos });
+            joins.push(join);
+        }
+
+        Ok(Self {
+            inner: Arc::new(Inner {
+                ports,
+                accepting: AtomicBool::new(true),
+                drain_deadline,
+                accepted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                rejected_shutdown: AtomicU64::new(0),
+                queue_capacity: config.queue_capacity,
+                reply_patience: config.reply_patience,
+            }),
+            joins,
+            config,
+        })
+    }
+
+    /// A cloneable submission handle.
+    #[must_use]
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// The config the service was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Graceful shutdown: stop admitting, drain in-flight work under
+    /// `drain` (queued requests past the deadline get a structured
+    /// `ShuttingDown` reply), join every worker, and return a
+    /// warm-restart snapshot of the final predictor state.
+    #[must_use]
+    pub fn shutdown(self, drain: Duration) -> ShutdownReport {
+        self.inner.accepting.store(false, Ordering::Release);
+        *self.inner.drain_deadline.lock().expect("drain lock") = Some(Instant::now() + drain);
+
+        // One Stop sentinel per worker. Blocking send: the queue is
+        // draining, and past the drain deadline each queued entry is
+        // answered in microseconds, so this cannot wedge.
+        for port in &self.inner.ports {
+            let (tx, _rx) = sync_channel(1);
+            let _ = port.tx.send(Envelope {
+                job: Job::Stop,
+                deadline: None,
+                reply: tx,
+            });
+        }
+
+        let mut finals = Vec::with_capacity(self.joins.len());
+        for join in self.joins {
+            match join.join() {
+                Ok(f) => finals.push(f),
+                Err(_) => { /* worker panicked on exit; its state is lost */ }
+            }
+        }
+
+        let snapshot = encode_service_snapshot(&self.config, &finals);
+        ShutdownReport {
+            snapshot,
+            drain_rejected: finals.iter().map(|f| f.drain_rejected).sum(),
+            workers: finals.into_iter().map(|f| f.final_stats).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Warm-restart snapshot codec
+// ---------------------------------------------------------------------
+
+fn worker_section_name(index: usize) -> String {
+    format!("worker-{index}")
+}
+
+fn encode_service_snapshot(config: &ServiceConfig, finals: &[WorkerFinal]) -> Vec<u8> {
+    let mut meta = SectionWriter::new();
+    meta.put_u32(SERVICE_SNAPSHOT_VERSION);
+    meta.put_u64(finals.len() as u64);
+    meta.put_u8(config.primary.tag());
+    meta.put_u8(config.fallback.tag());
+
+    let mut b = SnapshotBuilder::new();
+    b.add_raw(SEC_SERVICE, meta.into_bytes());
+    for (i, f) in finals.iter().enumerate() {
+        let mut w = SectionWriter::new();
+        for slot in &f.slots {
+            slot.backend.write_state(&mut w);
+        }
+        f.stats.write_state(&mut w);
+        b.add_raw(&worker_section_name(i), w.into_bytes());
+    }
+    b.finish()
+}
+
+fn decode_service_snapshot(
+    bytes: &[u8],
+    config: &ServiceConfig,
+) -> Result<Vec<([Slot; 2], PredictorStats)>, ServiceError> {
+    let bad = |e: &dyn std::fmt::Display| ServiceError::BadSnapshot(e.to_string());
+
+    let archive = SnapshotArchive::parse(bytes).map_err(|e| bad(&e))?;
+    let meta_bytes = archive.section(SEC_SERVICE).map_err(|e| bad(&e))?;
+    let mut meta = SectionReader::new(meta_bytes, SEC_SERVICE);
+    let version = meta.take_u32("service snapshot version").map_err(|e| bad(&e))?;
+    if version != SERVICE_SNAPSHOT_VERSION {
+        return Err(ServiceError::BadSnapshot(format!(
+            "service snapshot version {version}, supported {SERVICE_SNAPSHOT_VERSION}"
+        )));
+    }
+    let workers = meta.take_u64("worker count").map_err(|e| bad(&e))? as usize;
+    if workers != config.workers {
+        return Err(ServiceError::BadSnapshot(format!(
+            "snapshot has {workers} workers, config wants {} — routing would \
+             scatter restored state",
+            config.workers
+        )));
+    }
+    let primary_tag = meta.take_u8("primary backend tag").map_err(|e| bad(&e))?;
+    let fallback_tag = meta.take_u8("fallback backend tag").map_err(|e| bad(&e))?;
+    meta.finish().map_err(|e| bad(&e))?;
+    let (primary, fallback) = match (
+        BackendKind::from_tag(primary_tag),
+        BackendKind::from_tag(fallback_tag),
+    ) {
+        (Some(p), Some(f)) if p == config.primary && f == config.fallback => (p, f),
+        _ => {
+            return Err(ServiceError::BadSnapshot(format!(
+                "snapshot backends (tags {primary_tag}/{fallback_tag}) do not match \
+                 config ({}/{})",
+                config.primary.name(),
+                config.fallback.name()
+            )))
+        }
+    };
+
+    let mut states = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let name = worker_section_name(i);
+        let section = archive.section(&name).map_err(|e| bad(&e))?;
+        let mut r = SectionReader::new(section, SEC_SERVICE);
+        let primary_backend = primary.restore(&mut r).map_err(|e| bad(&e))?;
+        let fallback_backend = fallback.restore(&mut r).map_err(|e| bad(&e))?;
+        let stats = PredictorStats::read_state(&mut r).map_err(|e| bad(&e))?;
+        r.finish().map_err(|e| bad(&e))?;
+        let seed = config.seed.wrapping_add(i as u64 * 2);
+        states.push((
+            [
+                Slot {
+                    kind: primary,
+                    backend: primary_backend,
+                    breaker: CircuitBreaker::new(config.breaker, seed),
+                },
+                Slot {
+                    kind: fallback,
+                    backend: fallback_backend,
+                    breaker: CircuitBreaker::new(config.breaker, seed + 1),
+                },
+            ],
+            stats,
+        ));
+    }
+    Ok(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn observe(ip: u64, actual: u64) -> Request {
+        Request::Observe {
+            ip,
+            offset: 0,
+            ghr: 0,
+            actual,
+        }
+    }
+
+    #[test]
+    fn serves_and_learns_a_stride_pattern() {
+        let service = Service::start(small_config());
+        let handle = service.handle();
+        let mut last_correct = false;
+        for i in 0..200u64 {
+            match handle.call(observe(0x400, 0x1000 + i * 8), None).unwrap() {
+                Response::Observed { correct, rung, .. } => {
+                    last_correct = correct;
+                    assert_eq!(rung, Rung::Hybrid);
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(last_correct, "a constant stride must become predictable");
+        let report = service.shutdown(Duration::from_secs(1));
+        assert_eq!(report.drain_rejected, 0);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for workers in 1..8 {
+            for ip in [0u64, 1, 0x400, u64::MAX] {
+                let w = route(ip, workers);
+                assert!(w < workers);
+                assert_eq!(w, route(ip, workers));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_only_does_not_train() {
+        let service = Service::start(small_config());
+        let handle = service.handle();
+        for _ in 0..100 {
+            let r = handle
+                .call(
+                    Request::Predict {
+                        ip: 0x700,
+                        offset: 0,
+                        ghr: 0,
+                    },
+                    None,
+                )
+                .unwrap();
+            match r {
+                Response::Predicted { addr, .. } => assert_eq!(addr, None),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.merged_predictor().loads, 0, "predict-only never records a load");
+        let _ = service.shutdown(Duration::from_millis(100));
+    }
+
+    #[test]
+    fn tiny_deadline_is_reported_not_ignored() {
+        let service = Service::start(small_config());
+        let handle = service.handle();
+        // A zero budget is already expired by the time a worker sees it.
+        let err = handle
+            .call(observe(0x400, 0x1000), Some(Duration::ZERO))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        let stats = handle.stats().unwrap();
+        let exceeded: u64 = stats
+            .workers
+            .iter()
+            .map(|w| w.deadline_queued + w.deadline_backend)
+            .sum();
+        assert_eq!(exceeded, 1);
+        let _ = service.shutdown(Duration::from_millis(100));
+    }
+
+    #[test]
+    fn handle_after_shutdown_gets_structured_rejection() {
+        let service = Service::start(small_config());
+        let handle = service.handle();
+        handle.call(observe(0x400, 0x1000), None).unwrap();
+        let _ = service.shutdown(Duration::from_millis(200));
+        assert!(!handle.is_accepting());
+        assert_eq!(
+            handle.call(observe(0x400, 0x1008), None).unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn warm_restart_roundtrips_predictor_state() {
+        let config = small_config();
+        let service = Service::start(config.clone());
+        let handle = service.handle();
+        for i in 0..300u64 {
+            handle.call(observe(0x400 + (i % 4) * 0x40, 0x2000 + i * 16), None).unwrap();
+        }
+        let before = handle.stats().unwrap().merged_predictor();
+        let report = service.shutdown(Duration::from_secs(1));
+
+        let restored = Service::start_restored(config, &report.snapshot).expect("restores");
+        let after = restored.handle().stats().unwrap().merged_predictor();
+        assert_eq!(before, after, "restored metrics must be bit-identical");
+        let _ = restored.shutdown(Duration::from_millis(100));
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_cold_start() {
+        let config = small_config();
+        let (service, restored) = Service::restore_or_cold(config.clone(), Some(b"garbage"));
+        assert!(!restored);
+        // The cold service works.
+        service.handle().call(observe(0x400, 0x1000), None).unwrap();
+        let _ = service.shutdown(Duration::from_millis(100));
+
+        // And a topology mismatch is refused by the strict path with a
+        // structured error.
+        let donor = Service::start(config);
+        let snap = donor.shutdown(Duration::from_millis(100)).snapshot;
+        let mut other = small_config();
+        other.workers = 3;
+        match Service::start_restored(other, &snap) {
+            Err(ServiceError::BadSnapshot(why)) => assert!(why.contains("workers")),
+            other => panic!("expected BadSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_rung_serves_there_and_stays() {
+        let mut config = small_config();
+        config.pin_rung = Some(Rung::StrideOnly);
+        let service = Service::start(config);
+        let handle = service.handle();
+        for i in 0..50u64 {
+            match handle.call(observe(0x900, 0x4000 + i * 8), None).unwrap() {
+                Response::Observed { rung, .. } => assert_eq!(rung, Rung::StrideOnly),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.worst_rung(), Rung::StrideOnly);
+        for w in &stats.workers {
+            assert_eq!(w.served_by_rung[Rung::Hybrid.index()], 0);
+        }
+        let _ = service.shutdown(Duration::from_millis(100));
+    }
+}

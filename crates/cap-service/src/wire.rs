@@ -1,0 +1,472 @@
+//! Length-prefixed wire protocol for the TCP front end.
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes. Payloads are encoded with the
+//! same [`SectionWriter`]/[`SectionReader`] discipline as snapshots, so
+//! truncation and bad values surface as structured errors, never as
+//! panics on attacker-controlled bytes. Frames are capped at
+//! [`MAX_FRAME_LEN`]; a peer announcing a larger payload is cut off
+//! before any allocation happens.
+//!
+//! Request opcodes: `1` observe, `2` predict, `3` stats, `4` shutdown.
+//! Response status: `0` ok (payload follows), otherwise a
+//! [`ServiceError::code`] with a human-readable message.
+
+use crate::error::ServiceError;
+use crate::ladder::Rung;
+use crate::service::{Request, Response};
+use cap_snapshot::{SectionReader, SectionWriter};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Hard ceiling on one frame's payload (1 MiB — stats JSON for any
+/// plausible worker count fits with orders of magnitude to spare).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+const SECTION: &str = "wire";
+
+const OP_OBSERVE: u8 = 1;
+const OP_PREDICT: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_SHUTDOWN: u8 = 4;
+
+const STATUS_OK: u8 = 0;
+
+/// One decoded client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Serve a prediction request; `budget` is the deadline the server
+    /// starts counting on receipt.
+    Serve {
+        /// The prediction request.
+        request: Request,
+        /// Deadline budget (`None` = no deadline).
+        budget: Option<Duration>,
+    },
+    /// Fetch the stats document (rendered server-side as JSON).
+    Stats,
+    /// Drain under this budget, snapshot, and exit.
+    Shutdown {
+        /// Drain budget granted to in-flight requests.
+        drain: Duration,
+    },
+}
+
+/// One decoded server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Successful prediction reply.
+    Response(Response),
+    /// Stats document (JSON text rendered by the server).
+    Stats(String),
+    /// Acknowledges a shutdown request; the connection closes after.
+    ShutdownAck,
+    /// Structured failure: a [`ServiceError::code`] plus its message.
+    Error {
+        /// Stable wire code of the error.
+        code: u8,
+        /// Display rendering of the error.
+        message: String,
+    },
+}
+
+fn budget_ms(budget: Option<Duration>) -> u32 {
+    budget.map_or(0, |b| u32::try_from(b.as_millis()).unwrap_or(u32::MAX))
+}
+
+fn parse_budget(ms: u32) -> Option<Duration> {
+    (ms != 0).then(|| Duration::from_millis(u64::from(ms)))
+}
+
+impl WireRequest {
+    /// Encodes this request into one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        match self {
+            WireRequest::Serve {
+                request:
+                    Request::Observe {
+                        ip,
+                        offset,
+                        ghr,
+                        actual,
+                    },
+                budget,
+            } => {
+                w.put_u8(OP_OBSERVE);
+                w.put_u32(budget_ms(*budget));
+                w.put_u64(*ip);
+                w.put_i32(*offset);
+                w.put_u64(*ghr);
+                w.put_u64(*actual);
+            }
+            WireRequest::Serve {
+                request: Request::Predict { ip, offset, ghr },
+                budget,
+            } => {
+                w.put_u8(OP_PREDICT);
+                w.put_u32(budget_ms(*budget));
+                w.put_u64(*ip);
+                w.put_i32(*offset);
+                w.put_u64(*ghr);
+            }
+            WireRequest::Stats => w.put_u8(OP_STATS),
+            WireRequest::Shutdown { drain } => {
+                w.put_u8(OP_SHUTDOWN);
+                w.put_u32(u32::try_from(drain.as_millis()).unwrap_or(u32::MAX));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on unknown opcodes, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let proto = |e: &dyn std::fmt::Display| ServiceError::Protocol(e.to_string());
+        let mut r = SectionReader::new(payload, SECTION);
+        let op = r.take_u8("opcode").map_err(|e| proto(&e))?;
+        let decoded = match op {
+            OP_OBSERVE => {
+                let budget = parse_budget(r.take_u32("budget").map_err(|e| proto(&e))?);
+                WireRequest::Serve {
+                    request: Request::Observe {
+                        ip: r.take_u64("ip").map_err(|e| proto(&e))?,
+                        offset: r.take_i32("offset").map_err(|e| proto(&e))?,
+                        ghr: r.take_u64("ghr").map_err(|e| proto(&e))?,
+                        actual: r.take_u64("actual").map_err(|e| proto(&e))?,
+                    },
+                    budget,
+                }
+            }
+            OP_PREDICT => {
+                let budget = parse_budget(r.take_u32("budget").map_err(|e| proto(&e))?);
+                WireRequest::Serve {
+                    request: Request::Predict {
+                        ip: r.take_u64("ip").map_err(|e| proto(&e))?,
+                        offset: r.take_i32("offset").map_err(|e| proto(&e))?,
+                        ghr: r.take_u64("ghr").map_err(|e| proto(&e))?,
+                    },
+                    budget,
+                }
+            }
+            OP_STATS => WireRequest::Stats,
+            OP_SHUTDOWN => WireRequest::Shutdown {
+                drain: Duration::from_millis(u64::from(
+                    r.take_u32("drain").map_err(|e| proto(&e))?,
+                )),
+            },
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "unknown request opcode {other}"
+                )))
+            }
+        };
+        r.finish().map_err(|e| proto(&e))?;
+        Ok(decoded)
+    }
+}
+
+fn put_string(w: &mut SectionWriter, s: &str) {
+    w.put_len(s.len());
+    w.put_raw(s.as_bytes());
+}
+
+fn take_string(r: &mut SectionReader<'_>, what: &'static str) -> Result<String, ServiceError> {
+    let proto = |e: &dyn std::fmt::Display| ServiceError::Protocol(e.to_string());
+    let len = r.take_len(1, what).map_err(|e| proto(&e))?;
+    let bytes = r.take_raw(len, what).map_err(|e| proto(&e))?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| ServiceError::Protocol(format!("{what}: invalid UTF-8")))
+}
+
+fn rung_from_u8(v: u8) -> Result<Rung, ServiceError> {
+    Rung::ALL
+        .into_iter()
+        .find(|r| r.index() == usize::from(v))
+        .ok_or_else(|| ServiceError::Protocol(format!("bad rung byte {v}")))
+}
+
+impl WireResponse {
+    /// Encodes this response into one frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        match self {
+            WireResponse::Response(Response::Observed {
+                addr,
+                speculate,
+                correct,
+                rung,
+            }) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_OBSERVE);
+                w.put_opt_u64(*addr);
+                w.put_bool(*speculate);
+                w.put_bool(*correct);
+                w.put_u8(rung.index() as u8);
+            }
+            WireResponse::Response(Response::Predicted {
+                addr,
+                speculate,
+                rung,
+            }) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_PREDICT);
+                w.put_opt_u64(*addr);
+                w.put_bool(*speculate);
+                w.put_u8(rung.index() as u8);
+            }
+            WireResponse::Stats(json) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_STATS);
+                put_string(&mut w, json);
+            }
+            WireResponse::ShutdownAck => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_SHUTDOWN);
+            }
+            WireResponse::Error { code, message } => {
+                w.put_u8(*code);
+                put_string(&mut w, message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Protocol`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
+        let proto = |e: &dyn std::fmt::Display| ServiceError::Protocol(e.to_string());
+        let mut r = SectionReader::new(payload, SECTION);
+        let status = r.take_u8("status").map_err(|e| proto(&e))?;
+        let decoded = if status == STATUS_OK {
+            match r.take_u8("ok kind").map_err(|e| proto(&e))? {
+                OP_OBSERVE => WireResponse::Response(Response::Observed {
+                    addr: r.take_opt_u64("addr").map_err(|e| proto(&e))?,
+                    speculate: r.take_bool("speculate").map_err(|e| proto(&e))?,
+                    correct: r.take_bool("correct").map_err(|e| proto(&e))?,
+                    rung: rung_from_u8(r.take_u8("rung").map_err(|e| proto(&e))?)?,
+                }),
+                OP_PREDICT => WireResponse::Response(Response::Predicted {
+                    addr: r.take_opt_u64("addr").map_err(|e| proto(&e))?,
+                    speculate: r.take_bool("speculate").map_err(|e| proto(&e))?,
+                    rung: rung_from_u8(r.take_u8("rung").map_err(|e| proto(&e))?)?,
+                }),
+                OP_STATS => WireResponse::Stats(take_string(&mut r, "stats json")?),
+                OP_SHUTDOWN => WireResponse::ShutdownAck,
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unknown ok-response kind {other}"
+                    )))
+                }
+            }
+        } else {
+            WireResponse::Error {
+                code: status,
+                message: take_string(&mut r, "error message")?,
+            }
+        };
+        r.finish().map_err(|e| proto(&e))?;
+        Ok(decoded)
+    }
+
+    /// The structured-error rendering of a [`ServiceError`].
+    #[must_use]
+    pub fn from_error(err: &ServiceError) -> Self {
+        WireResponse::Error {
+            code: err.code(),
+            message: err.to_string(),
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload) to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses payloads over [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame payload {} exceeds cap {MAX_FRAME_LEN}", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up between messages).
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses announced lengths over
+/// [`MAX_FRAME_LEN`] before allocating.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("peer announced frame of {len} bytes, cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &WireRequest) {
+        let bytes = req.encode();
+        assert_eq!(&WireRequest::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: &WireResponse) {
+        let bytes = resp.encode();
+        assert_eq!(&WireResponse::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(&WireRequest::Serve {
+            request: Request::Observe {
+                ip: 0x400,
+                offset: -16,
+                ghr: 0b1011,
+                actual: 0xDEAD_BEEF,
+            },
+            budget: Some(Duration::from_millis(250)),
+        });
+        roundtrip_request(&WireRequest::Serve {
+            request: Request::Predict {
+                ip: u64::MAX,
+                offset: i32::MIN,
+                ghr: 0,
+            },
+            budget: None,
+        });
+        roundtrip_request(&WireRequest::Stats);
+        roundtrip_request(&WireRequest::Shutdown {
+            drain: Duration::from_millis(500),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(&WireResponse::Response(Response::Observed {
+            addr: Some(0x1000),
+            speculate: true,
+            correct: false,
+            rung: Rung::Hybrid,
+        }));
+        roundtrip_response(&WireResponse::Response(Response::Predicted {
+            addr: None,
+            speculate: false,
+            rung: Rung::Bypass,
+        }));
+        roundtrip_response(&WireResponse::Stats("{\"accepted\":3}".to_owned()));
+        roundtrip_response(&WireResponse::ShutdownAck);
+        roundtrip_response(&WireResponse::from_error(&ServiceError::Shed {
+            capacity: 64,
+        }));
+    }
+
+    #[test]
+    fn zero_budget_means_no_deadline_on_the_wire() {
+        // ms = 0 is the wire encoding of "no budget", so a Some(0)
+        // budget decodes as None — documented flattening, not drift.
+        let req = WireRequest::Serve {
+            request: Request::Predict {
+                ip: 1,
+                offset: 0,
+                ghr: 0,
+            },
+            budget: Some(Duration::ZERO),
+        };
+        match WireRequest::decode(&req.encode()).unwrap() {
+            WireRequest::Serve { budget, .. } => assert_eq!(budget, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_and_truncation_are_protocol_errors() {
+        assert!(matches!(
+            WireRequest::decode(&[99]),
+            Err(ServiceError::Protocol(_))
+        ));
+        let good = WireRequest::Serve {
+            request: Request::Predict {
+                ip: 5,
+                offset: 0,
+                ghr: 0,
+            },
+            budget: None,
+        }
+        .encode();
+        assert!(matches!(
+            WireRequest::decode(&good[..good.len() - 1]),
+            Err(ServiceError::Protocol(_))
+        ));
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(matches!(
+            WireRequest::decode(&trailing),
+            Err(ServiceError::Protocol(_))
+        ));
+        assert!(matches!(
+            WireResponse::decode(&[]),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_the_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // An announced length over the cap is refused without allocating.
+        let mut evil = std::io::Cursor::new(((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut evil).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+
+        // A torn length prefix is an UnexpectedEof, not a hang or panic.
+        let mut torn = std::io::Cursor::new(vec![1u8, 0]);
+        assert_eq!(
+            read_frame(&mut torn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+}

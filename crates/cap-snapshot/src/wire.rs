@@ -217,6 +217,13 @@ impl<'a> SectionReader<'a> {
         Ok(raw as usize)
     }
 
+    /// Reads exactly `n` raw bytes (inverse of a length-prefixed
+    /// [`SectionWriter::put_raw`]; pair with [`SectionReader::take_len`]
+    /// to recover variable-length payloads such as strings).
+    pub fn take_raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        self.take(n, what)
+    }
+
     /// Builds a [`SnapshotError::BadValue`] attributed to this section.
     pub fn bad_value(&self, what: impl Into<String>) -> SnapshotError {
         SnapshotError::BadValue {

@@ -2,69 +2,182 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [all|service]
+#   all      (default) every gate below
+#   service  just the prediction-service gate: chaos soak, graceful
+#            drain, and the warm-restart differential, all offline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+GATE="${1:-all}"
+case "$GATE" in
+    all|service) ;;
+    *) echo "usage: scripts/verify.sh [all|service]" >&2; exit 2 ;;
+esac
+
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "tier-1 build (release, offline)"
-cargo build --release --offline
-
-step "compile every target (tests, benches, examples) offline"
-cargo check --offline --workspace --all-targets
-
-step "full test suite (offline)"
-cargo test -q --offline --workspace
-
-step "quickstart example"
-cargo run -q --release --offline --example quickstart
-
-step "faults: chaos suite + 1k-mutation corruption smoke"
-cargo test -q --offline -p cap-faults
-cargo run -q --release --offline -p cap-faults --example corruption_smoke
-
-step "clippy (all targets, warnings are errors)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
-
-step "snapshot: crate tests + scripted kill-and-resume smoke"
-cargo test -q --offline -p cap-snapshot
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 SIMULATE=(cargo run -q --release --offline -p cap-harness --bin simulate --)
-"${SIMULATE[@]}" gen --out "$SMOKE_DIR/trace.txt" --loads 8000
-"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" --json \
-    > "$SMOKE_DIR/reference.json"
-KILLED_STATUS=0
-"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
-    --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
-    --kill-after 6000 || KILLED_STATUS=$?
-if [ "$KILLED_STATUS" -ne 137 ]; then
-    echo "ERROR: --kill-after must exit 137, got $KILLED_STATUS" >&2
-    exit 1
-fi
-"${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
-    --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
-    --resume auto --json > "$SMOKE_DIR/resumed.json"
-grep -q '"resumed_from": "' "$SMOKE_DIR/resumed.json" || {
-    echo "ERROR: resumed run did not recover a checkpoint" >&2
-    exit 1
-}
-for key in loads predictions correct_predictions prediction_rate_bits; do
-    ref=$(grep "\"$key\"" "$SMOKE_DIR/reference.json")
-    res=$(grep "\"$key\"" "$SMOKE_DIR/resumed.json")
-    if [ "$ref" != "$res" ]; then
-        echo "ERROR: kill-and-resume diverged on $key: '$ref' vs '$res'" >&2
+
+core_gates() {
+    step "tier-1 build (release, offline)"
+    cargo build --release --offline
+
+    step "compile every target (tests, benches, examples) offline"
+    cargo check --offline --workspace --all-targets
+
+    step "full test suite (offline)"
+    cargo test -q --offline --workspace
+
+    step "quickstart example"
+    cargo run -q --release --offline --example quickstart
+
+    step "faults: chaos suite + 1k-mutation corruption smoke"
+    cargo test -q --offline -p cap-faults
+    cargo run -q --release --offline -p cap-faults --example corruption_smoke
+
+    step "clippy (all targets, warnings are errors)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+    step "snapshot: crate tests + scripted kill-and-resume smoke"
+    cargo test -q --offline -p cap-snapshot
+    "${SIMULATE[@]}" gen --out "$SMOKE_DIR/trace.txt" --loads 8000
+    "${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" --json \
+        > "$SMOKE_DIR/reference.json"
+    KILLED_STATUS=0
+    "${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
+        --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
+        --kill-after 6000 || KILLED_STATUS=$?
+    if [ "$KILLED_STATUS" -ne 137 ]; then
+        echo "ERROR: --kill-after must exit 137, got $KILLED_STATUS" >&2
         exit 1
     fi
-done
-echo "kill-and-resume smoke: bit-identical metrics after resume"
+    "${SIMULATE[@]}" run --trace "$SMOKE_DIR/trace.txt" \
+        --checkpoint-dir "$SMOKE_DIR/ckpts" --checkpoint-every 1000 \
+        --resume auto --json > "$SMOKE_DIR/resumed.json"
+    grep -q '"resumed_from": "' "$SMOKE_DIR/resumed.json" || {
+        echo "ERROR: resumed run did not recover a checkpoint" >&2
+        exit 1
+    }
+    for key in loads predictions correct_predictions prediction_rate_bits; do
+        ref=$(grep "\"$key\"" "$SMOKE_DIR/reference.json")
+        res=$(grep "\"$key\"" "$SMOKE_DIR/resumed.json")
+        if [ "$ref" != "$res" ]; then
+            echo "ERROR: kill-and-resume diverged on $key: '$ref' vs '$res'" >&2
+            exit 1
+        fi
+    done
+    echo "kill-and-resume smoke: bit-identical metrics after resume"
 
-step "hermeticity: no external crates in any manifest"
-if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml | grep -v 'cap-rand'; then
-    echo "ERROR: external dependency reference found in a manifest" >&2
-    exit 1
+    step "hermeticity: no external crates in any manifest"
+    if grep -rn 'rand\|proptest\|criterion' Cargo.toml crates/*/Cargo.toml | grep -v 'cap-rand'; then
+        echo "ERROR: external dependency reference found in a manifest" >&2
+        exit 1
+    fi
+}
+
+# The service gate: chaos soak (seeded, bounded), graceful-shutdown
+# drain, and the warm-restart differential — in-process via the crate's
+# integration tests, then end-to-end through the real `simulate`
+# binary over loopback TCP. Fully offline.
+service_gate() {
+    step "service: seeded bounded chaos soak + warm-restart differential"
+    cargo test -q --offline --release -p cap-service --test chaos_soak
+    cargo test -q --offline --release -p cap-service --test warm_restart
+    cargo test -q --offline --release -p cap-service --test tcp
+
+    step "service: scripted serve / drain / kill-and-warm-restart cycle"
+    local dir="$SMOKE_DIR/service"
+    mkdir -p "$dir"
+    "${SIMULATE[@]}" gen --out "$dir/trace.txt" --loads 6000
+
+    serve_wait_port() {
+        # Starts a server in the background (PID in SERVE_PID, log in $1)
+        # and blocks until the port file appears.
+        local log="$1"; shift
+        rm -f "$dir/port"
+        "${SIMULATE[@]}" serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+            --workers 2 --snapshot-dir "$dir/snapshots" "$@" \
+            > "$log" 2>&1 &
+        SERVE_PID=$!
+        for _ in $(seq 1 100); do
+            [ -s "$dir/port" ] && return 0
+            if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+                echo "ERROR: server died before publishing its port" >&2
+                cat "$log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        echo "ERROR: server never published its port" >&2
+        exit 1
+    }
+
+    serve_wait_port "$dir/serve1.log"
+    ADDR="127.0.0.1:$(cat "$dir/port")"
+    "${SIMULATE[@]}" client --addr "$ADDR" --trace "$dir/trace.txt" \
+        --take 3000 --json > "$dir/replay.json"
+    grep -q '"sent": 3000' "$dir/replay.json" || {
+        echo "ERROR: replay did not send all 3000 loads" >&2
+        exit 1
+    }
+    grep -q '"errors": 0' "$dir/replay.json" || {
+        echo "ERROR: unpressured replay saw structured errors" >&2
+        exit 1
+    }
+    "${SIMULATE[@]}" client --addr "$ADDR" --stats > "$dir/stats-before.json"
+
+    # Graceful shutdown: the drain must answer everything in flight —
+    # the server reports how many requests it rejected while draining.
+    "${SIMULATE[@]}" client --addr "$ADDR" --shutdown 500
+    wait "$SERVE_PID" || {
+        echo "ERROR: server exited nonzero on graceful shutdown" >&2
+        cat "$dir/serve1.log" >&2
+        exit 1
+    }
+    grep -q 'drained (.* 0 rejected during drain)' "$dir/serve1.log" || {
+        echo "ERROR: graceful drain rejected requests" >&2
+        cat "$dir/serve1.log" >&2
+        exit 1
+    }
+    ls "$dir/snapshots"/ckpt-*.capsnap >/dev/null || {
+        echo "ERROR: shutdown published no snapshot" >&2
+        exit 1
+    }
+
+    # Warm restart: a fresh process resumed from the snapshot must carry
+    # the learned predictor state bit-identically — the aggregate
+    # predictor metrics before shutdown and after restart must match.
+    serve_wait_port "$dir/serve2.log" --resume
+    ADDR="127.0.0.1:$(cat "$dir/port")"
+    grep -q 'warm restart from ' "$dir/serve2.log" || {
+        echo "ERROR: restarted server did not warm-restart" >&2
+        cat "$dir/serve2.log" >&2
+        exit 1
+    }
+    "${SIMULATE[@]}" client --addr "$ADDR" --stats > "$dir/stats-after.json"
+    for key in loads predictions correct_predictions prediction_rate_bits accuracy_bits; do
+        ref=$(grep "\"$key\"" "$dir/stats-before.json")
+        res=$(grep "\"$key\"" "$dir/stats-after.json")
+        if [ -z "$ref" ] || [ "$ref" != "$res" ]; then
+            echo "ERROR: warm restart diverged on $key: '$ref' vs '$res'" >&2
+            exit 1
+        fi
+    done
+    "${SIMULATE[@]}" client --addr "$ADDR" --shutdown 500
+    wait "$SERVE_PID" || {
+        echo "ERROR: restarted server exited nonzero on shutdown" >&2
+        exit 1
+    }
+    echo "service smoke: drained cleanly, warm restart bit-identical"
+}
+
+if [ "$GATE" = "all" ]; then
+    core_gates
 fi
+service_gate
 
 echo
 echo "verify: all green"
