@@ -8,14 +8,14 @@
 
 use cap_bench::bench_kit::Criterion;
 use cap_faults::prelude::*;
-use cap_predictor::drive::run_immediate;
+use cap_predictor::drive::Session;
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_trace::suites::catalog;
 
 fn bench(c: &mut Criterion) {
     let trace = catalog()[0].generate(20_000);
     let mut warmed = HybridPredictor::new(HybridConfig::paper_default());
-    run_immediate(&mut warmed, &trace);
+    Session::new(&mut warmed).run(&trace);
 
     let mut group = c.benchmark_group("faults");
     group.sample_size(10);
@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("run_20k_loads_clean", |b| {
         b.iter(|| {
             let mut p = warmed.clone();
-            run_immediate(&mut p, &trace)
+            Session::new(&mut p).run(&trace)
         });
     });
 
@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
         let _ = plan.inject_all(&mut faulted);
         b.iter(|| {
             let mut p = faulted.clone();
-            run_immediate(&mut p, &trace)
+            Session::new(&mut p).run(&trace)
         });
     });
 

@@ -11,7 +11,7 @@
 
 use cap_bench::bench_kit::Criterion;
 use cap_harness::supervisor::{run, PredictorKind, SupervisorConfig};
-use cap_predictor::drive::run_immediate;
+use cap_predictor::drive::Session;
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::metrics::PredictorStats;
 use cap_snapshot::{SnapshotArchive, SnapshotBuilder};
@@ -28,7 +28,7 @@ fn archive_of(p: &HybridPredictor, stats: &PredictorStats) -> Vec<u8> {
 fn bench(c: &mut Criterion) {
     let trace = catalog()[0].generate(20_000);
     let mut warmed = HybridPredictor::new(HybridConfig::paper_default());
-    let stats = run_immediate(&mut warmed, &trace);
+    let stats = Session::new(&mut warmed).run(&trace);
     let bytes = archive_of(&warmed, &stats);
     println!("warmed hybrid archive: {} bytes", bytes.len());
 

@@ -6,7 +6,7 @@
 //! as the `faults` gate.
 
 use cap_faults::snapshot::{corrupt_snapshot, SnapshotMutationKind};
-use cap_predictor::drive::run_immediate;
+use cap_predictor::drive::Session;
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_rand::{rngs::StdRng, SeedableRng};
 use cap_snapshot::{SnapshotArchive, SnapshotBuilder};
@@ -47,7 +47,7 @@ fn trace_smoke() {
 fn snapshot_smoke() {
     let trace = catalog()[1].generate(4_000);
     let mut p = HybridPredictor::new(HybridConfig::paper_default());
-    let stats = run_immediate(&mut p, &trace);
+    let stats = Session::new(&mut p).run(&trace);
     let mut b = SnapshotBuilder::new();
     b.add("predictor", &p);
     b.add("stats", &stats);

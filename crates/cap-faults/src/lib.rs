@@ -26,18 +26,18 @@
 //! ```
 //! use cap_faults::prelude::*;
 //! use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
-//! use cap_predictor::drive::run_immediate;
+//! use cap_predictor::drive::Session;
 //! use cap_trace::suites::catalog;
 //!
 //! let trace = catalog()[0].generate(4_000);
 //! let mut p = HybridPredictor::new(HybridConfig::paper_default());
-//! run_immediate(&mut p, &trace); // warm it up
+//! Session::new(&mut p).run(&trace); // warm it up
 //!
 //! let plan = FaultPlan::new(0xC0FFEE, 64);
 //! let report = plan.inject_all(&mut p);
 //! assert!(report.applied > 0);
 //! check_invariants(&p).expect("faults stay inside structural bounds");
-//! run_immediate(&mut p, &trace); // must not panic
+//! Session::new(&mut p).run(&trace); // must not panic
 //! ```
 
 #![warn(missing_docs)]

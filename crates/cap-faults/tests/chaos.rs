@@ -9,7 +9,7 @@
 use cap_faults::prelude::*;
 use cap_faults::plan::flip_random_bit;
 use cap_predictor::cap::{CapConfig, CapPredictor};
-use cap_predictor::drive::{run_immediate, ControlState};
+use cap_predictor::drive::{ControlState, Session};
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::load_buffer::LoadBufferConfig;
 use cap_predictor::stride::{StrideParams, StridePredictor};
@@ -31,7 +31,7 @@ fn chaos_rounds<P: AddressPredictor + FaultTarget>(
     seed: u64,
 ) -> InjectionReport {
     const BATCH: usize = 100;
-    run_immediate(p, trace); // warm tables before the first fault lands
+    Session::new(p).run(trace); // warm tables before the first fault lands
 
     let plan = FaultPlan::new(seed, BATCH);
     let mut rng = plan.rng();
@@ -147,7 +147,7 @@ fn chaos_1000_corrupted_snapshots_never_panic_and_name_their_section() {
     // A realistic archive: a warmed hybrid predictor plus driver state.
     let trace = catalog()[1].generate(6_000);
     let mut p = HybridPredictor::new(HybridConfig::paper_default());
-    let stats = run_immediate(&mut p, &trace);
+    let stats = Session::new(&mut p).run(&trace);
     let mut b = SnapshotBuilder::new();
     b.add("predictor", &p);
     b.add("stats", &stats);
@@ -194,7 +194,7 @@ fn chaos_1000_corrupted_snapshots_never_panic_and_name_their_section() {
     // The pristine bytes must still restore a working predictor.
     let archive = SnapshotArchive::parse(&bytes).expect("pristine archive parses");
     let mut restored: HybridPredictor = archive.restore("predictor").expect("restores");
-    run_immediate(&mut restored, &trace);
+    Session::new(&mut restored).run(&trace);
 }
 
 #[test]

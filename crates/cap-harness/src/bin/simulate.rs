@@ -23,6 +23,7 @@
 //!          [--seed <s>] [--pin hybrid|stride-only|bypass]
 //! simulate client --addr <host:port> [--trace <path>] [--take <n>]
 //!          [--budget-ms <n>] [--stats] [--shutdown <drain-ms>] [--json]
+//! simulate top --addr <host:port> [--events <n>] [--json]
 //! ```
 //!
 //! `serve` hosts the resilient prediction service over TCP; a client's
@@ -30,6 +31,12 @@
 //! publishes a warm-restart snapshot (atomically, via the checkpoint
 //! machinery). `serve --resume` restores the newest valid snapshot, so a
 //! kill-and-restart cycle loses no trained predictor state.
+//!
+//! `serve` always runs with a live telemetry registry attached, and
+//! `top` is its dashboard: it fetches the registry snapshot over the
+//! wire (the `CAPO` stats frame) and prints sorted counter/gauge tables,
+//! per-rung latency quantiles, and the newest trace events — or the
+//! whole snapshot as JSON with `--json`.
 
 use cap_harness::checkpoint::{list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint};
 use cap_harness::json::JsonObject;
@@ -86,6 +93,7 @@ fn usage() -> ! {
     eprintln!("                [--keep <k>] [--seed <s>] [--pin hybrid|stride-only|bypass]");
     eprintln!("       simulate client --addr <host:port> [--trace <path>] [--take <n>]");
     eprintln!("                [--budget-ms <n>] [--stats] [--shutdown <drain-ms>] [--json]");
+    eprintln!("       simulate top --addr <host:port> [--events <n>] [--json]");
     exit(2);
 }
 
@@ -314,6 +322,12 @@ fn cmd_serve(mut args: Vec<String>) {
         exit(2);
     }
 
+    // The server always runs instrumented: one registry shared by the
+    // admission path, workers, breakers, and ladder, exported over the
+    // wire as the `CAPO` stats frame (see `simulate top`).
+    let registry = Arc::new(cap_obs::Registry::new());
+    config.obs = registry.obs();
+
     // Warm restart: newest valid snapshot wins; corrupt or missing
     // snapshots degrade to a cold start (the recovery sweep logs what
     // it discards). A dead service is never the answer.
@@ -345,11 +359,16 @@ fn cmd_serve(mut args: Vec<String>) {
         (None, _) => {}
     }
 
+    let exporter: ObsExporter = {
+        let registry = Arc::clone(&registry);
+        Arc::new(move || registry.snapshot().encode())
+    };
     let server = TcpServer::bind(addr.as_str(), service.handle(), stats_renderer())
         .unwrap_or_else(|e| {
             eprintln!("cannot bind {addr}: {e}");
             exit(1);
-        });
+        })
+        .with_obs_exporter(exporter);
     let local = server.local_addr().expect("bound socket has an address");
     println!("serving on {local}");
     if let Some(path) = &port_file {
@@ -511,6 +530,36 @@ fn cmd_client(mut args: Vec<String>) {
     }
 }
 
+/// Fetches a running server's telemetry registry over the wire and
+/// prints it `top`-style (or as JSON).
+fn cmd_top(mut args: Vec<String>) {
+    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| {
+        eprintln!("top requires --addr <host:port>");
+        exit(2);
+    });
+    let events =
+        take_value(&mut args, "--events").map_or(16, |v| parse_number("--events", &v) as usize);
+    let json = take_flag(&mut args, "--json");
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+
+    let mut client = TcpClient::connect(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let snapshot = client.obs_stats().unwrap_or_else(|e| {
+        eprintln!("obs-stats failed: {e}");
+        exit(1);
+    });
+    if json {
+        println!("{}", cap_harness::json::obs_snapshot_json(&snapshot).pretty());
+    } else {
+        print!("{}", snapshot.render_top(events));
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -522,6 +571,7 @@ fn main() {
         "run" => cmd_run(args),
         "serve" => cmd_serve(args),
         "client" => cmd_client(args),
+        "top" => cmd_top(args),
         _ => usage(),
     }
 }

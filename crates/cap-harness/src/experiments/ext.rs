@@ -11,7 +11,7 @@ use crate::runner::{run_suite_sweep, PredictorFactory, Scale, SuiteResults};
 use crate::table::{pct, pct2, Table};
 use cap_predictor::cap::{CapConfig, CapPredictor};
 use cap_predictor::delta::{DeltaCapConfig, DeltaCapPredictor};
-use cap_predictor::drive::run_value_immediate;
+use cap_predictor::drive::Session;
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::last_addr::LastAddressPredictor;
 use cap_predictor::link_table::LinkTableConfig;
@@ -134,7 +134,7 @@ pub fn profile_guided(scale: &Scale) -> (Vec<(String, f64, f64)>, ExperimentRepo
         for spec in suite.traces().into_iter().take(take) {
             let trace = spec.generate(scale.loads_per_trace);
             let mut plain = small_hybrid();
-            plain_suite.merge(&cap_predictor::drive::run_immediate(&mut plain, &trace));
+            plain_suite.merge(&Session::new(&mut plain).run(&trace));
 
             let classes = Profiler::profile_trace(&trace);
             let mut guided = ProfileGuidedPredictor::new(
@@ -154,7 +154,7 @@ pub fn profile_guided(scale: &Scale) -> (Vec<(String, f64, f64)>, ExperimentRepo
                 },
                 StrideParams::paper_default(),
             );
-            guided_suite.merge(&cap_predictor::drive::run_immediate(&mut guided, &trace));
+            guided_suite.merge(&Session::new(&mut guided).run(&trace));
         }
         rows.push((
             suite.name().to_owned(),
@@ -258,7 +258,6 @@ pub fn prefetch(scale: &Scale) -> (CoreCompareRows, ExperimentReport) {
 /// reorder-buffer-like predictor state recovery.
 #[must_use]
 pub fn wrong_path(scale: &Scale) -> (CoreCompareRows, ExperimentReport) {
-    use cap_predictor::drive::run_with_wrong_path;
     let mut rows = Vec::new();
     for suite in Suite::ALL {
         let take = scale.traces_per_suite.unwrap_or(usize::MAX).min(2);
@@ -267,9 +266,9 @@ pub fn wrong_path(scale: &Scale) -> (CoreCompareRows, ExperimentReport) {
         for spec in suite.traces().into_iter().take(take) {
             let trace = spec.generate(scale.loads_per_trace);
             let mut a = HybridPredictor::new(HybridConfig::paper_default());
-            rec.merge(&run_with_wrong_path(&mut a, &trace, 8, 6, true));
+            rec.merge(&Session::new(&mut a).wrong_path(8).recovery(true).run(&trace));
             let mut b = HybridPredictor::new(HybridConfig::paper_default());
-            norec.merge(&run_with_wrong_path(&mut b, &trace, 8, 6, false));
+            norec.merge(&Session::new(&mut b).wrong_path(8).run(&trace));
         }
         rows.push((
             suite.name().to_owned(),
@@ -328,9 +327,9 @@ pub fn value_vs_address(scale: &Scale) -> (Vec<(String, f64, f64)>, ExperimentRe
             for spec in suite.traces().into_iter().take(take) {
                 let trace = spec.generate(scale.loads_per_trace);
                 let mut pa = factory();
-                addr.merge(&cap_predictor::drive::run_immediate(pa.as_mut(), &trace));
+                addr.merge(&Session::new(pa.as_mut()).run(&trace));
                 let mut pv = factory();
-                value.merge(&run_value_immediate(pv.as_mut(), &trace));
+                value.merge(&Session::new(pv.as_mut()).values(true).run(&trace));
             }
         }
         rows.push((

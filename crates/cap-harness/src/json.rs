@@ -71,6 +71,12 @@ impl JsonObject {
         self.push(key, value.to_string())
     }
 
+    /// Adds a signed integer field (gauges can go negative).
+    #[must_use]
+    pub fn i64(self, key: &str, value: i64) -> Self {
+        self.push(key, value.to_string())
+    }
+
     /// Adds a fixed-decimals float field (human-facing values only;
     /// bit-exact values go through `f64::to_bits` and [`JsonObject::u64`]).
     #[must_use]
@@ -122,6 +128,51 @@ impl JsonObject {
         out.push('}');
         out
     }
+}
+
+/// Renders a telemetry registry snapshot as JSON: counters and gauges
+/// as name→value maps, histograms with their shape and log-bucket
+/// quantiles, and the trace-event tail. Purely a function of the
+/// snapshot (no wall-clock, no float formatting beyond integers), so
+/// identical snapshots render byte-identical JSON — the golden test
+/// holds this rendering stable.
+#[must_use]
+pub fn obs_snapshot_json(snap: &cap_obs::StatsSnapshot) -> JsonObject {
+    let mut counters = JsonObject::new();
+    for (name, value) in &snap.counters {
+        counters = counters.u64(name, *value);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, value) in &snap.gauges {
+        gauges = gauges.i64(name, *value);
+    }
+    let mut histograms = JsonObject::new();
+    for (name, h) in &snap.histograms {
+        let rendered = JsonObject::new()
+            .u64("count", h.count)
+            .u64("sum", h.sum)
+            .u64("min", h.min)
+            .u64("max", h.max)
+            .u64("p50", h.p50())
+            .u64("p90", h.p90())
+            .u64("p99", h.p99())
+            .compact();
+        histograms = histograms.raw(name, &rendered);
+    }
+    let events = snap.events.iter().map(|e| {
+        JsonObject::new()
+            .u64("seq", e.seq)
+            .string("name", &e.name)
+            .string("kind", e.kind.name())
+            .u64("value", e.value)
+            .compact()
+    });
+    JsonObject::new()
+        .raw("counters", &counters.compact())
+        .raw("gauges", &gauges.compact())
+        .raw("histograms", &histograms.compact())
+        .array("events", events)
+        .u64("dropped_events", snap.dropped_events)
 }
 
 #[cfg(test)]

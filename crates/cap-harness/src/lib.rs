@@ -35,5 +35,20 @@ pub mod runner;
 pub mod supervisor;
 pub mod table;
 
+/// Registry metric names recorded by the supervisor when an
+/// [`cap_obs::Obs`] is attached via
+/// [`supervisor::SupervisorConfig`]`::obs`.
+pub mod names {
+    /// Checkpoint encode time, microseconds (histogram).
+    pub const CKPT_ENCODE_US: &str = "harness.checkpoint.encode_us";
+    /// Checkpoint decode time on resume, microseconds (histogram).
+    pub const CKPT_DECODE_US: &str = "harness.checkpoint.decode_us";
+    /// Checkpoints published by this process.
+    pub const CKPT_WRITTEN: &str = "harness.checkpoint.written";
+    /// Extra attempts spent in transient-I/O retry loops (first tries
+    /// are free; only re-tries count).
+    pub const RETRY_ATTEMPTS: &str = "harness.retry.attempts";
+}
+
 pub use experiments::ExperimentReport;
 pub use runner::{PredictorFactory, Scale};

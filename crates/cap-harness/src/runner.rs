@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: scales, predictor factories, and
 //! suite-level sweeps.
 
-use cap_predictor::drive::run_with_gap;
+use cap_predictor::drive::Session;
 use cap_predictor::metrics::PredictorStats;
 use cap_predictor::prelude::*;
 use cap_trace::suites::{Suite, TraceSpec};
@@ -169,7 +169,7 @@ pub fn run_suite_sweep(
         let trace = spec.generate(scale.loads_per_trace);
         for (factory, result) in factories.iter().zip(&mut results) {
             let mut predictor = factory.build();
-            let stats = run_with_gap(predictor.as_mut(), &trace, gap);
+            let stats = Session::new(predictor.as_mut()).gap(gap).run(&trace);
             result
                 .per_suite
                 .entry(spec.suite)

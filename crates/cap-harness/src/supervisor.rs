@@ -16,6 +16,7 @@
 //! kill-and-resume tests.
 
 use crate::checkpoint::{recover_latest, rotate_checkpoints, write_checkpoint};
+use crate::names;
 use cap_faults::plan::FaultPlan;
 use cap_faults::target::FaultTarget;
 use cap_predictor::cap::{CapConfig, CapPredictor};
@@ -25,6 +26,7 @@ use cap_predictor::load_buffer::LoadBufferConfig;
 use cap_predictor::metrics::PredictorStats;
 use cap_predictor::stride::{StrideParams, StridePredictor};
 use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
+use cap_obs::{Classify, ErrorClass, Obs};
 use cap_rand::{rngs::StdRng, SeedableRng};
 use cap_snapshot::{
     crc32, Restorable, SectionReader, SectionWriter, Snapshot, SnapshotArchive, SnapshotBuilder,
@@ -280,6 +282,17 @@ impl<E: fmt::Display> fmt::Display for RetryError<E> {
 
 impl<E: fmt::Display + fmt::Debug> std::error::Error for RetryError<E> {}
 
+/// A retry wrapper fails the way its final underlying error fails —
+/// hitting the elapsed deadline doesn't change what kept going wrong.
+impl<E: Classify> Classify for RetryError<E> {
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            RetryError::Exhausted(e) => e.error_class(),
+            RetryError::TimedOut { last, .. } => last.error_class(),
+        }
+    }
+}
+
 /// Runs `op` under `policy`, retrying (with exponential backoff) only
 /// while `is_transient` says the error is worth retrying, and only while
 /// the policy's total-elapsed deadline holds.
@@ -323,6 +336,31 @@ where
     }
 }
 
+/// [`with_retry`], but counts the *extra* attempts (re-tries beyond the
+/// first call) into [`names::RETRY_ATTEMPTS`]. First tries are free —
+/// the counter stays untouched on the happy path, so a healthy run
+/// shows no retry activity at all.
+fn with_retry_observed<T, E, F, P>(
+    obs: &Obs,
+    policy: &RetryPolicy,
+    is_transient: P,
+    mut op: F,
+) -> Result<T, RetryError<E>>
+where
+    F: FnMut() -> Result<T, E>,
+    P: Fn(&E) -> bool,
+{
+    let mut calls = 0u64;
+    let result = with_retry(policy, is_transient, || {
+        calls += 1;
+        op()
+    });
+    if calls > 1 {
+        obs.count(names::RETRY_ATTEMPTS, calls - 1);
+    }
+    result
+}
+
 /// How (and whether) a run resumes from a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Resume {
@@ -362,6 +400,13 @@ pub struct SupervisorConfig {
     pub chaos_every: u64,
     /// Retry schedule for transient trace/checkpoint I/O.
     pub retry: RetryPolicy,
+    /// Telemetry handle; the supervisor records checkpoint
+    /// encode/decode timings, checkpoints written, retry attempts, and
+    /// the predictor's hit/miss counters through it. Never captured in
+    /// checkpoints — resumed runs use whatever the resuming config
+    /// carries. Defaults to off ([`Obs::off`]), which costs one branch
+    /// per record site.
+    pub obs: Obs,
 }
 
 impl SupervisorConfig {
@@ -379,6 +424,7 @@ impl SupervisorConfig {
             kill_after: None,
             chaos_every: 0,
             retry: RetryPolicy::default(),
+            obs: Obs::off(),
         }
     }
 }
@@ -448,6 +494,27 @@ impl fmt::Display for SupervisorError {
 }
 
 impl std::error::Error for SupervisorError {}
+
+impl Classify for SupervisorError {
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            // Filesystem weather: the retry loops already treat it as
+            // worth retrying.
+            SupervisorError::Io(_) => ErrorClass::Transient,
+            // A trace that failed on I/O (retries exhausted) is still
+            // environment weather; malformed trace bytes and
+            // undecodable checkpoints fail the same way on every read.
+            SupervisorError::Trace(ParseTraceError::Io(_)) => ErrorClass::Transient,
+            SupervisorError::Trace(_) | SupervisorError::Snapshot(_) => ErrorClass::Corrupt,
+            // A *valid* checkpoint for the wrong run: deterministic
+            // operator error, not damage.
+            SupervisorError::Mismatch(_) => ErrorClass::Permanent,
+            // The deadline bounded a recurring transient; more time (or
+            // a fixed disk) could still succeed.
+            SupervisorError::RetryTimeout { .. } => ErrorClass::Transient,
+        }
+    }
+}
 
 impl From<io::Error> for SupervisorError {
     fn from(e: io::Error) -> Self {
@@ -581,6 +648,24 @@ fn decode_checkpoint(
     })
 }
 
+/// [`decode_checkpoint`] with its wall-clock cost recorded into
+/// [`names::CKPT_DECODE_US`] (timed only when telemetry is on, so the
+/// disabled path never reads the clock).
+fn decode_checkpoint_timed(
+    bytes: &[u8],
+    config: &SupervisorConfig,
+    identity: TraceId,
+) -> Result<RunState, SupervisorError> {
+    let t0 = config.obs.enabled().then(std::time::Instant::now);
+    let state = decode_checkpoint(bytes, config, identity)?;
+    if let Some(t0) = t0 {
+        config
+            .obs
+            .record(names::CKPT_DECODE_US, t0.elapsed().as_micros() as u64);
+    }
+    Ok(state)
+}
+
 /// Resolves the resume mode into an initial [`RunState`].
 fn initial_state(
     config: &SupervisorConfig,
@@ -597,15 +682,17 @@ fn initial_state(
             let recovery = recover_latest(dir)?;
             match recovery.chosen {
                 Some((path, bytes)) => {
-                    let state = decode_checkpoint(&bytes, config, identity)?;
+                    let state = decode_checkpoint_timed(&bytes, config, identity)?;
                     Ok((state, Some(path), recovery.removed))
                 }
                 None => Ok((RunState::fresh(config), None, recovery.removed)),
             }
         }
         Resume::From(path) => {
-            let bytes = with_retry(&config.retry, |_| true, || std::fs::read(path))?;
-            let state = decode_checkpoint(&bytes, config, identity)?;
+            let bytes = with_retry_observed(&config.obs, &config.retry, |_| true, || {
+                std::fs::read(path)
+            })?;
+            let state = decode_checkpoint_timed(&bytes, config, identity)?;
             Ok((state, Some(path.clone()), Vec::new()))
         }
     }
@@ -619,10 +706,12 @@ fn initial_state(
 /// [`SupervisorError`] on unreadable traces, malformed trace lines,
 /// undecodable or mismatched checkpoints, or exhausted I/O retries.
 pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
-    let identity = with_retry(&config.retry, |_| true, || trace_identity(&config.trace))?;
+    let identity = with_retry_observed(&config.obs, &config.retry, |_| true, || {
+        trace_identity(&config.trace)
+    })?;
     let (mut state, resumed_from, recovery_removed) = initial_state(config, identity)?;
 
-    let mut cursor = with_retry(&config.retry, |_| true, || {
+    let mut cursor = with_retry_observed(&config.obs, &config.retry, |_| true, || {
         TraceCursor::open_at(&config.trace, state.pos)
     })?;
 
@@ -634,7 +723,8 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
     let mut faults_applied = 0u64;
 
     loop {
-        let next = with_retry(
+        let next = with_retry_observed(
+            &config.obs,
             &config.retry,
             |e| matches!(e, ParseTraceError::Io(_)),
             || cursor.next_event(),
@@ -652,7 +742,7 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
                 };
                 let pred = state.predictor.predict(&ctx);
                 state.predictor.update(&ctx, load.addr, &pred);
-                state.stats.record(&pred, load.addr);
+                state.stats.record_with(&pred, load.addr, &config.obs);
             }
             TraceEvent::Branch(b) => state.control.on_branch(b.ip, b.taken, b.kind),
             TraceEvent::Store(_) | TraceEvent::Op(_) => {}
@@ -671,12 +761,19 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
         if config.checkpoint_every > 0 && events % config.checkpoint_every == 0 {
             if let Some(dir) = &config.checkpoint_dir {
                 state.pos = cursor.position();
+                let t0 = config.obs.enabled().then(std::time::Instant::now);
                 let bytes = encode_checkpoint(config, identity, &state);
-                with_retry(&config.retry, |_| true, || {
+                if let Some(t0) = t0 {
+                    config
+                        .obs
+                        .record(names::CKPT_ENCODE_US, t0.elapsed().as_micros() as u64);
+                }
+                with_retry_observed(&config.obs, &config.retry, |_| true, || {
                     write_checkpoint(dir, events, &bytes)
                 })?;
                 rotate_checkpoints(dir, config.keep)?;
                 checkpoints_written += 1;
+                config.obs.incr(names::CKPT_WRITTEN);
             }
         }
 
@@ -926,6 +1023,67 @@ mod tests {
             }
             other => panic!("expected RetryTimeout, got {other}"),
         }
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_the_run_outcome() {
+        let dir = temp_dir("telemetry");
+        let trace = write_temp_trace(&dir, 4_000);
+        let ckpt_dir = dir.join("ckpts");
+
+        // Uninterrupted instrumented run: the registry's pred.* counters
+        // are views over the same arithmetic as PredictorStats.
+        let registry = std::sync::Arc::new(cap_obs::Registry::new());
+        let mut cfg = SupervisorConfig::new(&trace, PredictorKind::Hybrid);
+        cfg.checkpoint_dir = Some(ckpt_dir.clone());
+        cfg.checkpoint_every = 512;
+        cfg.obs = registry.obs();
+        let outcome = run(&cfg).unwrap();
+        assert!(outcome.checkpoints_written > 0);
+
+        let snap = registry.snapshot();
+        assert_stats_eq(&PredictorStats::from_obs_snapshot(&snap), &outcome.stats);
+        assert_eq!(
+            snap.counter(names::CKPT_WRITTEN),
+            Some(outcome.checkpoints_written)
+        );
+        let encode = snap.histogram(names::CKPT_ENCODE_US).expect("encode histogram");
+        assert_eq!(encode.count, outcome.checkpoints_written);
+        assert!(snap.histogram(names::CKPT_DECODE_US).is_none(), "no resume, no decode");
+        assert_eq!(snap.counter(names::RETRY_ATTEMPTS), None, "healthy I/O never re-tries");
+
+        // A resume decodes exactly one checkpoint, timed.
+        let resume_registry = std::sync::Arc::new(cap_obs::Registry::new());
+        let mut cfg2 = cfg.clone();
+        cfg2.resume = Resume::Auto;
+        cfg2.obs = resume_registry.obs();
+        let resumed = run(&cfg2).unwrap();
+        assert!(resumed.resumed_from.is_some());
+        let snap2 = resume_registry.snapshot();
+        let decode = snap2.histogram(names::CKPT_DECODE_US).expect("decode histogram");
+        assert_eq!(decode.count, 1);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervisor_errors_classify_coherently() {
+        let io_err = SupervisorError::Io(io::Error::other("disk"));
+        assert_eq!(io_err.error_class(), ErrorClass::Transient);
+        assert_eq!(
+            SupervisorError::Mismatch("foreign".into()).error_class(),
+            ErrorClass::Permanent
+        );
+        let timeout = SupervisorError::RetryTimeout {
+            elapsed: Duration::from_millis(25),
+            attempts: 2,
+            last: Box::new(SupervisorError::Io(io::Error::other("flaky"))),
+        };
+        assert!(timeout.error_class().is_retryable());
+
+        // RetryError delegates to whatever kept failing underneath.
+        let exhausted: RetryError<io::Error> = RetryError::Exhausted(io::Error::other("x"));
+        assert_eq!(exhausted.error_class(), ErrorClass::Transient);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The shared failure taxonomy.
+//!
+//! Every structured error type in the workspace answers one question
+//! the same way: *what kind of failure is this?* The degradation
+//! ladder, the supervisor's retry loop, and the stats layer all branch
+//! on [`ErrorClass`] instead of matching crate-specific variants.
+
+use std::fmt;
+
+/// Coarse classification of a failure, shared across all crates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ErrorClass {
+    /// Timing or environment dependent — the same request may succeed
+    /// if retried (timeouts, I/O hiccups, panicked backends).
+    Transient,
+    /// Deterministic — retrying the identical request will fail the
+    /// identical way (protocol violations, invalid configuration).
+    Permanent,
+    /// Deliberately rejected to protect the system under pressure
+    /// (load shedding, draining). Retryable, but only after backoff —
+    /// hammering a shedding server makes the pressure worse.
+    Shed,
+    /// Data damage — torn snapshots, checksum mismatches, malformed
+    /// traces. Never retryable against the same bytes.
+    Corrupt,
+}
+
+impl ErrorClass {
+    /// Stable lowercase name, used in metric names and wire exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Transient => "transient",
+            Self::Permanent => "permanent",
+            Self::Shed => "shed",
+            Self::Corrupt => "corrupt",
+        }
+    }
+
+    /// Whether a retry of the same operation can possibly succeed.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Self::Transient | Self::Shed)
+    }
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Implemented by every structured error type in the workspace.
+pub trait Classify {
+    /// The failure's coarse class.
+    fn error_class(&self) -> ErrorClass;
+}
+
+/// OS-level I/O failures are environment dependent: the retry loops in
+/// the harness already treat them as transient, and this impl lets
+/// generic code (`RetryError<io::Error>`) classify without a wrapper.
+impl Classify for std::io::Error {
+    fn error_class(&self) -> ErrorClass {
+        ErrorClass::Transient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_matches_class_semantics() {
+        assert!(ErrorClass::Transient.is_retryable());
+        assert!(ErrorClass::Shed.is_retryable());
+        assert!(!ErrorClass::Permanent.is_retryable());
+        assert!(!ErrorClass::Corrupt.is_retryable());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for (class, name) in [
+            (ErrorClass::Transient, "transient"),
+            (ErrorClass::Permanent, "permanent"),
+            (ErrorClass::Shed, "shed"),
+            (ErrorClass::Corrupt, "corrupt"),
+        ] {
+            assert_eq!(class.name(), name);
+            assert_eq!(class.to_string(), name);
+        }
+    }
+}

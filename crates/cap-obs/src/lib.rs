@@ -1,0 +1,63 @@
+//! Workspace-wide observability for the CAP reproduction.
+//!
+//! Every crate in the workspace reports through one telemetry API:
+//!
+//! * a **metric registry** ([`Registry`]) of monotonic counters, gauges,
+//!   and log-bucketed histograms with deterministic p50/p90/p99
+//!   extraction,
+//! * a **structured event-tracing layer**: a bounded ring of
+//!   [`TraceEvent`]s ordered by a monotonic sequence number — never by
+//!   wall-clock — so traces from seeded runs are replay-stable,
+//! * a shared **failure taxonomy** ([`ErrorClass`] / [`Classify`]) that
+//!   the service ladder, supervisor retry, and stats layer all use
+//!   instead of per-crate error matches.
+//!
+//! Instrumented code never talks to the registry directly; it goes
+//! through an [`Obs`] handle, which is either **off** (the default — a
+//! `None` branch, no allocation, no lock, no formatting) or **on**
+//! (backed by any [`Recorder`], usually a [`Registry`]). This is the
+//! mechanism that keeps the hot paths free when telemetry is disabled:
+//!
+//! ```
+//! use cap_obs::{Obs, Registry};
+//! use std::sync::Arc;
+//!
+//! let off = Obs::off();               // all calls are a tagged branch
+//! off.count("demo.ignored", 1);
+//!
+//! let registry = Arc::new(Registry::new());
+//! let obs = registry.obs();           // same call sites, now recorded
+//! obs.count("demo.loads", 3);
+//! obs.record("demo.latency_us", 180);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo.loads"), Some(3));
+//! ```
+//!
+//! The registry exports a [`StatsSnapshot`]: an ordered, versioned view
+//! with its own self-contained binary codec (this crate depends on
+//! nothing, so the codec cannot reuse `cap-snapshot`) used as the
+//! service's `stats` wire frame, plus a `top`-style text rendering.
+//!
+//! # Determinism rules
+//!
+//! * Nothing in this crate reads a clock. Durations enter histograms
+//!   only when a *call site* measures one and passes it in.
+//! * Trace events carry a sequence number allocated under the registry
+//!   lock — single-threaded runs replay bit-identically; multi-worker
+//!   runs are ordered by lock acquisition.
+//! * Snapshots iterate `BTreeMap`s, so export order is the sorted metric
+//!   name order, independent of insertion order.
+
+pub mod error;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use error::{Classify, ErrorClass};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use recorder::{Obs, Recorder};
+pub use registry::Registry;
+pub use snapshot::{ObsDecodeError, StatsSnapshot};
+pub use trace::{EventKind, TraceEvent};

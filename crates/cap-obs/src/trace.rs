@@ -1,0 +1,85 @@
+//! Structured trace events.
+//!
+//! An event is a point observation (`Mark`) or one edge of a span
+//! (`SpanBegin`/`SpanEnd`). Events carry a registry-allocated sequence
+//! number and a caller-supplied value — never a wall-clock timestamp —
+//! so a seeded run produces the same trace every time it is replayed.
+
+use std::fmt;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A point event.
+    Mark,
+    /// The opening edge of a span.
+    SpanBegin,
+    /// The closing edge of a span.
+    SpanEnd,
+}
+
+impl EventKind {
+    /// Stable wire encoding.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Mark => 0,
+            Self::SpanBegin => 1,
+            Self::SpanEnd => 2,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Mark),
+            1 => Some(Self::SpanBegin),
+            2 => Some(Self::SpanEnd),
+            _ => None,
+        }
+    }
+
+    /// Short name for renderings.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Mark => "mark",
+            Self::SpanBegin => "begin",
+            Self::SpanEnd => "end",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, allocated under the registry lock.
+    pub seq: u64,
+    /// Event name (dot-separated, like metric names).
+    pub name: String,
+    /// Point event or span edge.
+    pub kind: EventKind,
+    /// Caller-supplied payload (a count, an index, a state code — by
+    /// the determinism rules, never a clock reading).
+    pub value: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in [EventKind::Mark, EventKind::SpanBegin, EventKind::SpanEnd] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(3), None);
+    }
+}

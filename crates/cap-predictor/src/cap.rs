@@ -23,9 +23,11 @@
 
 use crate::confidence::{CfiMode, SaturatingCounter};
 use crate::history::HistorySpec;
-use crate::link_table::{LinkTable, LinkTableConfig};
+use crate::link_table::{LinkTable, LinkTableConfig, LtWrite};
 use crate::load_buffer::{LbEntry, LoadBuffer, LoadBufferConfig, LbEntryProto};
+use crate::metrics::names;
 use crate::types::{AddressPredictor, LoadContext, PredSource, Prediction, PredictionDetail};
+use cap_obs::Obs;
 
 /// Tunables of the CAP component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +101,7 @@ impl CapParams {
 pub struct CapComponent {
     params: CapParams,
     lt: LinkTable,
+    obs: Obs,
 }
 
 impl CapComponent {
@@ -118,6 +121,7 @@ impl CapComponent {
         Self {
             params,
             lt: LinkTable::new(lt),
+            obs: Obs::off(),
         }
     }
 
@@ -125,6 +129,11 @@ impl CapComponent {
     #[must_use]
     pub fn params(&self) -> &CapParams {
         &self.params
+    }
+
+    /// Attaches a telemetry sink for the `cap.*` counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Read access to the Link Table (diagnostics).
@@ -155,8 +164,10 @@ impl CapComponent {
         }
         let folded = hist.fold(spec);
         let Some(link) = self.lt.lookup(&folded) else {
+            self.obs.incr(names::CAP_LT_MISS);
             return (None, false);
         };
+        self.obs.incr(names::CAP_LT_HIT);
         let addr = link.wrapping_add(u64::from(entry.offset_lsb));
         let confident = !self.params.confidence_enabled
             || (entry.cap_conf.is_confident()
@@ -177,7 +188,7 @@ impl CapComponent {
     /// Does not disturb the entry's speculative state: the walk uses a
     /// scratch copy of the history.
     #[must_use]
-    pub fn predict_ahead(&self, entry: &LbEntry, n: usize) -> Vec<u64> {
+    pub(crate) fn predict_ahead(&self, entry: &LbEntry, n: usize) -> Vec<u64> {
         let spec = &self.params.history;
         let mut hist = entry.history.clone();
         let mut out = Vec::with_capacity(n);
@@ -219,10 +230,18 @@ impl CapComponent {
         // feed the CFI so blocked paths can recover.
         if let Some(p) = component_pred {
             let correct = p == actual;
+            let was_confident = entry.cap_conf.is_confident();
             if correct {
                 entry.cap_conf.on_correct();
             } else {
                 entry.cap_conf.on_incorrect();
+            }
+            if self.obs.enabled() && entry.cap_conf.is_confident() != was_confident {
+                self.obs.incr(if was_confident {
+                    names::CAP_CONF_DEMOTE
+                } else {
+                    names::CAP_CONF_PROMOTE
+                });
             }
             if correct {
                 entry.cap_cfi.record(self.params.cfi, ctx.ghr, true);
@@ -235,7 +254,16 @@ impl CapComponent {
         // instance) to the address that followed it.
         if update_lt && entry.history.is_warm(&spec) {
             let folded = entry.history.fold(&spec);
-            self.lt.update(&folded, actual_base);
+            let outcome = self.lt.update_outcome(&folded, actual_base);
+            if self.obs.enabled() {
+                self.obs.incr(match outcome {
+                    LtWrite::Fill => names::CAP_LT_FILL,
+                    LtWrite::Refresh => names::CAP_LT_REFRESH,
+                    LtWrite::Retrain => names::CAP_LT_RETRAIN,
+                    LtWrite::Replace => names::CAP_LT_REPLACE,
+                    LtWrite::Deferred => names::CAP_LT_DEFERRED,
+                });
+            }
         }
 
         // Advance the architectural history.
@@ -351,13 +379,20 @@ impl CapPredictor {
     }
 
     /// Predicts the next `n` instances of the static load at `ip` by
-    /// chaining Link Table lookups (§5.4; see
-    /// [`CapComponent::predict_ahead`]). Returns fewer than `n` addresses
-    /// when the chain reaches unknown context, and an empty vector on an
-    /// LB miss or a cold history.
+    /// chaining Link Table lookups over a scratch copy of the entry's
+    /// history (§5.4). Returns fewer than `n` addresses when the chain
+    /// reaches unknown context, and an empty vector on an LB miss or a
+    /// cold history.
+    ///
+    /// This is the one public lookahead entry point (the component-level
+    /// walk it delegates to is crate-private). It is a pure read: it
+    /// disturbs neither the entry's speculative state nor the LB's LRU
+    /// order, so interleaving it with [`AddressPredictor::predict`] /
+    /// [`AddressPredictor::update`] cannot change an evaluation's
+    /// outcome.
     #[must_use]
-    pub fn predict_ahead(&mut self, ip: u64, n: usize) -> Vec<u64> {
-        match self.lb.lookup(ip) {
+    pub fn predict_ahead(&self, ip: u64, n: usize) -> Vec<u64> {
+        match self.lb.peek(ip) {
             Some(entry) => self.component.predict_ahead(entry, n),
             None => Vec::new(),
         }
@@ -367,8 +402,10 @@ impl CapPredictor {
 impl AddressPredictor for CapPredictor {
     fn predict(&mut self, ctx: &LoadContext) -> Prediction {
         let Some(entry) = self.lb.lookup(ctx.ip) else {
+            self.component.obs.incr(names::LB_MISS);
             return Prediction::none();
         };
+        self.component.obs.incr(names::LB_HIT);
         let (addr, confident) = self.component.predict(entry, ctx);
         Prediction {
             addr,
@@ -387,13 +424,20 @@ impl AddressPredictor for CapPredictor {
     }
 
     fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
-        let (entry, _fresh) = self.lb.lookup_or_insert(ctx.ip);
+        let (entry, fresh) = self.lb.lookup_or_insert(ctx.ip);
+        if fresh {
+            self.component.obs.incr(names::LB_ALLOC);
+        }
         self.component
             .update(entry, ctx, actual, pred.detail.cap_addr, pred.speculate, true);
     }
 
     fn name(&self) -> &'static str {
         "cap"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.component.set_obs(obs);
     }
 }
 
@@ -462,7 +506,12 @@ impl Restorable for CapComponent {
                 lt.config().sets()
             )));
         }
-        Ok(Self { params, lt })
+        // Telemetry is not snapshotted: restores come up with it off.
+        Ok(Self {
+            params,
+            lt,
+            obs: Obs::off(),
+        })
     }
 }
 
@@ -765,8 +814,27 @@ mod tests {
 
     #[test]
     fn predict_ahead_cold_entry_is_empty() {
-        let mut p = CapPredictor::new(config());
+        let p = CapPredictor::new(config());
         assert!(p.predict_ahead(0xDEAD, 4).is_empty());
+    }
+
+    #[test]
+    fn predict_ahead_is_a_pure_read() {
+        use cap_snapshot::Snapshot;
+        let mut p = CapPredictor::new(config());
+        let pattern = [0x100u64, 0x880, 0x480, 0x280];
+        for _ in 0..6 {
+            for &a in &pattern {
+                step(&mut p, 0x40, 0, a);
+            }
+        }
+        let before = p.to_payload();
+        let _ = p.predict_ahead(0x40, 8);
+        assert_eq!(
+            p.to_payload(),
+            before,
+            "lookahead must not perturb LRU/tick or any table state"
+        );
     }
 
     #[test]

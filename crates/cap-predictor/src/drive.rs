@@ -1,17 +1,27 @@
 //! Trace-driven predictor evaluation loops.
 //!
-//! [`run_immediate`] models Section 4: every prediction is resolved before
-//! the next one is made. [`run_with_gap`] models Section 5: resolutions
-//! (table updates) trail predictions by a configurable *prediction gap*,
-//! so predictions are made with outdated or speculative state and
-//! mispredictions propagate down the pipe.
+//! [`Session`] is the single entry point: a builder that composes the
+//! paper's evaluation models. The default session models Section 4
+//! (every prediction resolved before the next one is made);
+//! [`Session::gap`] models Section 5 (resolutions trail predictions by a
+//! configurable *prediction gap*, so predictions are made with outdated
+//! or speculative state and mispredictions propagate down the pipe);
+//! [`Session::wrong_path`] models §5.4 pollution; [`Session::values`]
+//! drives the same structures on loaded *values* for the
+//! value-prediction comparison.
 //!
-//! Both loops maintain the global branch-history register from the trace's
-//! branch outcomes and a folded call-site path (for the control-based
-//! ablation), and account statistics per the paper's definitions.
+//! Every session maintains the global branch-history register from the
+//! trace's branch outcomes and a folded call-site path (for the
+//! control-based ablation), and accounts statistics per the paper's
+//! definitions.
+//!
+//! The former free functions (`run_immediate`, `run_value_immediate`,
+//! `run_with_gap`, `run_with_wrong_path`) survive one release as thin
+//! deprecated wrappers over [`Session`].
 
 use crate::metrics::PredictorStats;
 use crate::types::{AddressPredictor, LoadContext, Prediction};
+use cap_obs::Obs;
 use cap_trace::{BranchKind, Trace, TraceEvent};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -63,83 +73,6 @@ impl Restorable for ControlState {
     }
 }
 
-/// Runs a predictor over a trace under the immediate-update model (§4):
-/// each load is predicted and resolved before the next load is seen.
-///
-/// # Examples
-///
-/// ```
-/// use cap_predictor::drive::run_immediate;
-/// use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
-/// use cap_trace::suites::Suite;
-///
-/// let trace = Suite::Int.traces()[0].generate(2_000);
-/// let mut p = HybridPredictor::new(HybridConfig::paper_default());
-/// let stats = run_immediate(&mut p, &trace);
-/// assert_eq!(stats.loads as usize, trace.load_count());
-/// ```
-pub fn run_immediate<P: AddressPredictor + ?Sized>(
-    predictor: &mut P,
-    trace: &Trace,
-) -> PredictorStats {
-    let mut stats = PredictorStats::new();
-    let mut control = ControlState::default();
-    for event in trace.iter() {
-        match event {
-            TraceEvent::Load(load) => {
-                let ctx = LoadContext {
-                    ip: load.ip,
-                    offset: load.offset,
-                    ghr: control.ghr,
-                    path: control.path,
-                    pending: 0,
-                };
-                let pred = predictor.predict(&ctx);
-                predictor.update(&ctx, load.addr, &pred);
-                stats.record(&pred, load.addr);
-            }
-            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
-            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
-        }
-    }
-    stats
-}
-
-/// Runs a predictor over a trace's *value* stream under the immediate-
-/// update model: identical to [`run_immediate`] except that the quantity
-/// being predicted and verified is the loaded **value**, not the effective
-/// address. Driving the same predictor structures on values reproduces the
-/// value-prediction lineage the paper's §1 contrasts against
-/// (last-value \[Lipa96a\], stride and context value predictors
-/// \[Saze97\]\[Wang97\]) and lets the `ext-value` experiment measure the
-/// paper's claim that values are less predictable than addresses.
-pub fn run_value_immediate<P: AddressPredictor + ?Sized>(
-    predictor: &mut P,
-    trace: &Trace,
-) -> PredictorStats {
-    let mut stats = PredictorStats::new();
-    let mut control = ControlState::default();
-    for event in trace.iter() {
-        match event {
-            TraceEvent::Load(load) => {
-                let ctx = LoadContext {
-                    ip: load.ip,
-                    offset: 0, // values have no opcode offset
-                    ghr: control.ghr,
-                    path: control.path,
-                    pending: 0,
-                };
-                let pred = predictor.predict(&ctx);
-                predictor.update(&ctx, load.value, &pred);
-                stats.record(&pred, load.value);
-            }
-            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
-            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
-        }
-    }
-    stats
-}
-
 /// One in-flight load awaiting resolution in the gap pipeline.
 #[derive(Debug, Clone)]
 struct Pending {
@@ -150,102 +83,377 @@ struct Pending {
     seq: u64,
 }
 
-/// Runs a predictor over a trace with a *prediction gap* (§5): the table
-/// update for a load is applied only once `gap` dynamic *instructions*
-/// have passed since its prediction. `gap == 0` is equivalent to
-/// [`run_immediate`].
+/// A configured trace-driven evaluation run — the one entry point that
+/// replaces the former `run_immediate` / `run_value_immediate` /
+/// `run_with_gap` / `run_with_wrong_path` quartet.
 ///
-/// The gap is instruction-granular rather than load-granular: stretches of
-/// non-load instructions (pipeline bubbles, branch-misprediction shadows)
-/// drain pending resolutions, which is what lets a context predictor
-/// resume after a misprediction chain — the paper's §5.2 observation that
-/// "correct context-based predictions should resume on the next traversal".
+/// The default session is the immediate-update model of §4: each load
+/// is predicted and resolved before the next load is seen. The builder
+/// methods layer the paper's other models on top, and compose — a
+/// gapped session can also suffer wrong-path pollution, which the old
+/// free functions could not express.
 ///
-/// The loop also maintains, per static load, the number of unresolved
-/// in-flight instances and passes it as [`LoadContext::pending`] so the
-/// stride catch-up and interval mechanisms can extrapolate.
+/// # Examples
+///
+/// ```
+/// use cap_predictor::drive::Session;
+/// use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+/// use cap_trace::suites::Suite;
+///
+/// let trace = Suite::Int.traces()[0].generate(2_000);
+/// let mut p = HybridPredictor::new(HybridConfig::paper_default());
+/// let stats = Session::new(&mut p).run(&trace);
+/// assert_eq!(stats.loads as usize, trace.load_count());
+///
+/// // The pipelined model (§5): an 8-instruction prediction gap.
+/// let mut p = HybridPredictor::new(HybridConfig::paper_pipelined());
+/// let gapped = Session::new(&mut p).gap(8).run(&trace);
+/// assert_eq!(gapped.loads, stats.loads);
+/// ```
+#[must_use = "a Session does nothing until `.run(&trace)`"]
+#[derive(Debug)]
+pub struct Session<'p, P: AddressPredictor + ?Sized> {
+    predictor: &'p mut P,
+    gap: usize,
+    wrong_path_percent: u32,
+    wrong_path_depth: usize,
+    recovery: bool,
+    values: bool,
+    obs: Obs,
+}
+
+impl<'p, P: AddressPredictor + ?Sized> Session<'p, P> {
+    /// A session with the §4 defaults: immediate update, no wrong-path
+    /// pollution, predicting load *addresses*, telemetry off.
+    pub fn new(predictor: &'p mut P) -> Self {
+        Self {
+            predictor,
+            gap: 0,
+            wrong_path_percent: 0,
+            wrong_path_depth: 6,
+            recovery: false,
+            values: false,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Sets the *prediction gap* (§5): the table update for a load is
+    /// applied only once `gap` dynamic *instructions* have passed since
+    /// its prediction. `0` (the default) is the immediate-update model.
+    ///
+    /// The gap is instruction-granular rather than load-granular:
+    /// stretches of non-load instructions (pipeline bubbles,
+    /// branch-misprediction shadows) drain pending resolutions, which
+    /// is what lets a context predictor resume after a misprediction
+    /// chain — the paper's §5.2 observation that "correct context-based
+    /// predictions should resume on the next traversal". The session
+    /// also maintains, per static load, the number of unresolved
+    /// in-flight instances and passes it as [`LoadContext::pending`] so
+    /// the stride catch-up and interval mechanisms can extrapolate.
+    pub fn gap(mut self, gap: usize) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Enables *wrong-path pollution* (§5.4): at every conditional
+    /// branch, with probability `percent`/100 (deterministic in the
+    /// branch IP and position; values above 100 clamp to 100), the
+    /// front end is assumed to have fetched down the wrong path and the
+    /// next few loads are presented to the predictor with wrong-path
+    /// addresses before the flush. Statistics count only correct-path
+    /// loads. See [`Session::wrong_path_depth`] and
+    /// [`Session::recovery`].
+    pub fn wrong_path(mut self, percent: u32) -> Self {
+        self.wrong_path_percent = percent.min(100);
+        self
+    }
+
+    /// How many wrong-path loads are fetched before the flush
+    /// (default 6). Only meaningful with [`Session::wrong_path`].
+    pub fn wrong_path_depth(mut self, depth: usize) -> Self {
+        self.wrong_path_depth = depth;
+        self
+    }
+
+    /// Models the reorder-buffer-like recovery mechanism: everything
+    /// the wrong path did to the predictor is undone (modelled as the
+    /// wrong-path loads not touching it at all). Without recovery (the
+    /// default), wrong-path loads are predicted *and* destructively
+    /// updated — the hazard the paper says recovery must prevent.
+    pub fn recovery(mut self, enabled: bool) -> Self {
+        self.recovery = enabled;
+        self
+    }
+
+    /// Predicts the loaded **value** instead of the effective address
+    /// (offset is forced to 0 — values have no opcode offset). Driving
+    /// the same predictor structures on values reproduces the
+    /// value-prediction lineage the paper's §1 contrasts against
+    /// (last-value \[Lipa96a\], stride and context value predictors
+    /// \[Saze97\]\[Wang97\]) and lets the `ext-value` experiment
+    /// measure the paper's claim that values are less predictable than
+    /// addresses.
+    pub fn values(mut self, enabled: bool) -> Self {
+        self.values = enabled;
+        self
+    }
+
+    /// Attaches a telemetry handle: every resolved load is mirrored
+    /// into the registry through
+    /// [`PredictorStats::record_with`](crate::metrics::PredictorStats::record_with).
+    /// The default is [`Obs::off`], which costs one branch per call.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The quantity this session predicts and verifies for a load.
+    fn actual_of(&self, load: &cap_trace::LoadRecord) -> u64 {
+        if self.values { load.value } else { load.addr }
+    }
+
+    fn context_of(&self, load: &cap_trace::LoadRecord, control: &ControlState, pending: u32) -> LoadContext {
+        LoadContext {
+            ip: load.ip,
+            offset: if self.values { 0 } else { load.offset },
+            ghr: control.ghr,
+            path: control.path,
+            pending,
+        }
+    }
+
+    /// Runs the session over `trace`, consuming the builder.
+    ///
+    /// An attached [`Obs`] is also handed to the predictor
+    /// ([`AddressPredictor::set_obs`]) so component-level counters
+    /// (`cap.lt.*`, `stride.*`, `pred.lb.*`) land in the same registry
+    /// as the `pred.*` mirror of the returned stats.
+    pub fn run(self, trace: &Trace) -> PredictorStats {
+        if self.obs.enabled() {
+            self.predictor.set_obs(self.obs.clone());
+        }
+        if self.wrong_path_percent > 0 {
+            self.run_wrong_path(trace)
+        } else if self.gap > 0 {
+            self.run_gapped(trace)
+        } else {
+            self.run_immediate(trace)
+        }
+    }
+
+    fn run_immediate(self, trace: &Trace) -> PredictorStats {
+        let mut stats = PredictorStats::new();
+        let mut control = ControlState::default();
+        for event in trace.iter() {
+            match event {
+                TraceEvent::Load(load) => {
+                    let ctx = self.context_of(load, &control, 0);
+                    let actual = self.actual_of(load);
+                    let pred = self.predictor.predict(&ctx);
+                    self.predictor.update(&ctx, actual, &pred);
+                    stats.record_with(&pred, actual, &self.obs);
+                }
+                TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+                TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+            }
+        }
+        stats
+    }
+
+    fn run_gapped(self, trace: &Trace) -> PredictorStats {
+        let gap = self.gap;
+        let mut stats = PredictorStats::new();
+        let mut control = ControlState::default();
+        let mut pipe: VecDeque<Pending> = VecDeque::with_capacity(gap + 1);
+        let mut in_flight: HashMap<u64, u32> = HashMap::new();
+
+        let resolve = |predictor: &mut P,
+                       stats: &mut PredictorStats,
+                       in_flight: &mut HashMap<u64, u32>,
+                       obs: &Obs,
+                       p: Pending| {
+            predictor.update(&p.ctx, p.actual, &p.pred);
+            stats.record_with(&p.pred, p.actual, obs);
+            if let Some(n) = in_flight.get_mut(&p.ctx.ip) {
+                *n -= 1;
+                if *n == 0 {
+                    in_flight.remove(&p.ctx.ip);
+                }
+            }
+        };
+
+        for (seq, event) in trace.iter().enumerate() {
+            let seq = seq as u64;
+            // Drain resolutions older than the gap.
+            while let Some(p) = pipe
+                .front()
+                .is_some_and(|p| p.seq + gap as u64 <= seq)
+                .then(|| pipe.pop_front())
+                .flatten()
+            {
+                resolve(self.predictor, &mut stats, &mut in_flight, &self.obs, p);
+            }
+            match event {
+                TraceEvent::Load(load) => {
+                    let pending = in_flight.get(&load.ip).copied().unwrap_or(0);
+                    let ctx = self.context_of(load, &control, pending);
+                    let actual = self.actual_of(load);
+                    let pred = self.predictor.predict(&ctx);
+                    *in_flight.entry(load.ip).or_insert(0) += 1;
+                    pipe.push_back(Pending {
+                        ctx,
+                        pred,
+                        actual,
+                        seq,
+                    });
+                }
+                TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+                TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+            }
+        }
+        while let Some(p) = pipe.pop_front() {
+            resolve(self.predictor, &mut stats, &mut in_flight, &self.obs, p);
+        }
+        stats
+    }
+
+    fn run_wrong_path(self, trace: &Trace) -> PredictorStats {
+        let gap = self.gap;
+        let mut stats = PredictorStats::new();
+        let mut control = ControlState::default();
+        let mut pipe: VecDeque<Pending> = VecDeque::with_capacity(gap + 1);
+        let mut in_flight: HashMap<u64, u32> = HashMap::new();
+        let events: Vec<&TraceEvent> = trace.iter().collect();
+
+        let resolve = |predictor: &mut P,
+                       stats: &mut PredictorStats,
+                       in_flight: &mut HashMap<u64, u32>,
+                       obs: &Obs,
+                       p: Pending| {
+            predictor.update(&p.ctx, p.actual, &p.pred);
+            stats.record_with(&p.pred, p.actual, obs);
+            if let Some(n) = in_flight.get_mut(&p.ctx.ip) {
+                *n -= 1;
+                if *n == 0 {
+                    in_flight.remove(&p.ctx.ip);
+                }
+            }
+        };
+
+        for (i, event) in events.iter().enumerate() {
+            if gap > 0 {
+                let seq = i as u64;
+                while let Some(p) = pipe
+                    .front()
+                    .is_some_and(|p| p.seq + gap as u64 <= seq)
+                    .then(|| pipe.pop_front())
+                    .flatten()
+                {
+                    resolve(self.predictor, &mut stats, &mut in_flight, &self.obs, p);
+                }
+            }
+            match event {
+                TraceEvent::Load(load) => {
+                    let pending = if gap > 0 {
+                        in_flight.get(&load.ip).copied().unwrap_or(0)
+                    } else {
+                        0
+                    };
+                    let ctx = self.context_of(load, &control, pending);
+                    let actual = self.actual_of(load);
+                    let pred = self.predictor.predict(&ctx);
+                    if gap > 0 {
+                        *in_flight.entry(load.ip).or_insert(0) += 1;
+                        pipe.push_back(Pending {
+                            ctx,
+                            pred,
+                            actual,
+                            seq: i as u64,
+                        });
+                    } else {
+                        self.predictor.update(&ctx, actual, &pred);
+                        stats.record_with(&pred, actual, &self.obs);
+                    }
+                }
+                TraceEvent::Branch(b) => {
+                    control.on_branch(b.ip, b.taken, b.kind);
+                    // Deterministic "misprediction" decision.
+                    let roll = (b.ip
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64))
+                        % 100;
+                    if b.kind == BranchKind::Conditional
+                        && (roll as u32) < self.wrong_path_percent
+                        && !self.recovery
+                    {
+                        // Wrong path: the next few static loads are fetched
+                        // with wrong-path addresses, predicted, and (without
+                        // recovery) destructively resolved before the flush.
+                        let mut injected = 0;
+                        for e in events[i + 1..].iter() {
+                            if injected >= self.wrong_path_depth {
+                                break;
+                            }
+                            if let TraceEvent::Load(l) = e {
+                                let ctx = self.context_of(l, &control, 0);
+                                let wrong = self.actual_of(l) ^ 0x1040;
+                                let pred = self.predictor.predict(&ctx);
+                                self.predictor.update(&ctx, wrong, &pred);
+                                injected += 1;
+                            }
+                        }
+                    }
+                }
+                TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+            }
+        }
+        while let Some(p) = pipe.pop_front() {
+            resolve(self.predictor, &mut stats, &mut in_flight, &self.obs, p);
+        }
+        stats
+    }
+}
+
+/// Runs a predictor over a trace under the immediate-update model (§4).
+#[deprecated(since = "0.1.0", note = "use `drive::Session::new(predictor).run(trace)`")]
+pub fn run_immediate<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> PredictorStats {
+    Session::new(predictor).run(trace)
+}
+
+/// Runs a predictor over a trace's *value* stream under the
+/// immediate-update model.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `drive::Session::new(predictor).values(true).run(trace)`"
+)]
+pub fn run_value_immediate<P: AddressPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> PredictorStats {
+    Session::new(predictor).values(true).run(trace)
+}
+
+/// Runs a predictor over a trace with a *prediction gap* (§5).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `drive::Session::new(predictor).gap(gap).run(trace)`"
+)]
 pub fn run_with_gap<P: AddressPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
     gap: usize,
 ) -> PredictorStats {
-    if gap == 0 {
-        return run_immediate(predictor, trace);
-    }
-    let mut stats = PredictorStats::new();
-    let mut control = ControlState::default();
-    let mut pipe: VecDeque<Pending> = VecDeque::with_capacity(gap + 1);
-    let mut in_flight: HashMap<u64, u32> = HashMap::new();
-
-    let resolve = |predictor: &mut P,
-                   stats: &mut PredictorStats,
-                   in_flight: &mut HashMap<u64, u32>,
-                   p: Pending| {
-        predictor.update(&p.ctx, p.actual, &p.pred);
-        stats.record(&p.pred, p.actual);
-        if let Some(n) = in_flight.get_mut(&p.ctx.ip) {
-            *n -= 1;
-            if *n == 0 {
-                in_flight.remove(&p.ctx.ip);
-            }
-        }
-    };
-
-    for (seq, event) in trace.iter().enumerate() {
-        let seq = seq as u64;
-        // Drain resolutions older than the gap.
-        while let Some(p) = pipe
-            .front()
-            .is_some_and(|p| p.seq + gap as u64 <= seq)
-            .then(|| pipe.pop_front())
-            .flatten()
-        {
-            resolve(predictor, &mut stats, &mut in_flight, p);
-        }
-        match event {
-            TraceEvent::Load(load) => {
-                let pending = in_flight.get(&load.ip).copied().unwrap_or(0);
-                let ctx = LoadContext {
-                    ip: load.ip,
-                    offset: load.offset,
-                    ghr: control.ghr,
-                    path: control.path,
-                    pending,
-                };
-                let pred = predictor.predict(&ctx);
-                *in_flight.entry(load.ip).or_insert(0) += 1;
-                pipe.push_back(Pending {
-                    ctx,
-                    pred,
-                    actual: load.addr,
-                    seq,
-                });
-            }
-            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
-            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
-        }
-    }
-    while let Some(p) = pipe.pop_front() {
-        resolve(predictor, &mut stats, &mut in_flight, p);
-    }
-    stats
+    Session::new(predictor).gap(gap).run(trace)
 }
 
-/// Runs a predictor with *wrong-path pollution* (§5.4): at every
-/// conditional branch, with probability `wrong_path_percent`, the front
-/// end is assumed to have fetched down the wrong path and the next few
-/// loads are presented to the predictor with wrong-path addresses before
-/// the flush.
-///
-/// With `recovery` enabled, the machine's reorder-buffer-like mechanism
-/// undoes everything the wrong path did to the predictor (modelled as the
-/// wrong-path loads not touching it at all). Without recovery, wrong-path
-/// loads are predicted *and* destructively updated — the hazard the paper
-/// says recovery must prevent.
-///
-/// Statistics count only correct-path loads.
-///
-/// `wrong_path_percent` above 100 is clamped to 100 (always wrong path).
+/// Runs a predictor with *wrong-path pollution* (§5.4).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `drive::Session::new(predictor).wrong_path(p).wrong_path_depth(d).recovery(r).run(trace)`"
+)]
 pub fn run_with_wrong_path<P: AddressPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
@@ -253,63 +461,11 @@ pub fn run_with_wrong_path<P: AddressPredictor + ?Sized>(
     wrong_path_depth: usize,
     recovery: bool,
 ) -> PredictorStats {
-    let wrong_path_percent = wrong_path_percent.min(100);
-    let mut stats = PredictorStats::new();
-    let mut control = ControlState::default();
-    let events: Vec<&TraceEvent> = trace.iter().collect();
-    for (i, event) in events.iter().enumerate() {
-        match event {
-            TraceEvent::Load(load) => {
-                let ctx = LoadContext {
-                    ip: load.ip,
-                    offset: load.offset,
-                    ghr: control.ghr,
-                    path: control.path,
-                    pending: 0,
-                };
-                let pred = predictor.predict(&ctx);
-                predictor.update(&ctx, load.addr, &pred);
-                stats.record(&pred, load.addr);
-            }
-            TraceEvent::Branch(b) => {
-                control.on_branch(b.ip, b.taken, b.kind);
-                // Deterministic "misprediction" decision.
-                let roll = (b.ip
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64))
-                    % 100;
-                if b.kind == BranchKind::Conditional
-                    && (roll as u32) < wrong_path_percent
-                    && !recovery
-                {
-                    // Wrong path: the next few static loads are fetched
-                    // with wrong-path addresses, predicted, and (without
-                    // recovery) destructively resolved before the flush.
-                    let mut injected = 0;
-                    for e in events[i + 1..].iter() {
-                        if injected >= wrong_path_depth {
-                            break;
-                        }
-                        if let TraceEvent::Load(l) = e {
-                            let ctx = LoadContext {
-                                ip: l.ip,
-                                offset: l.offset,
-                                ghr: control.ghr,
-                                path: control.path,
-                                pending: 0,
-                            };
-                            let wrong_addr = l.addr ^ 0x1040;
-                            let pred = predictor.predict(&ctx);
-                            predictor.update(&ctx, wrong_addr, &pred);
-                            injected += 1;
-                        }
-                    }
-                }
-            }
-            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
-        }
-    }
-    stats
+    Session::new(predictor)
+        .wrong_path(wrong_path_percent)
+        .wrong_path_depth(wrong_path_depth)
+        .recovery(recovery)
+        .run(trace)
 }
 
 #[cfg(test)]
@@ -349,7 +505,7 @@ mod tests {
     fn immediate_counts_every_load() {
         let trace = stride_trace(100);
         let mut p = small_hybrid();
-        let stats = run_immediate(&mut p, &trace);
+        let stats = Session::new(&mut p).run(&trace);
         assert_eq!(stats.loads, 100);
         assert!(stats.prediction_rate() > 0.9);
         assert!(stats.accuracy() > 0.95);
@@ -360,8 +516,8 @@ mod tests {
         let trace = stride_trace(200);
         let mut a = small_hybrid();
         let mut b = small_hybrid();
-        let sa = run_immediate(&mut a, &trace);
-        let sb = run_with_gap(&mut b, &trace, 0);
+        let sa = Session::new(&mut a).run(&trace);
+        let sb = Session::new(&mut b).gap(0).run(&trace);
         assert_eq!(sa, sb);
     }
 
@@ -369,7 +525,7 @@ mod tests {
     fn gap_resolves_every_load_eventually() {
         let trace = stride_trace(100);
         let mut p = small_hybrid();
-        let stats = run_with_gap(&mut p, &trace, 8);
+        let stats = Session::new(&mut p).gap(8).run(&trace);
         assert_eq!(stats.loads, 100);
     }
 
@@ -379,7 +535,7 @@ mod tests {
         // extrapolation.
         let trace = stride_trace(500);
         let mut p = StridePredictor::new(lb_small(), StrideParams::paper_default());
-        let stats = run_with_gap(&mut p, &trace, 8);
+        let stats = Session::new(&mut p).gap(8).run(&trace);
         assert!(
             stats.accuracy() > 0.95,
             "catch-up must keep stride accurate under a gap (acc={})",
@@ -402,7 +558,7 @@ mod tests {
         let trace = b.finish();
 
         let mut immediate = small_hybrid();
-        let si = run_immediate(&mut immediate, &trace);
+        let si = Session::new(&mut immediate).run(&trace);
 
         let mut cfg = HybridConfig::paper_pipelined();
         cfg.lb.entries = 256;
@@ -410,7 +566,7 @@ mod tests {
         cfg.lt.assoc = 2;
         cfg.cap.history.index_bits = 10;
         let mut gapped = HybridPredictor::new(cfg);
-        let sg = run_with_gap(&mut gapped, &trace, 8);
+        let sg = Session::new(&mut gapped).gap(8).run(&trace);
 
         assert!(
             si.correct_spec_rate() > sg.correct_spec_rate(),
@@ -425,9 +581,12 @@ mod tests {
     fn wrong_path_pollution_hurts_without_recovery() {
         let trace = cap_trace::suites::catalog()[2].generate(30_000);
         let mut clean = small_hybrid();
-        let with_recovery = run_with_wrong_path(&mut clean, &trace, 10, 6, true);
+        let with_recovery = Session::new(&mut clean)
+            .wrong_path(10)
+            .recovery(true)
+            .run(&trace);
         let mut dirty = small_hybrid();
-        let without = run_with_wrong_path(&mut dirty, &trace, 10, 6, false);
+        let without = Session::new(&mut dirty).wrong_path(10).run(&trace);
         assert!(
             without.correct_spec_rate() < with_recovery.correct_spec_rate(),
             "destructive wrong-path updates must cost coverage: {:.3} vs {:.3}",
@@ -440,10 +599,89 @@ mod tests {
     fn recovery_mode_equals_clean_run() {
         let trace = cap_trace::suites::catalog()[0].generate(5_000);
         let mut a = small_hybrid();
-        let clean = run_immediate(&mut a, &trace);
+        let clean = Session::new(&mut a).run(&trace);
         let mut b = small_hybrid();
-        let recovered = run_with_wrong_path(&mut b, &trace, 25, 8, true);
+        let recovered = Session::new(&mut b)
+            .wrong_path(25)
+            .wrong_path_depth(8)
+            .recovery(true)
+            .run(&trace);
         assert_eq!(clean, recovered, "perfect recovery leaves no trace");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_session() {
+        // The one-release compatibility wrappers must stay bit-identical
+        // to the Session they delegate to.
+        let trace = cap_trace::suites::catalog()[1].generate(4_000);
+
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        assert_eq!(
+            run_immediate(&mut a, &trace),
+            Session::new(&mut b).run(&trace)
+        );
+
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        assert_eq!(
+            run_value_immediate(&mut a, &trace),
+            Session::new(&mut b).values(true).run(&trace)
+        );
+
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        assert_eq!(
+            run_with_gap(&mut a, &trace, 8),
+            Session::new(&mut b).gap(8).run(&trace)
+        );
+
+        let mut a = small_hybrid();
+        let mut b = small_hybrid();
+        assert_eq!(
+            run_with_wrong_path(&mut a, &trace, 15, 4, false),
+            Session::new(&mut b)
+                .wrong_path(15)
+                .wrong_path_depth(4)
+                .run(&trace)
+        );
+    }
+
+    #[test]
+    fn gap_composes_with_wrong_path() {
+        // The combination the old quartet could not express: a gapped
+        // pipe suffering wrong-path pollution. All correct-path loads
+        // must still resolve, and pollution must not help.
+        let trace = cap_trace::suites::catalog()[2].generate(10_000);
+        let loads = trace.load_count() as u64;
+        let mut clean = small_hybrid();
+        let gapped = Session::new(&mut clean).gap(8).run(&trace);
+        let mut dirty = small_hybrid();
+        let polluted = Session::new(&mut dirty).gap(8).wrong_path(20).run(&trace);
+        assert_eq!(gapped.loads, loads);
+        assert_eq!(polluted.loads, loads);
+        assert!(polluted.correct_spec_rate() <= gapped.correct_spec_rate());
+    }
+
+    #[test]
+    fn session_mirrors_stats_into_registry() {
+        use cap_obs::Registry;
+        use std::sync::Arc;
+
+        let trace = stride_trace(300);
+        let registry = Arc::new(Registry::new());
+        let mut p = small_hybrid();
+        let stats = Session::new(&mut p).obs(registry.obs()).run(&trace);
+        let mut q = small_hybrid();
+        let plain = Session::new(&mut q).run(&trace);
+        assert_eq!(stats, plain, "telemetry must not change results");
+        let snap = registry.snapshot();
+        assert_eq!(
+            crate::metrics::PredictorStats::from_obs_snapshot(&snap),
+            stats,
+            "registry view must reconcile with the legacy struct"
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 use crate::cap::{CapComponent, CapParams};
 use crate::link_table::LinkTableConfig;
 use crate::load_buffer::{LoadBuffer, LoadBufferConfig, LbEntryProto};
+use crate::metrics::names;
 use crate::stride::{StrideComponent, StrideParams};
 use crate::types::{AddressPredictor, LoadContext, PredSource, Prediction, PredictionDetail};
+use cap_obs::Obs;
 
 /// When the hybrid writes the Link Table (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +96,7 @@ pub struct HybridPredictor {
     stride: StrideComponent,
     lt_update: LtUpdatePolicy,
     selector_policy: SelectorPolicy,
+    obs: Obs,
 }
 
 impl HybridPredictor {
@@ -126,6 +129,7 @@ impl HybridPredictor {
             stride: StrideComponent::new(config.stride),
             lt_update: config.lt_update,
             selector_policy: config.selector,
+            obs: Obs::off(),
         }
     }
 
@@ -165,8 +169,10 @@ impl HybridPredictor {
 impl AddressPredictor for HybridPredictor {
     fn predict(&mut self, ctx: &LoadContext) -> Prediction {
         let Some(entry) = self.lb.lookup(ctx.ip) else {
+            self.obs.incr(names::LB_MISS);
             return Prediction::none();
         };
+        self.obs.incr(names::LB_HIT);
         let (stride_addr, stride_conf) = self.stride.predict(entry, ctx);
         let (cap_addr, cap_conf) = self.cap.predict(entry, ctx);
         let selector_state = entry.selector;
@@ -215,7 +221,10 @@ impl AddressPredictor for HybridPredictor {
     }
 
     fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
-        let (entry, _fresh) = self.lb.lookup_or_insert(ctx.ip);
+        let (entry, fresh) = self.lb.lookup_or_insert(ctx.ip);
+        if fresh {
+            self.obs.incr(names::LB_ALLOC);
+        }
         let d = &pred.detail;
         let stride_correct = d.stride_addr == Some(actual);
         let cap_correct = d.cap_addr == Some(actual);
@@ -240,8 +249,14 @@ impl AddressPredictor for HybridPredictor {
         // right when they disagree.
         if d.stride_addr.is_some() && d.cap_addr.is_some() {
             if cap_correct && !stride_correct {
+                if entry.selector < 3 {
+                    self.obs.incr(names::HYBRID_SELECTOR_UP);
+                }
                 entry.selector = (entry.selector + 1).min(3);
             } else if stride_correct && !cap_correct {
+                if entry.selector > 0 {
+                    self.obs.incr(names::HYBRID_SELECTOR_DOWN);
+                }
                 entry.selector = entry.selector.saturating_sub(1);
             }
         }
@@ -249,6 +264,12 @@ impl AddressPredictor for HybridPredictor {
 
     fn name(&self) -> &'static str {
         "hybrid-cap-stride"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.cap.set_obs(obs.clone());
+        self.stride.set_obs(obs.clone());
+        self.obs = obs;
     }
 }
 
@@ -311,12 +332,14 @@ impl Restorable for HybridPredictor {
         let lb = LoadBuffer::read_state(r)?;
         let cap = CapComponent::read_state(r)?;
         let stride_params = StrideParams::read_state(r)?;
+        // Telemetry is not snapshotted: restores come up with it off.
         Ok(Self {
             lb,
             cap,
             stride: StrideComponent::new(stride_params),
             lt_update: LtUpdatePolicy::read_state(r)?,
             selector_policy: SelectorPolicy::read_state(r)?,
+            obs: Obs::off(),
         })
     }
 }

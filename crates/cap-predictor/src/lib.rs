@@ -18,13 +18,13 @@
 //! ## Quick start
 //!
 //! ```
-//! use cap_predictor::drive::run_immediate;
+//! use cap_predictor::drive::Session;
 //! use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 //! use cap_trace::suites::Suite;
 //!
 //! let trace = Suite::Int.traces()[0].generate(20_000);
 //! let mut predictor = HybridPredictor::new(HybridConfig::paper_default());
-//! let stats = run_immediate(&mut predictor, &trace);
+//! let stats = Session::new(&mut predictor).run(&trace);
 //! println!(
 //!     "prediction rate {:.1}%  accuracy {:.2}%",
 //!     100.0 * stats.prediction_rate(),
@@ -34,7 +34,7 @@
 //! ```
 //!
 //! The pipelined model of Section 5 is exposed through
-//! [`drive::run_with_gap`], which delays table updates by a configurable
+//! [`drive::Session::gap`], which delays table updates by a configurable
 //! *prediction gap* and feeds per-load pending counts to the catch-up and
 //! interval mechanisms.
 
@@ -64,7 +64,9 @@ pub mod prelude {
     pub use crate::cap::{CapConfig, CapParams, CapPredictor};
     pub use crate::confidence::{CfiMode, SaturatingCounter};
     pub use crate::delta::{DeltaCapConfig, DeltaCapPredictor};
+    #[allow(deprecated)]
     pub use crate::drive::{run_immediate, run_value_immediate, run_with_gap, run_with_wrong_path};
+    pub use crate::drive::Session;
     pub use crate::history::HistorySpec;
     pub use crate::hybrid::{HybridConfig, HybridPredictor, LtUpdatePolicy, SelectorPolicy};
     pub use crate::last_addr::LastAddressPredictor;

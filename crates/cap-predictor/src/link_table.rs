@@ -89,6 +89,36 @@ pub struct LtEntry {
     pub lru: u64,
 }
 
+/// What one [`LinkTable::update_outcome`] attempt did to the table.
+///
+/// [`LinkTable::update`] collapses this to "was the link written"; the
+/// full outcome distinguishes healthy training from pollution so the
+/// observability layer can count them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LtWrite {
+    /// Allocated a previously empty way.
+    Fill,
+    /// Re-wrote a tag-matching entry whose link already held the base
+    /// (steady state — the common case once warm).
+    Refresh,
+    /// Changed a tag-matching entry's link to a new base (retraining an
+    /// existing context).
+    Retrain,
+    /// Evicted a live entry with a *different* tag — the replacement /
+    /// pollution event the PF bits exist to suppress (§3.5).
+    Replace,
+    /// PF filtering deferred the write; only PF state changed.
+    Deferred,
+}
+
+impl LtWrite {
+    /// Whether the link was actually written.
+    #[must_use]
+    pub fn written(self) -> bool {
+        self != Self::Deferred
+    }
+}
+
 /// The Link Table.
 #[derive(Debug, Clone)]
 pub struct LinkTable {
@@ -149,6 +179,12 @@ impl LinkTable {
     /// actually written (PF filtering may defer the write to the second
     /// consecutive identical attempt).
     pub fn update(&mut self, folded: &FoldedHistory, base: u64) -> bool {
+        self.update_outcome(folded, base).written()
+    }
+
+    /// [`LinkTable::update`] reporting *what* the write did — the
+    /// telemetry surface behind the `cap.lt.*` counters.
+    pub fn update_outcome(&mut self, folded: &FoldedHistory, base: u64) -> LtWrite {
         self.tick += 1;
         let new_pf = pf_bits(base);
         let admit = match self.config.pf_mode {
@@ -180,7 +216,7 @@ impl LinkTable {
                         });
                         // Allocating an empty entry is not pollution — the
                         // link is live immediately.
-                        return true;
+                        return LtWrite::Fill;
                     }
                 }
             }
@@ -195,15 +231,19 @@ impl LinkTable {
             }
         };
         if !admit {
-            return false;
+            return LtWrite::Deferred;
         }
         let tick = self.tick;
         let set_idx = self.set_index(folded);
         let set = &mut self.sets[set_idx];
         let way = Self::way_for(set, folded.tag);
-        let pf_state = match set[way] {
-            Some(e) => (e.pf, e.pf_primed),
-            None => (new_pf, true),
+        let (pf_state, outcome) = match set[way] {
+            Some(e) if e.tag == folded.tag && e.link == base => {
+                ((e.pf, e.pf_primed), LtWrite::Refresh)
+            }
+            Some(e) if e.tag == folded.tag => ((e.pf, e.pf_primed), LtWrite::Retrain),
+            Some(e) => ((e.pf, e.pf_primed), LtWrite::Replace),
+            None => ((new_pf, true), LtWrite::Fill),
         };
         set[way] = Some(LtEntry {
             tag: folded.tag,
@@ -212,7 +252,7 @@ impl LinkTable {
             pf_primed: pf_state.1,
             lru: tick,
         });
-        true
+        outcome
     }
 
     /// Chooses the way holding `tag`, else an empty way, else the LRU way.
@@ -549,6 +589,29 @@ mod tests {
         assert!(!lt.update(&folded(1, 0x1), 0xA0));
         assert!(!lt.update(&folded(1, 0x2), 0xB0));
         assert!(lt.update(&folded(1, 0x1), 0xA0));
+    }
+
+    #[test]
+    fn update_outcome_classifies_writes() {
+        let mut lt = table(PfMode::Off);
+        // Empty way: fill.
+        assert_eq!(lt.update_outcome(&folded(1, 0x1), 0xA0), LtWrite::Fill);
+        // Same tag, same link: refresh.
+        assert_eq!(lt.update_outcome(&folded(1, 0x1), 0xA0), LtWrite::Refresh);
+        // Same tag, new link: retrain.
+        assert_eq!(lt.update_outcome(&folded(1, 0x1), 0xB0), LtWrite::Retrain);
+        // Different tag evicting a live entry: replace (pollution).
+        assert_eq!(lt.update_outcome(&folded(1, 0x2), 0xC0), LtWrite::Replace);
+        assert!(LtWrite::Fill.written() && !LtWrite::Deferred.written());
+    }
+
+    #[test]
+    fn update_outcome_reports_pf_deferral() {
+        let mut lt = table(PfMode::Inline);
+        assert_eq!(lt.update_outcome(&folded(1, 0), 0xA0), LtWrite::Fill);
+        // PF bits differ: first change attempt is deferred.
+        assert_eq!(lt.update_outcome(&folded(1, 0), 0xB4), LtWrite::Deferred);
+        assert_eq!(lt.update_outcome(&folded(1, 0), 0xB4), LtWrite::Retrain);
     }
 
     #[test]

@@ -216,6 +216,17 @@ impl LoadBuffer {
         Some(entry)
     }
 
+    /// Looks up the entry for `ip` without touching LRU or tick state —
+    /// a pure read for diagnostics and lookahead walks
+    /// (e.g. [`crate::cap::CapPredictor::predict_ahead`]).
+    #[must_use]
+    pub fn peek(&self, ip: u64) -> Option<&LbEntry> {
+        self.sets[self.set_index(ip)]
+            .iter()
+            .flatten()
+            .find(|e| e.tag == ip)
+    }
+
     /// Looks up the entry for `ip`, allocating (and possibly evicting LRU)
     /// on miss. Returns the entry and whether it was freshly allocated.
     pub fn lookup_or_insert(&mut self, ip: u64) -> (&mut LbEntry, bool) {

@@ -1,6 +1,81 @@
 //! Prediction metrics matching the paper's reporting (§4.2, §4.4).
+//!
+//! [`PredictorStats`] remains the compact accumulator the driving loops
+//! and the service merge and snapshot, but it is no longer a parallel
+//! accounting world: [`PredictorStats::record_with`] mirrors every
+//! increment into a [`cap_obs`] registry under the `pred.*` names, and
+//! [`PredictorStats::from_obs_snapshot`] reads the struct back *out* of
+//! a registry snapshot — the struct is a view over the registry, and
+//! the two reconcile exactly.
 
 use crate::types::{PredSource, Prediction};
+use cap_obs::{Obs, StatsSnapshot};
+
+/// Registry counter names mirrored by [`PredictorStats::record_with`].
+/// One name per struct field (selector states get one name per state).
+pub mod names {
+    /// Dynamic loads observed.
+    pub const LOADS: &str = "pred.loads";
+    /// Loads for which some address was predicted.
+    pub const PREDICTIONS: &str = "pred.predictions";
+    /// Speculative accesses launched.
+    pub const SPEC_ACCESSES: &str = "pred.spec_accesses";
+    /// Correct speculative accesses.
+    pub const CORRECT_SPEC: &str = "pred.correct_spec";
+    /// Correct predictions (speculated or not).
+    pub const CORRECT_PREDICTIONS: &str = "pred.correct_predictions";
+    /// Dual-predicted speculative accesses.
+    pub const BOTH_PREDICTED_SPEC: &str = "pred.both_predicted_spec";
+    /// Mis-selections.
+    pub const MISS_SELECTIONS: &str = "pred.miss_selections";
+    /// Selector state distribution, one counter per 2-bit state.
+    pub const SELECTOR_STATES: [&str; 4] = [
+        "pred.selector_state.0",
+        "pred.selector_state.1",
+        "pred.selector_state.2",
+        "pred.selector_state.3",
+    ];
+
+    // --- component-level counters (recorded inside the predictors when
+    // an `Obs` is attached via `AddressPredictor::set_obs`) ---
+
+    /// Load Buffer hits at predict time.
+    pub const LB_HIT: &str = "pred.lb.hit";
+    /// Load Buffer misses at predict time.
+    pub const LB_MISS: &str = "pred.lb.miss";
+    /// Fresh Load Buffer entries allocated at update time.
+    pub const LB_ALLOC: &str = "pred.lb.alloc";
+    /// Link Table lookup hits on a warm history.
+    pub const CAP_LT_HIT: &str = "cap.lt.hit";
+    /// Link Table lookup misses on a warm history.
+    pub const CAP_LT_MISS: &str = "cap.lt.miss";
+    /// LT writes allocating an empty way.
+    pub const CAP_LT_FILL: &str = "cap.lt.fill";
+    /// LT writes re-confirming an existing link (steady state).
+    pub const CAP_LT_REFRESH: &str = "cap.lt.refresh";
+    /// LT writes retraining an existing context to a new base.
+    pub const CAP_LT_RETRAIN: &str = "cap.lt.retrain";
+    /// LT writes evicting a live different-tag entry (pollution, §3.5).
+    pub const CAP_LT_REPLACE: &str = "cap.lt.replace";
+    /// LT writes deferred by the pollution filter.
+    pub const CAP_LT_DEFERRED: &str = "cap.lt.deferred";
+    /// CAP confidence counter crossing up through its threshold.
+    pub const CAP_CONF_PROMOTE: &str = "cap.conf.promote";
+    /// CAP confidence counter dropping below its threshold.
+    pub const CAP_CONF_DEMOTE: &str = "cap.conf.demote";
+    /// Stride confidence counter crossing up through its threshold.
+    pub const STRIDE_CONF_PROMOTE: &str = "stride.conf.promote";
+    /// Stride confidence counter dropping below its threshold.
+    pub const STRIDE_CONF_DEMOTE: &str = "stride.conf.demote";
+    /// Stride state machine entering `Steady`.
+    pub const STRIDE_STEADY_ENTER: &str = "stride.steady.enter";
+    /// Stride state machine leaving `Steady`.
+    pub const STRIDE_STEADY_EXIT: &str = "stride.steady.exit";
+    /// Hybrid selector moves toward CAP.
+    pub const HYBRID_SELECTOR_UP: &str = "hybrid.selector.up";
+    /// Hybrid selector moves toward stride.
+    pub const HYBRID_SELECTOR_DOWN: &str = "hybrid.selector.down";
+}
 
 /// Accumulated prediction statistics over a trace.
 ///
@@ -82,26 +157,42 @@ impl PredictorStats {
 
     /// Accounts one resolved load: the prediction made for it and its
     /// actual address. Used by every driving loop (trace-driven and the
-    /// timing core).
+    /// timing core). Equivalent to [`PredictorStats::record_with`] with
+    /// telemetry off.
     pub fn record(&mut self, pred: &Prediction, actual: u64) {
+        self.record_with(pred, actual, &Obs::off());
+    }
+
+    /// [`PredictorStats::record`], additionally mirroring every
+    /// increment into `obs` under the [`names`] counters. With
+    /// [`Obs::off`] each mirror call is a single branch.
+    pub fn record_with(&mut self, pred: &Prediction, actual: u64, obs: &Obs) {
         self.loads += 1;
+        obs.incr(names::LOADS);
         if pred.addr.is_some() {
             self.predictions += 1;
+            obs.incr(names::PREDICTIONS);
             if pred.is_correct(actual) {
                 self.correct_predictions += 1;
+                obs.incr(names::CORRECT_PREDICTIONS);
             }
         }
         if pred.speculate {
             self.spec_accesses += 1;
+            obs.incr(names::SPEC_ACCESSES);
             let correct = pred.is_correct(actual);
             if correct {
                 self.correct_spec += 1;
+                obs.incr(names::CORRECT_SPEC);
             }
             let d = &pred.detail;
             if d.stride_addr.is_some() && d.cap_addr.is_some() {
                 self.both_predicted_spec += 1;
+                obs.incr(names::BOTH_PREDICTED_SPEC);
                 if let Some(state) = d.selector_state {
-                    self.selector_states[usize::from(state.min(3))] += 1;
+                    let state = usize::from(state.min(3));
+                    self.selector_states[state] += 1;
+                    obs.incr(names::SELECTOR_STATES[state]);
                 }
                 if !correct {
                     // Mis-selection: the other component had it right.
@@ -112,9 +203,33 @@ impl PredictorStats {
                     };
                     if other_correct {
                         self.miss_selections += 1;
+                        obs.incr(names::MISS_SELECTIONS);
                     }
                 }
             }
+        }
+    }
+
+    /// Reads the legacy struct back out of a registry snapshot: the
+    /// inverse view of [`PredictorStats::record_with`]'s mirroring.
+    /// Counters a run never touched read as 0, exactly as the
+    /// accumulator would hold them.
+    #[must_use]
+    pub fn from_obs_snapshot(snap: &StatsSnapshot) -> Self {
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        let mut selector_states = [0u64; 4];
+        for (slot, name) in selector_states.iter_mut().zip(names::SELECTOR_STATES) {
+            *slot = counter(name);
+        }
+        Self {
+            loads: counter(names::LOADS),
+            predictions: counter(names::PREDICTIONS),
+            spec_accesses: counter(names::SPEC_ACCESSES),
+            correct_spec: counter(names::CORRECT_SPEC),
+            correct_predictions: counter(names::CORRECT_PREDICTIONS),
+            both_predicted_spec: counter(names::BOTH_PREDICTED_SPEC),
+            selector_states,
+            miss_selections: counter(names::MISS_SELECTIONS),
         }
     }
 

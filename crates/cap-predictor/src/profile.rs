@@ -373,7 +373,7 @@ mod tests {
         }
         let trace = b.finish();
         let mut p = guided_for(&trace);
-        let stats = crate::drive::run_immediate(&mut p, &trace);
+        let stats = crate::drive::Session::new(&mut p).run(&trace);
         assert!(
             stats.prediction_rate() > 0.75,
             "classified loads must be covered: {:.3}",
@@ -392,7 +392,7 @@ mod tests {
         }
         let trace = b.finish();
         let mut p = guided_for(&trace);
-        let stats = crate::drive::run_immediate(&mut p, &trace);
+        let stats = crate::drive::Session::new(&mut p).run(&trace);
         assert_eq!(stats.predictions, 0, "unknown loads make no predictions");
         assert_eq!(p.lb_occupancy(), 0, "unknown loads allocate nothing");
     }

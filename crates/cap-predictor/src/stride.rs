@@ -14,7 +14,9 @@
 
 use crate::confidence::{CfiMode, SaturatingCounter};
 use crate::load_buffer::{LbEntry, LoadBuffer, LoadBufferConfig, LbEntryProto, StrideState};
+use crate::metrics::names;
 use crate::types::{AddressPredictor, LoadContext, PredSource, Prediction, PredictionDetail};
+use cap_obs::Obs;
 
 /// Tunables of the stride component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,19 +80,28 @@ impl StrideParams {
 #[derive(Debug, Clone)]
 pub struct StrideComponent {
     params: StrideParams,
+    obs: Obs,
 }
 
 impl StrideComponent {
     /// Creates the component.
     #[must_use]
     pub fn new(params: StrideParams) -> Self {
-        Self { params }
+        Self {
+            params,
+            obs: Obs::off(),
+        }
     }
 
     /// The component's parameters.
     #[must_use]
     pub fn params(&self) -> &StrideParams {
         &self.params
+    }
+
+    /// Attaches a telemetry sink for the `stride.*` counters.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Computes the component's prediction for `ctx` given its LB entry.
@@ -137,6 +148,7 @@ impl StrideComponent {
         // Confidence bookkeeping against this component's own prediction.
         if let Some(p) = component_pred {
             let correct = p == actual;
+            let was_confident = entry.stride_conf.is_confident();
             if correct {
                 entry.stride_conf.on_correct();
                 if self.params.interval {
@@ -148,6 +160,13 @@ impl StrideComponent {
                     entry.interval.on_incorrect();
                 }
             }
+            if self.obs.enabled() && entry.stride_conf.is_confident() != was_confident {
+                self.obs.incr(if was_confident {
+                    names::STRIDE_CONF_DEMOTE
+                } else {
+                    names::STRIDE_CONF_PROMOTE
+                });
+            }
             if correct {
                 entry.stride_cfi.record(self.params.cfi, ctx.ghr, true);
             } else if speculated {
@@ -156,6 +175,7 @@ impl StrideComponent {
         }
         // Stride state machine.
         if entry.stride_seen {
+            let was_steady = entry.stride_state == StrideState::Steady;
             let delta = actual.wrapping_sub(entry.last_addr) as i64;
             match entry.stride_state {
                 StrideState::Init => {
@@ -170,6 +190,13 @@ impl StrideComponent {
                         entry.stride_state = StrideState::Transient;
                     }
                 }
+            }
+            if self.obs.enabled() && (entry.stride_state == StrideState::Steady) != was_steady {
+                self.obs.incr(if was_steady {
+                    names::STRIDE_STEADY_EXIT
+                } else {
+                    names::STRIDE_STEADY_ENTER
+                });
             }
         }
         entry.last_addr = actual;
@@ -233,8 +260,10 @@ impl StridePredictor {
 impl AddressPredictor for StridePredictor {
     fn predict(&mut self, ctx: &LoadContext) -> Prediction {
         let Some(entry) = self.lb.lookup(ctx.ip) else {
+            self.component.obs.incr(names::LB_MISS);
             return Prediction::none();
         };
+        self.component.obs.incr(names::LB_HIT);
         let (addr, confident) = self.component.predict(entry, ctx);
         let stride = entry.stride;
         Prediction {
@@ -255,7 +284,10 @@ impl AddressPredictor for StridePredictor {
     }
 
     fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
-        let (entry, _fresh) = self.lb.lookup_or_insert(ctx.ip);
+        let (entry, fresh) = self.lb.lookup_or_insert(ctx.ip);
+        if fresh {
+            self.component.obs.incr(names::LB_ALLOC);
+        }
         self.component.update(
             entry,
             ctx,
@@ -267,6 +299,10 @@ impl AddressPredictor for StridePredictor {
 
     fn name(&self) -> &'static str {
         "enhanced-stride"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.component.set_obs(obs);
     }
 }
 

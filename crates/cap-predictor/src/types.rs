@@ -112,7 +112,7 @@ impl Prediction {
 /// load enters the front end and [`update`](AddressPredictor::update) when
 /// its actual effective address resolves. Under the immediate-update model
 /// the calls alternate; under a prediction gap the updates trail by several
-/// loads (see [`crate::drive::run_with_gap`]).
+/// loads (see [`crate::drive::Session::gap`]).
 ///
 /// `update` must receive the *same* [`LoadContext`] that was passed to
 /// `predict` for that dynamic instance, plus the prediction it returned.
@@ -127,6 +127,15 @@ pub trait AddressPredictor {
 
     /// Human-readable predictor name (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Attaches a telemetry sink for component-level counters (see
+    /// `metrics::names`). The default implementation ignores it, so
+    /// simple predictors stay telemetry-free; the in-tree predictors
+    /// override it. Telemetry is *not* snapshotted — re-attach after a
+    /// restore.
+    fn set_obs(&mut self, obs: cap_obs::Obs) {
+        let _ = obs;
+    }
 }
 
 /// A predictor that can be shared across service infrastructure as a

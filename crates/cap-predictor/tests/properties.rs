@@ -181,8 +181,8 @@ fn cap_learns_any_short_recurring_sequence() {
     });
 }
 
-/// `run_with_gap(.., 0)` and `run_immediate` agree on any suite trace
-/// prefix.
+/// A gap-0 `Session` and an immediate-update `Session` agree on any
+/// suite trace prefix.
 #[test]
 fn gap_zero_is_immediate() {
     check::run_n("gap_zero_is_immediate", 16, |rng| {
@@ -190,6 +190,9 @@ fn gap_zero_is_immediate() {
         let trace = spec.generate(rng.gen_range(500usize..2_000));
         let mut a = small_hybrid();
         let mut b = small_hybrid();
-        assert_eq!(run_immediate(&mut a, &trace), run_with_gap(&mut b, &trace, 0));
+        assert_eq!(
+            Session::new(&mut a).run(&trace),
+            Session::new(&mut b).gap(0).run(&trace)
+        );
     });
 }

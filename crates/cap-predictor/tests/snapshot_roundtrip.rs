@@ -22,7 +22,7 @@ fn trace() -> Trace {
     cap_trace::suites::catalog()[1].generate(20_000)
 }
 
-/// Mirrors `run_immediate`, pausing after `pause_at` events to hand the
+/// Mirrors an immediate-update `Session`, pausing after `pause_at` events to hand the
 /// live state to `checkpoint`, which may replace predictor/control/stats.
 fn run_with_pause<P, F>(
     predictor: &mut P,
@@ -97,7 +97,7 @@ where
 {
     let trace = trace();
     let mut p = make();
-    cap_predictor::drive::run_immediate(&mut p, &trace);
+    cap_predictor::drive::Session::new(&mut p).run(&trace);
     let first = p.to_payload();
     let restored = P::from_payload(&first, "predictor").expect("payload restores");
     assert_eq!(

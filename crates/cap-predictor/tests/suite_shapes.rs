@@ -14,7 +14,7 @@ where
     for spec in suite.traces().into_iter().take(2) {
         let trace = spec.generate(LOADS);
         let mut p = make();
-        total.merge(&run_immediate(p.as_mut(), &trace));
+        total.merge(&Session::new(p.as_mut()).run(&trace));
     }
     total
 }

@@ -18,6 +18,8 @@
 //! schedule identical probes — the same replayability discipline every
 //! other random stream in this workspace follows.
 
+use crate::names;
+use cap_obs::Obs;
 use cap_rand::{rngs::StdRng, Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
@@ -84,6 +86,7 @@ pub struct CircuitBreaker {
     rng: StdRng,
     /// Lifetime count of Closed→Open transitions.
     trips: u64,
+    obs: Obs,
 }
 
 impl CircuitBreaker {
@@ -98,7 +101,14 @@ impl CircuitBreaker {
             probe_at: None,
             rng: StdRng::seed_from_u64(seed),
             trips: 0,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry sink for the `service.breaker.*` transition
+    /// counters. Not part of any snapshot — re-attach after a restore.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Current state, after accounting for an elapsed cooldown (an
@@ -110,6 +120,7 @@ impl CircuitBreaker {
                     self.state = BreakerState::HalfOpen;
                     self.half_open_successes = 0;
                     self.probe_at = None;
+                    self.obs.incr(names::BREAKER_HALF_OPEN);
                 }
             }
         }
@@ -133,6 +144,7 @@ impl CircuitBreaker {
                     self.state = BreakerState::Closed;
                     self.consecutive_failures = 0;
                     self.half_open_successes = 0;
+                    self.obs.incr(names::BREAKER_CLOSE);
                 }
             }
             BreakerState::Open => {}
@@ -157,6 +169,7 @@ impl CircuitBreaker {
     fn trip(&mut self, now: Instant) {
         self.state = BreakerState::Open;
         self.trips += 1;
+        self.obs.incr(names::BREAKER_OPEN);
         self.consecutive_failures = 0;
         self.half_open_successes = 0;
         let jitter_ns = if self.config.jitter.is_zero() {
@@ -258,6 +271,26 @@ mod tests {
         assert_eq!(b.trips(), 2);
         // And the new cooldown starts from the re-trip.
         assert!(!b.call_permitted(probe + Duration::from_millis(99)));
+    }
+
+    #[test]
+    fn transition_counters_follow_the_state_machine() {
+        let registry = std::sync::Arc::new(cap_obs::Registry::new());
+        let mut b = CircuitBreaker::new(config(), 7);
+        b.set_obs(registry.obs());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let probe = t0 + Duration::from_millis(151);
+        assert_eq!(b.state(probe), BreakerState::HalfOpen);
+        b.on_success(probe);
+        b.on_success(probe);
+        assert_eq!(b.state(probe), BreakerState::Closed);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::BREAKER_OPEN), Some(1));
+        assert_eq!(snap.counter(names::BREAKER_HALF_OPEN), Some(1));
+        assert_eq!(snap.counter(names::BREAKER_CLOSE), Some(1));
     }
 
     #[test]

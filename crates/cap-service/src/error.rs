@@ -6,6 +6,7 @@
 //! test holds the service to that contract under injected worker panics,
 //! latency spikes, and queue stalls.
 
+use cap_obs::{Classify, ErrorClass};
 use std::fmt;
 use std::time::Duration;
 
@@ -81,16 +82,29 @@ impl ServiceError {
     }
 
     /// True for errors a caller may simply retry after backing off
-    /// (shed, deadline, reply-timeout); false for terminal ones.
+    /// (shed, deadline, reply-timeout, contained panic); false for
+    /// terminal ones. This is a view over [`Classify::error_class`].
     #[must_use]
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            ServiceError::Shed { .. }
-                | ServiceError::DeadlineExceeded { .. }
-                | ServiceError::ReplyTimeout { .. }
-                | ServiceError::BackendPanicked { .. }
-        )
+        self.error_class().is_retryable()
+    }
+}
+
+impl Classify for ServiceError {
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            ServiceError::Shed { .. } => ErrorClass::Shed,
+            ServiceError::DeadlineExceeded { .. }
+            | ServiceError::ReplyTimeout { .. }
+            | ServiceError::BackendPanicked { .. } => ErrorClass::Transient,
+            // `WorkerLost` is permanent from the caller's perspective:
+            // the request may have partially trained the backend, so a
+            // blind resend can double-count.
+            ServiceError::ShuttingDown
+            | ServiceError::WorkerLost { .. }
+            | ServiceError::Protocol(_) => ErrorClass::Permanent,
+            ServiceError::BadSnapshot(_) => ErrorClass::Corrupt,
+        }
     }
 }
 
@@ -153,6 +167,31 @@ mod tests {
         assert!(ServiceError::Shed { capacity: 1 }.is_retryable());
         assert!(!ServiceError::ShuttingDown.is_retryable());
         assert!(!ServiceError::Protocol("p".into()).is_retryable());
+    }
+
+    #[test]
+    fn error_classes_span_the_taxonomy() {
+        assert_eq!(ServiceError::Shed { capacity: 1 }.error_class(), ErrorClass::Shed);
+        assert_eq!(
+            ServiceError::ReplyTimeout { waited: Duration::from_secs(1) }.error_class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(ServiceError::ShuttingDown.error_class(), ErrorClass::Permanent);
+        assert_eq!(ServiceError::BadSnapshot("x".into()).error_class(), ErrorClass::Corrupt);
+        // The legacy predicate and the class-derived one agree on every
+        // variant.
+        for e in [
+            ServiceError::Shed { capacity: 8 },
+            ServiceError::DeadlineExceeded { stage: "queued", budget: Duration::from_millis(1) },
+            ServiceError::ShuttingDown,
+            ServiceError::WorkerLost { worker: 0 },
+            ServiceError::BackendPanicked { component: "hybrid" },
+            ServiceError::ReplyTimeout { waited: Duration::from_secs(1) },
+            ServiceError::BadSnapshot("x".into()),
+            ServiceError::Protocol("y".into()),
+        ] {
+            assert_eq!(e.is_retryable(), e.error_class().is_retryable(), "{e}");
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! calls again — so a flapping backend cannot yank the service straight
 //! back to the top and fail again.
 
+use crate::names;
+use cap_obs::Obs;
+
 /// A rung of the ladder, best first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rung {
@@ -102,6 +105,7 @@ pub struct Ladder {
     /// Lifetime demotions/promotions, for stats.
     demotions: u64,
     promotions: u64,
+    obs: Obs,
 }
 
 /// What the ladder needs to know about the world each time it
@@ -128,7 +132,14 @@ impl Ladder {
             pressured: false,
             demotions: 0,
             promotions: 0,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry sink for the `service.ladder.*` transition
+    /// counters. Not part of any snapshot — re-attach after a restore.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The rung the worker should serve the next request on.
@@ -195,6 +206,7 @@ impl Ladder {
             self.rung = floor;
             self.healthy_streak = 0;
             self.demotions += 1;
+            self.obs.incr(names::LADDER_DEMOTE);
         } else if self.rung > floor && self.healthy_streak >= self.config.promote_after.max(1) {
             // Sustained health below the allowed ceiling: try one rung
             // up, if its backend will have us.
@@ -203,6 +215,7 @@ impl Ladder {
                 self.rung = candidate;
                 self.healthy_streak = 0;
                 self.promotions += 1;
+                self.obs.incr(names::LADDER_PROMOTE);
             }
         }
         self.rung

@@ -65,16 +65,60 @@ pub mod net;
 pub mod service;
 pub mod wire;
 
+/// Registry metric names recorded by the service when an
+/// [`cap_obs::Obs`] is attached via
+/// [`service::ServiceConfig`]`::obs`. Counter names mirror the legacy
+/// [`service::ServiceStats`] fields one for one, which is what lets the
+/// stats view be reconciled against the registry.
+pub mod names {
+    /// Requests admitted past admission control.
+    pub const ACCEPTED: &str = "service.accepted";
+    /// Requests shed by backpressure (queue full).
+    pub const SHED: &str = "service.shed";
+    /// Requests rejected because the service was draining.
+    pub const REJECTED_SHUTDOWN: &str = "service.rejected_shutdown";
+    /// Requests served to completion by a worker.
+    pub const SERVED: &str = "service.served";
+    /// Deadline expiries observed at dequeue ("queued" stage).
+    pub const DEADLINE_QUEUED: &str = "service.deadline.queued";
+    /// Deadline expiries observed after backend work ("backend" stage).
+    pub const DEADLINE_BACKEND: &str = "service.deadline.backend";
+    /// Backend panics contained by the sandbox.
+    pub const BACKEND_PANIC: &str = "service.backend_panic";
+    /// Injected latency faults that fired.
+    pub const FAULT_LATENCY: &str = "service.fault.latency";
+    /// Injected queue-stall faults that fired.
+    pub const FAULT_STALL: &str = "service.fault.stall";
+    /// Breaker transitions into `Open`.
+    pub const BREAKER_OPEN: &str = "service.breaker.open";
+    /// Breaker transitions `Open` -> `HalfOpen` (probe window).
+    pub const BREAKER_HALF_OPEN: &str = "service.breaker.half_open";
+    /// Breaker transitions `HalfOpen` -> `Closed` (recovery).
+    pub const BREAKER_CLOSE: &str = "service.breaker.close";
+    /// Degradation-ladder steps down (towards bypass).
+    pub const LADDER_DEMOTE: &str = "service.ladder.demote";
+    /// Degradation-ladder climbs up (towards hybrid).
+    pub const LADDER_PROMOTE: &str = "service.ladder.promote";
+    /// Per-rung service latency histograms (microseconds), indexed by
+    /// [`crate::ladder::Rung::index`].
+    pub const LATENCY_BY_RUNG: [&str; 3] = [
+        "service.latency.hybrid",
+        "service.latency.stride_only",
+        "service.latency.bypass",
+    ];
+}
+
 /// Commonly used items, for glob import in binaries and tests.
 pub mod prelude {
     pub use crate::backend::BackendKind;
     pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
     pub use crate::error::ServiceError;
     pub use crate::ladder::{Ladder, LadderConfig, LadderInputs, Rung};
-    pub use crate::net::{debug_stats_renderer, StatsRenderer, TcpClient, TcpServer};
+    pub use crate::net::{debug_stats_renderer, ObsExporter, StatsRenderer, TcpClient, TcpServer};
     pub use crate::service::{
         Request, Response, Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownReport,
         WorkerStats,
     };
     pub use crate::wire::{WireRequest, WireResponse};
+    pub use cap_obs::{Classify, ErrorClass, Obs};
 }

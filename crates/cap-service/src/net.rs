@@ -24,6 +24,10 @@ use std::time::Duration;
 /// the workspace JSON emitter here).
 pub type StatsRenderer = Arc<dyn Fn(&ServiceStats) -> String + Send + Sync>;
 
+/// Produces the encoded [`cap_obs::StatsSnapshot`] frame answering an
+/// obs-stats request (typically `move || registry.snapshot().encode()`).
+pub type ObsExporter = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
+
 /// How often connection threads and the accept loop re-check the
 /// shutdown flag while blocked on I/O.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -33,6 +37,7 @@ pub struct TcpServer {
     listener: TcpListener,
     handle: ServiceHandle,
     render_stats: StatsRenderer,
+    obs_export: Option<ObsExporter>,
 }
 
 impl std::fmt::Debug for TcpServer {
@@ -59,7 +64,17 @@ impl TcpServer {
             listener,
             handle,
             render_stats,
+            obs_export: None,
         })
+    }
+
+    /// Answers obs-stats requests with `export`'s frame. Without an
+    /// exporter the server replies with an empty snapshot rather than
+    /// an error, so clients can always probe.
+    #[must_use]
+    pub fn with_obs_exporter(mut self, export: ObsExporter) -> Self {
+        self.obs_export = Some(export);
+        self
     }
 
     /// The address actually bound (resolves port `0`).
@@ -91,10 +106,11 @@ impl TcpServer {
                 Ok((stream, _peer)) => {
                     let handle = self.handle.clone();
                     let render = Arc::clone(&self.render_stats);
+                    let obs_export = self.obs_export.clone();
                     let stop = Arc::clone(&stop);
                     let drain = Arc::clone(&drain);
                     conns.push(std::thread::spawn(move || {
-                        serve_connection(stream, &handle, &render, &stop, &drain);
+                        serve_connection(stream, &handle, &render, obs_export.as_ref(), &stop, &drain);
                     }));
                     // Reap finished connection threads so a long-lived
                     // server does not accumulate handles.
@@ -119,6 +135,7 @@ fn serve_connection(
     stream: TcpStream,
     handle: &ServiceHandle,
     render_stats: &StatsRenderer,
+    obs_export: Option<&ObsExporter>,
     stop: &AtomicBool,
     drain: &Mutex<Duration>,
 ) {
@@ -153,6 +170,10 @@ fn serve_connection(
                 Ok(stats) => WireResponse::Stats(render_stats(&stats)),
                 Err(err) => WireResponse::from_error(&err),
             },
+            Ok(WireRequest::ObsStats) => WireResponse::ObsStats(match obs_export {
+                Some(export) => export(),
+                None => cap_obs::StatsSnapshot::default().encode(),
+            }),
             Ok(WireRequest::Shutdown { drain: budget }) => {
                 *drain.lock().expect("drain lock") = budget;
                 stop.store(true, Ordering::Release);
@@ -221,6 +242,25 @@ impl TcpClient {
     /// As for [`TcpClient::serve`].
     pub fn stats(&mut self) -> Result<WireResponse, ServiceError> {
         self.roundtrip(&WireRequest::Stats)
+    }
+
+    /// Fetches and decodes the server's telemetry registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`]; a frame that does not decode as a
+    /// [`cap_obs::StatsSnapshot`] is a [`ServiceError::Protocol`].
+    pub fn obs_stats(&mut self) -> Result<cap_obs::StatsSnapshot, ServiceError> {
+        match self.roundtrip(&WireRequest::ObsStats)? {
+            WireResponse::ObsStats(bytes) => cap_obs::StatsSnapshot::decode(&bytes)
+                .map_err(|e| ServiceError::Protocol(format!("obs stats frame: {e}"))),
+            WireResponse::Error { code, message } => Err(ServiceError::Protocol(format!(
+                "server error {code}: {message}"
+            ))),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response to obs-stats: {other:?}"
+            ))),
+        }
     }
 
     /// Asks the server to drain under `drain`, snapshot, and exit.

@@ -18,6 +18,8 @@ use crate::backend::BackendKind;
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::error::ServiceError;
 use crate::ladder::{Ladder, LadderConfig, LadderInputs, Rung};
+use crate::names;
+use cap_obs::Obs;
 use cap_faults::service::{ServiceFault, ServiceFaultConfig, ServiceFaultPlan};
 use cap_predictor::metrics::PredictorStats;
 use cap_predictor::types::{LoadContext, Prediction, SharedPredictor};
@@ -63,6 +65,12 @@ pub struct ServiceConfig {
     /// Upper bound on how long a caller waits for any reply — the
     /// belt-and-braces guarantee that a caller can never hang.
     pub reply_patience: Duration,
+    /// Telemetry sink shared by admission control, every worker, their
+    /// breakers, the ladder, and the backends. The default
+    /// [`Obs::off`] keeps every hot-path mirror at a single branch.
+    /// Never snapshotted: a warm restart comes up with whatever `obs`
+    /// its own config carries.
+    pub obs: Obs,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +86,7 @@ impl Default for ServiceConfig {
             pin_rung: None,
             chaos: None,
             reply_patience: Duration::from_secs(30),
+            obs: Obs::off(),
         }
     }
 }
@@ -271,6 +280,7 @@ struct Inner {
     rejected_shutdown: AtomicU64,
     queue_capacity: usize,
     reply_patience: Duration,
+    obs: Obs,
 }
 
 /// Cheap cloneable submission handle to a running [`Service`].
@@ -303,6 +313,7 @@ impl ServiceHandle {
         let inner = &self.inner;
         if !inner.accepting.load(Ordering::Acquire) {
             inner.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            inner.obs.incr(names::REJECTED_SHUTDOWN);
             return Err(ServiceError::ShuttingDown);
         }
         let (tx, rx) = sync_channel(1);
@@ -316,11 +327,13 @@ impl ServiceHandle {
         match port.tx.try_send(env) {
             Ok(()) => {
                 inner.accepted.fetch_add(1, Ordering::Relaxed);
+                inner.obs.incr(names::ACCEPTED);
                 Ok(rx)
             }
             Err(TrySendError::Full(_)) => {
                 port.depth.fetch_sub(1, Ordering::AcqRel);
                 inner.shed.fetch_add(1, Ordering::Relaxed);
+                inner.obs.incr(names::SHED);
                 Err(ServiceError::Shed {
                     capacity: inner.queue_capacity,
                 })
@@ -446,6 +459,7 @@ struct Worker {
     depth: Arc<AtomicUsize>,
     chaos: Arc<Mutex<Option<ServiceFaultPlan>>>,
     drain_deadline: Arc<Mutex<Option<Instant>>>,
+    obs: Obs,
 }
 
 /// What a worker leaves behind when it exits: everything a warm restart
@@ -545,11 +559,13 @@ impl Worker {
                 // Stall the whole worker: everything behind this
                 // request backs up, which is the point.
                 self.counters.faults_stall += 1;
+                self.obs.incr(names::FAULT_STALL);
                 std::thread::sleep(d);
                 None
             }
             Some(ServiceFault::Latency(d)) => {
                 self.counters.faults_latency += 1;
+                self.obs.incr(names::FAULT_LATENCY);
                 Some(ServiceFault::Latency(d))
             }
             other => other,
@@ -591,6 +607,7 @@ impl Worker {
                     Guarded::Ok(p) => (p, true),
                     Guarded::Panicked => {
                         self.counters.backend_panics += 1;
+                        self.obs.incr(names::BACKEND_PANIC);
                         self.ladder.note_outcome(false);
                         return Err(ServiceError::BackendPanicked {
                             component: self.slots[1].kind.name(),
@@ -612,6 +629,7 @@ impl Worker {
                     Guarded::Ok(p) => (p, true),
                     Guarded::Panicked => {
                         self.counters.backend_panics += 1;
+                        self.obs.incr(names::BACKEND_PANIC);
                         self.ladder.note_outcome(false);
                         return Err(ServiceError::BackendPanicked {
                             component: self.slots[0].kind.name(),
@@ -626,6 +644,7 @@ impl Worker {
         if let Some((at, budget)) = deadline {
             if Instant::now() > at {
                 self.counters.deadline_backend += 1;
+                self.obs.incr(names::DEADLINE_BACKEND);
                 self.ladder.note_outcome(false);
                 return Err(ServiceError::DeadlineExceeded {
                     stage: "backend",
@@ -637,10 +656,15 @@ impl Worker {
         self.ladder.note_outcome(healthy);
         self.counters.served += 1;
         self.counters.served_by_rung[rung.index()] += 1;
+        self.obs.incr(names::SERVED);
+        if self.obs.enabled() {
+            self.obs
+                .record(names::LATENCY_BY_RUNG[rung.index()], now.elapsed().as_micros() as u64);
+        }
 
         Ok(match request {
             Request::Observe { actual, .. } => {
-                self.stats.record(&active_pred, actual);
+                self.stats.record_with(&active_pred, actual, &self.obs);
                 Response::Observed {
                     addr: active_pred.addr,
                     speculate: active_pred.speculate,
@@ -683,6 +707,7 @@ impl Worker {
                     // out before we ever looked at it.
                     if Instant::now() > at {
                         self.counters.deadline_queued += 1;
+                        self.obs.incr(names::DEADLINE_QUEUED);
                         Err(ServiceError::DeadlineExceeded {
                             stage: "queued",
                             budget,
@@ -719,6 +744,7 @@ impl Worker {
                 Ok(flow) => flow,
                 Err(_) => {
                     self.counters.backend_panics += 1;
+                    self.obs.incr(names::BACKEND_PANIC);
                     let _ = reply_tx.send(Err(ServiceError::WorkerLost {
                         worker: self.index,
                     }));
@@ -834,7 +860,7 @@ impl Service {
             let chaos = Arc::new(Mutex::new(config.chaos.map(|(seed, c)| {
                 ServiceFaultPlan::new(seed.wrapping_add(index as u64), c)
             })));
-            let (slots, stats) = match state {
+            let (mut slots, stats) = match state {
                 Some((slots, stats)) => (slots, stats),
                 None => (
                     [
@@ -858,10 +884,21 @@ impl Service {
                     PredictorStats::new(),
                 ),
             };
+            // Attach telemetry to everything this worker owns. This
+            // runs on the restored path too: snapshots never carry an
+            // Obs, so a warm restart re-attaches the live one here.
+            if config.obs.enabled() {
+                for slot in &mut slots {
+                    slot.backend.set_obs(config.obs.clone());
+                    slot.breaker.set_obs(config.obs.clone());
+                }
+            }
+            let mut ladder = Ladder::new(config.ladder, config.pin_rung.unwrap_or(Rung::Hybrid));
+            ladder.set_obs(config.obs.clone());
             let worker = Worker {
                 index,
                 slots,
-                ladder: Ladder::new(config.ladder, config.pin_rung.unwrap_or(Rung::Hybrid)),
+                ladder,
                 pin_rung: config.pin_rung,
                 stats,
                 counters: Counters {
@@ -876,6 +913,7 @@ impl Service {
                 depth: Arc::clone(&depth),
                 chaos: Arc::clone(&chaos),
                 drain_deadline: Arc::clone(&drain_deadline),
+                obs: config.obs.clone(),
             };
             let join = std::thread::Builder::new()
                 .name(format!("cap-service-worker-{index}"))
@@ -895,6 +933,7 @@ impl Service {
                 rejected_shutdown: AtomicU64::new(0),
                 queue_capacity: config.queue_capacity,
                 reply_patience: config.reply_patience,
+                obs: config.obs.clone(),
             }),
             joins,
             config,
@@ -1198,6 +1237,48 @@ mod tests {
             Err(ServiceError::BadSnapshot(why)) => assert!(why.contains("workers")),
             other => panic!("expected BadSnapshot, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn registry_reconciles_with_legacy_stats_views() {
+        let registry = Arc::new(cap_obs::Registry::new());
+        let mut config = small_config();
+        config.obs = registry.obs();
+        let service = Service::start(config);
+        let handle = service.handle();
+        for i in 0..400u64 {
+            handle
+                .call(observe(0x400 + (i % 8) * 0x40, 0x3000 + i * 8), None)
+                .unwrap();
+        }
+        let stats = handle.stats().unwrap();
+        let snap = registry.snapshot();
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+        // Admission and worker counters are exact mirrors (the stats
+        // probes themselves go through `submit`, hence `accepted`).
+        assert_eq!(counter(names::ACCEPTED), stats.accepted);
+        assert_eq!(counter(names::SHED), stats.shed);
+        assert_eq!(counter(names::REJECTED_SHUTDOWN), stats.rejected_shutdown);
+        let served: u64 = stats.workers.iter().map(|w| w.served).sum();
+        assert_eq!(counter(names::SERVED), served);
+        for rung in Rung::ALL {
+            let by_rung: u64 = stats
+                .workers
+                .iter()
+                .map(|w| w.served_by_rung[rung.index()])
+                .sum();
+            let hist = snap.histogram(names::LATENCY_BY_RUNG[rung.index()]);
+            assert_eq!(hist.map_or(0, |h| h.count), by_rung, "{}", rung.name());
+        }
+
+        // The merged predictor metrics are recoverable from the
+        // registry alone.
+        assert_eq!(
+            PredictorStats::from_obs_snapshot(&snap),
+            stats.merged_predictor()
+        );
+        let _ = service.shutdown(Duration::from_millis(200));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! [`MAX_FRAME_LEN`]; a peer announcing a larger payload is cut off
 //! before any allocation happens.
 //!
-//! Request opcodes: `1` observe, `2` predict, `3` stats, `4` shutdown.
+//! Request opcodes: `1` observe, `2` predict, `3` stats, `4` shutdown,
+//! `5` obs-stats (the binary [`cap_obs::StatsSnapshot`] frame).
 //! Response status: `0` ok (payload follows), otherwise a
 //! [`ServiceError::code`] with a human-readable message.
 
@@ -29,6 +30,7 @@ const OP_OBSERVE: u8 = 1;
 const OP_PREDICT: u8 = 2;
 const OP_STATS: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
+const OP_OBS: u8 = 5;
 
 const STATUS_OK: u8 = 0;
 
@@ -45,6 +47,9 @@ pub enum WireRequest {
     },
     /// Fetch the stats document (rendered server-side as JSON).
     Stats,
+    /// Fetch the telemetry registry as an encoded
+    /// [`cap_obs::StatsSnapshot`] frame.
+    ObsStats,
     /// Drain under this budget, snapshot, and exit.
     Shutdown {
         /// Drain budget granted to in-flight requests.
@@ -59,6 +64,10 @@ pub enum WireResponse {
     Response(Response),
     /// Stats document (JSON text rendered by the server).
     Stats(String),
+    /// Telemetry registry snapshot, encoded with
+    /// [`cap_obs::StatsSnapshot::encode`]. Kept as bytes at this layer
+    /// so the wire codec never partially re-interprets the inner frame.
+    ObsStats(Vec<u8>),
     /// Acknowledges a shutdown request; the connection closes after.
     ShutdownAck,
     /// Structured failure: a [`ServiceError::code`] plus its message.
@@ -112,6 +121,7 @@ impl WireRequest {
                 w.put_u64(*ghr);
             }
             WireRequest::Stats => w.put_u8(OP_STATS),
+            WireRequest::ObsStats => w.put_u8(OP_OBS),
             WireRequest::Shutdown { drain } => {
                 w.put_u8(OP_SHUTDOWN);
                 w.put_u32(u32::try_from(drain.as_millis()).unwrap_or(u32::MAX));
@@ -155,6 +165,7 @@ impl WireRequest {
                 }
             }
             OP_STATS => WireRequest::Stats,
+            OP_OBS => WireRequest::ObsStats,
             OP_SHUTDOWN => WireRequest::Shutdown {
                 drain: Duration::from_millis(u64::from(
                     r.take_u32("drain").map_err(|e| proto(&e))?,
@@ -226,6 +237,12 @@ impl WireResponse {
                 w.put_u8(OP_STATS);
                 put_string(&mut w, json);
             }
+            WireResponse::ObsStats(bytes) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_OBS);
+                w.put_len(bytes.len());
+                w.put_raw(bytes);
+            }
             WireResponse::ShutdownAck => {
                 w.put_u8(STATUS_OK);
                 w.put_u8(OP_SHUTDOWN);
@@ -261,6 +278,11 @@ impl WireResponse {
                     rung: rung_from_u8(r.take_u8("rung").map_err(|e| proto(&e))?)?,
                 }),
                 OP_STATS => WireResponse::Stats(take_string(&mut r, "stats json")?),
+                OP_OBS => {
+                    let len = r.take_len(1, "obs frame").map_err(|e| proto(&e))?;
+                    let bytes = r.take_raw(len, "obs frame").map_err(|e| proto(&e))?;
+                    WireResponse::ObsStats(bytes.to_vec())
+                }
                 OP_SHUTDOWN => WireResponse::ShutdownAck,
                 other => {
                     return Err(ServiceError::Protocol(format!(
@@ -371,6 +393,7 @@ mod tests {
             budget: None,
         });
         roundtrip_request(&WireRequest::Stats);
+        roundtrip_request(&WireRequest::ObsStats);
         roundtrip_request(&WireRequest::Shutdown {
             drain: Duration::from_millis(500),
         });
@@ -390,6 +413,9 @@ mod tests {
             rung: Rung::Bypass,
         }));
         roundtrip_response(&WireResponse::Stats("{\"accepted\":3}".to_owned()));
+        roundtrip_response(&WireResponse::ObsStats(
+            cap_obs::StatsSnapshot::default().encode(),
+        ));
         roundtrip_response(&WireResponse::ShutdownAck);
         roundtrip_response(&WireResponse::from_error(&ServiceError::Shed {
             capacity: 64,

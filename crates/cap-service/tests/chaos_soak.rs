@@ -113,6 +113,8 @@ fn soak_under_chaos_never_drops_and_recovers_to_the_top_rung() {
 
     let mut config = soak_config();
     config.chaos = Some((0xD150_4DE3, chaos()));
+    let registry = Arc::new(cap_obs::Registry::new());
+    config.obs = registry.obs();
     let service = Service::start(config);
     let handle = service.handle();
     let tally = Arc::new(Tally::default());
@@ -204,6 +206,42 @@ fn soak_under_chaos_never_drops_and_recovers_to_the_top_rung() {
             now.worst_rung()
         );
     }
+
+    // The telemetry registry is a *view* over the same events the
+    // legacy counters witnessed — after a 12k-request chaos soak plus
+    // the recovery traffic, the two accountings must still agree
+    // exactly, counter for counter.
+    let stats = handle.stats().expect("final stats");
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(counter(cap_service::names::ACCEPTED), stats.accepted);
+    assert_eq!(counter(cap_service::names::SHED), stats.shed);
+    assert_eq!(
+        counter(cap_service::names::REJECTED_SHUTDOWN),
+        stats.rejected_shutdown
+    );
+    let served: u64 = stats.workers.iter().map(|w| w.served).sum();
+    assert_eq!(counter(cap_service::names::SERVED), served);
+    assert_eq!(
+        counter(cap_service::names::BACKEND_PANIC),
+        stats.workers.iter().map(|w| w.backend_panics).sum::<u64>()
+    );
+    for rung in Rung::ALL {
+        let by_rung: u64 = stats
+            .workers
+            .iter()
+            .map(|w| w.served_by_rung[rung.index()])
+            .sum();
+        let hist_count = snap
+            .histogram(cap_service::names::LATENCY_BY_RUNG[rung.index()])
+            .map_or(0, |h| h.count);
+        assert_eq!(hist_count, by_rung, "latency histogram count for {rung:?}");
+    }
+    assert_eq!(
+        cap_predictor::metrics::PredictorStats::from_obs_snapshot(&snap),
+        stats.merged_predictor(),
+        "pred.* registry counters reconcile with the merged legacy view"
+    );
 
     // Graceful exit with nothing in flight drains cleanly.
     let report = service.shutdown(Duration::from_millis(500));

@@ -100,6 +100,70 @@ fn tcp_clients_observe_predict_stat_and_shut_down() {
 }
 
 #[test]
+fn obs_stats_frame_carries_per_rung_latency_over_the_wire() {
+    let registry = std::sync::Arc::new(cap_obs::Registry::new());
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 32,
+        obs: registry.obs(),
+        ..ServiceConfig::default()
+    });
+    let exporter: ObsExporter = {
+        let registry = std::sync::Arc::clone(&registry);
+        std::sync::Arc::new(move || registry.snapshot().encode())
+    };
+    let server = TcpServer::bind(("127.0.0.1", 0), service.handle(), debug_stats_renderer())
+        .expect("bind on loopback")
+        .with_obs_exporter(exporter);
+    let addr = server.local_addr().expect("resolved addr");
+    let join = std::thread::spawn(move || {
+        let drain = server.run().expect("accept loop");
+        service.shutdown(drain)
+    });
+
+    let mut client = TcpClient::connect(addr).expect("connect");
+    for i in 0..200u64 {
+        client
+            .serve(
+                Request::Observe {
+                    ip: 0x400 + (i % 8) * 4,
+                    offset: 0,
+                    ghr: 0,
+                    actual: 0x8000 + i * 8,
+                },
+                Some(Duration::from_secs(1)),
+            )
+            .expect("observe over tcp");
+    }
+
+    let snap = client.obs_stats().expect("obs stats over the wire");
+    assert_eq!(
+        snap.counter(cap_service::names::SERVED),
+        Some(200),
+        "every served request is visible in the wire snapshot"
+    );
+    let hybrid = snap
+        .histogram(cap_service::names::LATENCY_BY_RUNG[Rung::Hybrid.index()])
+        .expect("per-rung latency histogram travels the wire");
+    assert_eq!(hybrid.count, 200);
+    assert!(hybrid.p50() <= hybrid.p99(), "quantiles are ordered");
+    assert!(hybrid.p99() <= hybrid.max);
+
+    let _ = client.shutdown(Duration::from_millis(200));
+    let _ = join.join();
+}
+
+#[test]
+fn server_without_exporter_answers_with_an_empty_snapshot() {
+    let (addr, join) = spawn_server();
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let snap = client.obs_stats().expect("obs stats probe");
+    assert!(snap.is_empty(), "no exporter → empty snapshot, not an error");
+    let _ = client.shutdown(Duration::from_millis(100));
+    let _ = join.join();
+}
+
+#[test]
 fn hostile_peers_get_structured_errors_not_crashes() {
     let (addr, join) = spawn_server();
 

@@ -140,3 +140,12 @@ impl std::fmt::Display for SnapshotError {
 }
 
 impl std::error::Error for SnapshotError {}
+
+/// Every decode failure means the bytes themselves are damaged or from
+/// an incompatible writer — retrying against the same bytes cannot
+/// succeed.
+impl cap_obs::Classify for SnapshotError {
+    fn error_class(&self) -> cap_obs::ErrorClass {
+        cap_obs::ErrorClass::Corrupt
+    }
+}

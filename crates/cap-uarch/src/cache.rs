@@ -79,6 +79,9 @@ pub struct Cache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Valid lines, tracked incrementally (derived from `lines`, so it is
+    /// recomputed on restore rather than snapshotted).
+    live: u64,
 }
 
 impl Cache {
@@ -103,6 +106,7 @@ impl Cache {
             tick: 0,
             hits: 0,
             misses: 0,
+            live: 0,
         }
     }
 
@@ -132,6 +136,9 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
         {
+            if !victim.valid {
+                self.live += 1;
+            }
             *victim = Line {
                 tag,
                 lru: self.tick,
@@ -139,6 +146,12 @@ impl Cache {
             };
         }
         false
+    }
+
+    /// Number of valid lines (occupancy gauge).
+    #[must_use]
+    pub fn occupancy(&self) -> u64 {
+        self.live
     }
 
     /// Hits so far.
@@ -247,12 +260,14 @@ impl Restorable for Cache {
                 valid: r.take_bool("cache line valid")?,
             });
         }
+        let live = lines.iter().filter(|l| l.valid).count() as u64;
         Ok(Self {
             config,
             lines,
             tick,
             hits,
             misses,
+            live,
         })
     }
 }
@@ -318,6 +333,22 @@ mod tests {
             }
         }
         assert!(c.hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.access(0x00);
+        c.access(0x10);
+        assert_eq!(c.occupancy(), 2);
+        c.access(0x00); // hit: no growth
+        assert_eq!(c.occupancy(), 2);
+        // Fill far past capacity: occupancy saturates at 8 lines.
+        for i in 0..64u64 {
+            c.access(i * 16);
+        }
+        assert_eq!(c.occupancy(), 8);
     }
 
     #[test]

@@ -41,6 +41,8 @@ use crate::branch::{BranchPredictor, HybridBranchPredictor};
 use crate::cache::CacheConfig;
 use crate::capacity::SlotTracker;
 use crate::hierarchy::{LatencyConfig, MemoryHierarchy};
+use crate::names;
+use cap_obs::Obs;
 use cap_predictor::drive::ControlState;
 use cap_predictor::metrics::PredictorStats;
 use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
@@ -171,6 +173,7 @@ pub struct OooCore {
     last_commit: u64,
     control: ControlState,
     stats: CoreStats,
+    obs: Obs,
 }
 
 impl OooCore {
@@ -192,8 +195,29 @@ impl OooCore {
             last_commit: 0,
             control: ControlState::default(),
             stats: CoreStats::default(),
+            obs: Obs::off(),
             config,
         }
+    }
+
+    /// Attaches a telemetry sink: cache hit/miss counters land in it via
+    /// the hierarchy, occupancy gauges (`uarch.rob.occupancy`,
+    /// `uarch.*.live_lines`) are published at the periodic prune points
+    /// and at end of run, and per-load prediction stats are mirrored
+    /// under the `pred.*` names. Not snapshotted — re-attach after a
+    /// restore.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.mem.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Publishes the core/cache occupancy gauges.
+    fn publish_occupancy(&self) {
+        self.obs
+            .gauge(names::ROB_OCCUPANCY, self.commit_ring.len() as i64);
+        self.obs
+            .gauge(names::STORE_SET_SIZE, self.store_ready.len() as i64);
+        self.mem.publish_occupancy();
     }
 
     fn src_ready(&self, srcs: &[Option<RegId>]) -> u64 {
@@ -233,7 +257,7 @@ impl OooCore {
                     .flatten()
                 {
                     p.update(&u.ctx, u.actual, &u.pred);
-                    self.stats.pred.record(&u.pred, u.actual);
+                    self.stats.pred.record_with(&u.pred, u.actual, &self.obs);
                     if let Some(n) = in_flight.get_mut(&u.ctx.ip) {
                         *n -= 1;
                         if *n == 0 {
@@ -400,6 +424,9 @@ impl OooCore {
                 self.alu.retire_below(dispatch);
                 self.ports.retire_below(dispatch);
                 self.commit_slots.retire_below(dispatch);
+                if self.obs.enabled() {
+                    self.publish_occupancy();
+                }
             }
         }
 
@@ -407,10 +434,13 @@ impl OooCore {
         if let Some(p) = predictor {
             while let Some(u) = pending.pop_front() {
                 p.update(&u.ctx, u.actual, &u.pred);
-                self.stats.pred.record(&u.pred, u.actual);
+                self.stats.pred.record_with(&u.pred, u.actual, &self.obs);
             }
         }
 
+        if self.obs.enabled() {
+            self.publish_occupancy();
+        }
         self.stats.cycles = self.last_commit;
         self.stats.l1_hit_rate = self.mem.l1_hit_rate();
         self.stats.clone()
@@ -570,6 +600,8 @@ impl Restorable for OooCore {
             last_commit: r.take_u64("last commit")?,
             control: ControlState::read_state(r)?,
             stats: CoreStats::read_state(r)?,
+            // Telemetry is not snapshotted: restores come up with it off.
+            obs: Obs::off(),
         })
     }
 }
@@ -681,6 +713,34 @@ mod tests {
             cycles_per_load > 3.5,
             "dependent loads must serialise, got {cycles_per_load:.2} cycles/load"
         );
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_core_stats() {
+        use cap_predictor::metrics::PredictorStats;
+        use std::sync::Arc;
+
+        let trace = chase_trace(20_000);
+        let registry = Arc::new(cap_obs::Registry::new());
+        let mut pred = HybridPredictor::new(HybridConfig::paper_default());
+        pred.set_obs(registry.obs());
+        let mut core = OooCore::new(config());
+        core.set_obs(registry.obs());
+        let stats = core.run(&trace, Some(&mut pred), 0);
+
+        let snap = registry.snapshot();
+        // The `pred.*` mirror reads back as the exact same accumulator.
+        assert_eq!(PredictorStats::from_obs_snapshot(&snap), stats.pred);
+        // Cache counters reconcile with the hierarchy's own hit rate.
+        let l1_hit = snap.counter(crate::names::L1_HIT).unwrap_or(0);
+        let l1_miss = snap.counter(crate::names::L1_MISS).unwrap_or(0);
+        assert!(l1_hit + l1_miss > 0, "timing run must touch the caches");
+        let rate = l1_hit as f64 / (l1_hit + l1_miss) as f64;
+        assert!((rate - stats.l1_hit_rate).abs() < 1e-12);
+        // Occupancy gauges were published and are plausible.
+        let l1_live = snap.gauge(crate::names::L1_LIVE_LINES).unwrap_or(-1);
+        assert!(l1_live > 0 && l1_live <= 1024, "L1 has 1024 lines, got {l1_live}");
+        assert!(snap.gauge(crate::names::ROB_OCCUPANCY).is_some());
     }
 
     #[test]

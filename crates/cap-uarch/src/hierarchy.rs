@@ -1,6 +1,8 @@
 //! The two-level on-chip memory hierarchy (32 KB L1 + 1 MB L2, §4.1).
 
 use crate::cache::{Cache, CacheConfig};
+use crate::names;
+use cap_obs::Obs;
 
 /// Access latencies of each hierarchy level, in cycles.
 ///
@@ -46,6 +48,7 @@ pub struct MemoryHierarchy {
     l1: Cache,
     l2: Cache,
     latency: LatencyConfig,
+    obs: Obs,
 }
 
 impl MemoryHierarchy {
@@ -56,7 +59,20 @@ impl MemoryHierarchy {
             l1: Cache::new(l1),
             l2: Cache::new(l2),
             latency,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry sink for the `uarch.l1.*` / `uarch.l2.*`
+    /// counters (not snapshotted — re-attach after a restore).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Publishes the occupancy gauges of both cache levels.
+    pub fn publish_occupancy(&self) {
+        self.obs.gauge(names::L1_LIVE_LINES, self.l1.occupancy() as i64);
+        self.obs.gauge(names::L2_LIVE_LINES, self.l2.occupancy() as i64);
     }
 
     /// The paper's configuration.
@@ -72,10 +88,15 @@ impl MemoryHierarchy {
     /// Performs one data access and returns its total latency in cycles.
     pub fn access(&mut self, addr: u64) -> u32 {
         if self.l1.access(addr) {
+            self.obs.incr(names::L1_HIT);
             self.latency.l1
         } else if self.l2.access(addr) {
+            self.obs.incr(names::L1_MISS);
+            self.obs.incr(names::L2_HIT);
             self.latency.l2
         } else {
+            self.obs.incr(names::L1_MISS);
+            self.obs.incr(names::L2_MISS);
             self.latency.memory
         }
     }
@@ -129,10 +150,12 @@ impl Snapshot for MemoryHierarchy {
 
 impl Restorable for MemoryHierarchy {
     fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        // Telemetry is not snapshotted: restores come up with it off.
         Ok(Self {
             l1: Cache::read_state(r)?,
             l2: Cache::read_state(r)?,
             latency: LatencyConfig::read_state(r)?,
+            obs: Obs::off(),
         })
     }
 }

@@ -38,6 +38,29 @@ pub mod hierarchy;
 
 pub use crate::core::{run_trace, CoreConfig, CoreStats, OooCore};
 
+/// Registry metric names recorded by the timing substrate when an
+/// [`cap_obs::Obs`] is attached ([`OooCore::set_obs`] /
+/// [`hierarchy::MemoryHierarchy::set_obs`]).
+pub mod names {
+    /// L1 data-cache hits.
+    pub const L1_HIT: &str = "uarch.l1.hit";
+    /// L1 data-cache misses.
+    pub const L1_MISS: &str = "uarch.l1.miss";
+    /// L2 hits (of L1 misses).
+    pub const L2_HIT: &str = "uarch.l2.hit";
+    /// L2 misses (accesses that went to memory).
+    pub const L2_MISS: &str = "uarch.l2.miss";
+    /// Live L1 lines (gauge).
+    pub const L1_LIVE_LINES: &str = "uarch.l1.live_lines";
+    /// Live L2 lines (gauge).
+    pub const L2_LIVE_LINES: &str = "uarch.l2.live_lines";
+    /// Reorder-buffer occupancy at the last publish point (gauge).
+    pub const ROB_OCCUPANCY: &str = "uarch.rob.occupancy";
+    /// Outstanding store-forwarding words at the last publish point
+    /// (gauge).
+    pub const STORE_SET_SIZE: &str = "uarch.store_set.size";
+}
+
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::branch::{BranchPredictor, HybridBranchPredictor};

@@ -18,7 +18,7 @@ fn run_with_history(trace: &cap_trace::Trace, length: usize) -> PredictorStats {
     let mut cfg = CapConfig::paper_default();
     cfg.params.history.length = length;
     let mut cap = CapPredictor::new(cfg);
-    run_immediate(&mut cap, trace)
+    Session::new(&mut cap).run(trace)
 }
 
 fn main() {
@@ -68,7 +68,7 @@ fn main() {
         LoadBufferConfig::paper_default(),
         StrideParams::paper_default(),
     );
-    let s = run_immediate(&mut stride, &trace);
+    let s = Session::new(&mut stride).run(&trace);
     println!(
         "\nenhanced stride manages {:.1}% — control-correlated sequences are\n\
          exactly the class the paper built CAP for.",

@@ -25,10 +25,10 @@ fn main() {
             LoadBufferConfig::paper_default(),
             StrideParams::paper_default(), // interval + catch-up on
         );
-        let s = run_with_gap(&mut stride, &trace, gap);
+        let s = Session::new(&mut stride).gap(gap).run(&trace);
 
         let mut hybrid = HybridPredictor::new(HybridConfig::paper_pipelined());
-        let h = run_with_gap(&mut hybrid, &trace, gap);
+        let h = Session::new(&mut hybrid).gap(gap).run(&trace);
 
         println!(
             "{:>14} {:>12.1}% {:>11.2}% {:>12.1}% {:>11.2}%",
@@ -49,12 +49,12 @@ fn main() {
             ..StrideParams::paper_default()
         },
     );
-    let without = run_with_gap(&mut no_catch_up, &trace, 16);
+    let without = Session::new(&mut no_catch_up).gap(16).run(&trace);
     let mut with_catch_up = StridePredictor::new(
         LoadBufferConfig::paper_default(),
         StrideParams::paper_default(),
     );
-    let with = run_with_gap(&mut with_catch_up, &trace, 16);
+    let with = Session::new(&mut with_catch_up).gap(16).run(&trace);
     println!(
         "\ncatch-up at gap 16: correct/loads {:.1}% with vs {:.1}% without — \n\
          the stride is multiplied by the number of pending loads (§5.2).",

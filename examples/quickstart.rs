@@ -31,9 +31,9 @@ fn main() {
     // 3. Run each under the immediate-update model of Section 4.
     println!("\n{:<18} {:>15} {:>10}", "predictor", "prediction rate", "accuracy");
     for (name, stats) in [
-        ("enhanced stride", run_immediate(&mut stride, &trace)),
-        ("CAP", run_immediate(&mut cap, &trace)),
-        ("hybrid", run_immediate(&mut hybrid, &trace)),
+        ("enhanced stride", Session::new(&mut stride).run(&trace)),
+        ("CAP", Session::new(&mut cap).run(&trace)),
+        ("hybrid", Session::new(&mut hybrid).run(&trace)),
     ] {
         println!(
             "{:<18} {:>14.1}% {:>9.2}%",

@@ -65,9 +65,9 @@ fn main() {
         "predictor", "prediction rate", "accuracy"
     );
     for (name, stats) in [
-        ("enhanced stride", run_immediate(&mut stride, &trace)),
-        ("CAP (base addresses)", run_immediate(&mut cap, &trace)),
-        ("CAP (no global correlation)", run_immediate(&mut cap_no_gc, &trace)),
+        ("enhanced stride", Session::new(&mut stride).run(&trace)),
+        ("CAP (base addresses)", Session::new(&mut cap).run(&trace)),
+        ("CAP (no global correlation)", Session::new(&mut cap_no_gc).run(&trace)),
     ] {
         println!(
             "{:<28} {:>14.1}% {:>9.2}%",

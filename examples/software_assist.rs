@@ -46,7 +46,7 @@ fn main() {
         cfg.cap = cap_params;
         HybridPredictor::new(cfg)
     };
-    let plain_stats = run_immediate(&mut plain, &trace);
+    let plain_stats = Session::new(&mut plain).run(&trace);
 
     let mut guided = ProfileGuidedPredictor::new(
         classes,
@@ -55,7 +55,7 @@ fn main() {
         cap_params,
         StrideParams::paper_default(),
     );
-    let guided_stats = run_immediate(&mut guided, &trace);
+    let guided_stats = Session::new(&mut guided).run(&trace);
 
     println!("\nat 1K/1K tables (quarter of the paper's baseline):");
     println!(

@@ -2,17 +2,20 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service]
+# Usage: scripts/verify.sh [all|service|obs]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
+#   obs      just the observability gate: golden stats exports, the
+#            zero-overhead-when-disabled bench check, and the
+#            no-parallel-metric-types grep
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service) ;;
-    *) echo "usage: scripts/verify.sh [all|service]" >&2; exit 2 ;;
+    all|service|obs) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -174,10 +177,49 @@ service_gate() {
     echo "service smoke: drained cleanly, warm restart bit-identical"
 }
 
+# The observability gate: the telemetry layer's three contracts.
+#   1. Export stability — the CAPO wire frame and the JSON rendering
+#      are byte-identical to their checked-in goldens.
+#   2. Zero overhead when disabled — the bench asserts a disabled
+#      record site costs under 2% of a drive-loop event.
+#   3. One metrics vocabulary — no crate except cap-obs defines its
+#      own histogram/metric-registry types (SaturatingCounter and
+#      friends in cap-predictor are *architectural state*, not
+#      telemetry, and are allowed by name).
+obs_gate() {
+    step "obs: registry + export unit tests"
+    cargo test -q --offline -p cap-obs
+
+    step "obs: golden stats exports (wire frame + JSON, byte-stable)"
+    cargo test -q --offline --release -p cap-harness --test obs_golden
+
+    step "obs: registry reconciles with legacy stats under chaos"
+    cargo test -q --offline --release -p cap-service --test chaos_soak
+    cargo test -q --offline --release -p cap-service --lib \
+        registry_reconciles_with_legacy_stats_views
+
+    step "obs: zero-overhead-when-disabled bench check"
+    CAP_BENCH_QUICK=1 CAP_OBS_CHECK=1 \
+        cargo bench -q --offline -p cap-bench --bench obs_overhead
+
+    step "obs: no parallel metric types outside cap-obs"
+    if grep -rn 'struct [A-Za-z]*\(Histogram\|MetricRegistry\)' crates/*/src \
+        | grep -v '^crates/cap-obs/'; then
+        echo "ERROR: a crate other than cap-obs defines its own histogram/registry type" >&2
+        exit 1
+    fi
+    echo "metric-type grep: clean"
+}
+
 if [ "$GATE" = "all" ]; then
     core_gates
 fi
-service_gate
+if [ "$GATE" = "all" ] || [ "$GATE" = "service" ]; then
+    service_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "obs" ]; then
+    obs_gate
+fi
 
 echo
 echo "verify: all green"

@@ -16,7 +16,7 @@
 //!
 //! let trace = Suite::Int.traces()[0].generate(10_000);
 //! let mut predictor = HybridPredictor::new(HybridConfig::paper_default());
-//! let stats = run_immediate(&mut predictor, &trace);
+//! let stats = Session::new(&mut predictor).run(&trace);
 //! assert!(stats.prediction_rate() > 0.3);
 //! ```
 

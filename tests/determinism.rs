@@ -17,7 +17,7 @@ fn prediction_runs_are_reproducible() {
     let trace = Suite::Gam.traces()[0].generate(10_000);
     let run = || {
         let mut p = HybridPredictor::new(HybridConfig::paper_default());
-        run_immediate(&mut p, &trace)
+        Session::new(&mut p).run(&trace)
     };
     assert_eq!(run(), run());
 }
@@ -27,7 +27,7 @@ fn gapped_runs_are_reproducible() {
     let trace = Suite::Tpc.traces()[0].generate(10_000);
     let run = || {
         let mut p = HybridPredictor::new(HybridConfig::paper_pipelined());
-        run_with_gap(&mut p, &trace, 16)
+        Session::new(&mut p).gap(16).run(&trace)
     };
     assert_eq!(run(), run());
 }
