@@ -1,0 +1,259 @@
+//! Bench: the tracked performance baseline for the packed hot path.
+//!
+//! Unlike the figure benches, this target is a *gate input*: it prices
+//! the three numbers the packed-table work is accountable for —
+//! single-predict latency (legacy vs packed), `predict_batch`
+//! throughput, and per-rung service request latency on the packed
+//! backend — and, when `CAP_BENCH_BASELINE_OUT` names a file, writes
+//! them as machine-readable JSON. `scripts/verify.sh bench` snapshots
+//! that JSON as `BENCH_<git-short-sha>.json` and diffs it against the
+//! previous baseline, failing the gate on a >10% single-predict
+//! regression.
+//!
+//! The JSON schema (`cap-bench-baseline-v1`) is flat on purpose: a
+//! handful of scalar fields a shell script can pull out with grep/sed,
+//! no arrays that need a real parser.
+
+use cap_bench::bench_kit::Criterion;
+use cap_predictor::drive::ControlState;
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_predictor::packed::PackedHybridPredictor;
+use cap_predictor::types::{AddressPredictor, LoadContext};
+use cap_service::prelude::*;
+use cap_trace::suites::catalog;
+use cap_trace::TraceEvent;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Loads per timed iteration of the predictor-level benches.
+const LOADS: usize = 4_000;
+
+/// Requests per timed iteration of the service benches — enough for
+/// stable percentiles, small enough that quick mode stays a smoke test.
+const REQUESTS: usize = 5_000;
+
+/// The service fast path collects at most this many predicts per batch;
+/// the batch bench uses the same width so its number prices the real
+/// drain, not an idealised one.
+const BATCH: usize = 32;
+
+/// Repeats of the whole workload inside one timed sample. A single
+/// 4k-load pass is ~100-200µs — short enough that a scheduler blip can
+/// shift the minimum by tens of percent, which would flake the 10%
+/// regression gate. Eight passes per sample keeps each timed region in
+/// the low milliseconds.
+const REPS: usize = 8;
+
+/// Replays the first catalog trace into `(context, actual address)`
+/// pairs under the immediate model — the same deterministic workload
+/// for every contender.
+fn workload() -> Vec<(LoadContext, u64)> {
+    let trace = catalog()[0].generate(LOADS);
+    let mut control = ControlState::default();
+    let mut loads = Vec::with_capacity(LOADS);
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(load) => loads.push((
+                LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                },
+                load.addr,
+            )),
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    loads
+}
+
+/// Drives predict+update over the whole workload so the timed predicts
+/// run against live, populated tables.
+fn warm(p: &mut dyn AddressPredictor, loads: &[(LoadContext, u64)]) {
+    for (ctx, addr) in loads {
+        let pred = p.predict(ctx);
+        p.update(ctx, *addr, &pred);
+    }
+}
+
+/// Minimum observed cost of one operation, from a recorded bench id.
+fn ns_per_op(c: &Criterion, id: &str, ops: usize) -> f64 {
+    let result = c
+        .results()
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("bench {id} did not run"));
+    result.min().as_nanos() as f64 / ops as f64
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Times the predictor-level contenders: scalar predict on the legacy
+/// and packed hybrids, and the 32-wide `predict_batch` drain.
+fn bench_predict(c: &mut Criterion, loads: &[(LoadContext, u64)]) {
+    let ctxs: Vec<LoadContext> = loads.iter().map(|(ctx, _)| *ctx).collect();
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+
+    let mut legacy = HybridPredictor::new(HybridConfig::paper_default());
+    warm(&mut legacy, loads);
+    group.bench_function("single_predict_legacy", |b| {
+        b.iter(|| {
+            for _ in 0..REPS {
+                for ctx in &ctxs {
+                    black_box(legacy.predict(ctx));
+                }
+            }
+        });
+    });
+
+    let mut packed = PackedHybridPredictor::new(HybridConfig::paper_default());
+    warm(&mut packed, loads);
+    group.bench_function("single_predict_packed", |b| {
+        b.iter(|| {
+            for _ in 0..REPS {
+                for ctx in &ctxs {
+                    black_box(packed.predict(ctx));
+                }
+            }
+        });
+    });
+
+    let mut batched = PackedHybridPredictor::new(HybridConfig::paper_default());
+    warm(&mut batched, loads);
+    let mut out = Vec::with_capacity(BATCH);
+    group.bench_function("batch_predict_packed", |b| {
+        b.iter(|| {
+            for _ in 0..REPS {
+                for chunk in ctxs.chunks(BATCH) {
+                    batched.predict_batch(chunk, &mut out);
+                    black_box(out.len());
+                }
+            }
+        });
+    });
+
+    group.finish();
+}
+
+/// Prices every ladder rung on the packed backend: a single-worker
+/// pinned service (so routing never spreads the load), warmed with
+/// observes, then timed over predict-only round-trips. Returns
+/// `(rung name, p50, p99)` per rung from the last iteration's samples.
+fn bench_service(c: &mut Criterion) -> Vec<(&'static str, Duration, Duration)> {
+    let mut group = c.benchmark_group("baseline-service");
+    group.sample_size(5);
+    let mut tails = Vec::new();
+
+    for rung in Rung::ALL {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            pin_rung: Some(rung),
+            primary: BackendKind::PackedHybrid,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        for i in 0..1_000u64 {
+            handle
+                .call(
+                    Request::Observe {
+                        ip: 0x40_1000,
+                        offset: 0,
+                        ghr: 0,
+                        actual: 0x1000 + i * 8,
+                    },
+                    None,
+                )
+                .expect("unpressured pinned service serves every request");
+        }
+
+        let mut latencies = Vec::with_capacity(REQUESTS);
+        group.bench_function(&format!("predict_{}", rung.name()), |b| {
+            b.iter(|| {
+                latencies.clear();
+                for _ in 0..REQUESTS {
+                    let start = Instant::now();
+                    handle
+                        .call(
+                            Request::Predict {
+                                ip: 0x40_1000,
+                                offset: 0,
+                                ghr: 0,
+                            },
+                            None,
+                        )
+                        .expect("unpressured pinned service serves every request");
+                    latencies.push(start.elapsed());
+                }
+            });
+        });
+
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        println!(
+            "  {:<12} p50 {:>9?}   p99 {:>9?}   max {:>9?}",
+            rung.name(),
+            p50,
+            p99,
+            latencies.last().copied().unwrap_or_default(),
+        );
+        tails.push((rung.name(), p50, p99));
+
+        let report = service.shutdown(Duration::from_secs(1));
+        assert_eq!(report.drain_rejected, 0);
+    }
+
+    group.finish();
+    tails
+}
+
+fn main() {
+    let mut criterion = Criterion::from_args();
+    let quick = !std::env::args().any(|a| a == "--bench")
+        || std::env::var("CAP_BENCH_QUICK").is_ok_and(|v| v != "0");
+
+    let loads = workload();
+    bench_predict(&mut criterion, &loads);
+    let tails = bench_service(&mut criterion);
+    criterion.summary();
+
+    let ops = loads.len() * REPS;
+    let legacy_ns = ns_per_op(&criterion, "baseline/single_predict_legacy", ops);
+    let packed_ns = ns_per_op(&criterion, "baseline/single_predict_packed", ops);
+    let batch_ns = ns_per_op(&criterion, "baseline/batch_predict_packed", ops);
+    let batch_tp = if batch_ns > 0.0 { 1e9 / batch_ns } else { 0.0 };
+
+    let rung_lines: Vec<String> = tails
+        .iter()
+        .map(|(name, p50, p99)| {
+            format!(
+                "    \"{name}\": {{ \"p50_ns\": {}, \"p99_ns\": {} }}",
+                p50.as_nanos(),
+                p99.as_nanos()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"service\": {{\n{}\n  }}\n}}\n",
+        rung_lines.join(",\n")
+    );
+    print!("{json}");
+
+    if let Ok(path) = std::env::var("CAP_BENCH_BASELINE_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, &json)
+                .unwrap_or_else(|e| panic!("writing baseline JSON to {path}: {e}"));
+            println!("baseline JSON written to {path}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Surface-coverage property for the packed fault target: every fault
+//! kind must reach the packed field group it models — and *only* that
+//! group. A kind that silently stops mutating (because a layout change
+//! moved its field) or that bleeds into a neighbouring field (because a
+//! width was computed wrong) fails here.
+
+use cap_faults::plan::FaultKind;
+use cap_faults::prelude::*;
+use cap_predictor::hybrid::HybridConfig;
+use cap_predictor::link_table::PfMode;
+use cap_predictor::packed::{HistHalf, PackedHybridPredictor};
+use cap_predictor::types::{AddressPredictor, LoadContext};
+use cap_rand::{rngs::StdRng, SeedableRng};
+
+/// Field-group fingerprints, one per fault kind: equal fingerprints ⇔
+/// the group's packed state is untouched.
+fn fingerprints(p: &PackedHybridPredictor) -> Vec<(FaultKind, Vec<u64>)> {
+    let lb = p.load_buffer();
+    let lt = p.link_table();
+    let mut history = Vec::new();
+    let mut offsets = Vec::new();
+    let mut confidence = Vec::new();
+    let mut cfi = Vec::new();
+    let mut stride = Vec::new();
+    let mut selector = Vec::new();
+    for idx in lb.live_indices() {
+        for half in [HistHalf::Arch, HistHalf::Spec] {
+            let f = lb.hist_fold(idx, half);
+            history.push(f.index);
+            history.push(f.tag);
+            for k in 0..lb.hist_len(idx, half) {
+                history.push(lb.hist_slot(idx, half, k));
+            }
+        }
+        offsets.push(u64::from(lb.offset_lsb(idx)));
+        confidence.push(u64::from(lb.cap_conf_value(idx)));
+        confidence.push(u64::from(lb.stride_conf_value(idx)));
+        for c in [lb.cap_cfi(idx), lb.stride_cfi(idx)] {
+            cfi.push(c.bad_pattern().map_or(0, |v| v ^ u64::MAX));
+            cfi.push(u64::from(c.bad_pattern().is_some()));
+            cfi.push(c.path_bits());
+            cfi.push(u64::from(c.initialised()));
+        }
+        stride.push(lb.stride(idx) as u64);
+        stride.push(lb.last_addr(idx));
+        stride.push(lb.stride_state(idx) as u64);
+        stride.push(u64::from(lb.interval(idx).learned));
+        stride.push(u64::from(lb.interval(idx).run));
+        selector.push(u64::from(lb.selector(idx)));
+    }
+    let mut links = Vec::new();
+    let mut tags = Vec::new();
+    let mut pf = Vec::new();
+    for idx in lt.live_indices() {
+        links.push(lt.link(idx));
+        tags.push(lt.tag(idx));
+        pf.push(u64::from(lt.pf(idx)));
+        pf.push(u64::from(lt.pf_primed(idx)));
+    }
+    for i in 0..lt.decoupled_len() {
+        let (spf, primed) = lt.decoupled_slot(i);
+        pf.push(u64::from(spf));
+        pf.push(u64::from(primed));
+    }
+    vec![
+        (FaultKind::LbHistory, history),
+        (FaultKind::LbOffset, offsets),
+        (FaultKind::LbConfidence, confidence),
+        (FaultKind::LbCfi, cfi),
+        (FaultKind::LbStride, stride),
+        (FaultKind::LbSelector, selector),
+        (FaultKind::LtLink, links),
+        (FaultKind::LtTag, tags),
+        (FaultKind::LtPf, pf),
+    ]
+}
+
+fn warm(p: &mut PackedHybridPredictor) {
+    let pattern = [0x1000u64, 0x8800, 0x4800, 0x2800];
+    for _ in 0..12 {
+        for (i, &a) in pattern.iter().enumerate() {
+            let ctx = LoadContext::new(0x400 + (i as u64 % 2) * 4, 8, 0);
+            let pred = p.predict(&ctx);
+            p.update(&ctx, a, &pred);
+        }
+    }
+}
+
+fn assert_surface_reaches_every_field(make: impl Fn() -> HybridConfig, seed: u64) {
+    let mut p = PackedHybridPredictor::new(make());
+    warm(&mut p);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &kind in &FaultKind::ALL {
+        if !p.supported_faults().contains(&kind) {
+            continue;
+        }
+        let before = fingerprints(&p);
+        let mut applied = 0usize;
+        for _ in 0..64 {
+            if p.inject_fault(kind, &mut rng) {
+                applied += 1;
+            }
+        }
+        assert!(applied > 0, "{kind:?} never applied on a warm predictor");
+        let after = fingerprints(&p);
+        for ((k, fb), (_, fa)) in before.iter().zip(after.iter()) {
+            if *k == kind {
+                assert_ne!(fb, fa, "{kind:?} applied {applied} times but left its field group untouched");
+            } else {
+                assert_eq!(fb, fa, "{kind:?} bled into the {k:?} field group");
+            }
+        }
+        check_invariants(&p).unwrap_or_else(|v| panic!("after {kind:?}: {v}"));
+        // Rebuild and rewarm before probing the next group so the
+        // "untouched" assertions keep a clean baseline.
+        p = PackedHybridPredictor::new(make());
+        warm(&mut p);
+    }
+}
+
+#[test]
+fn packed_faults_reach_exactly_their_field_group() {
+    assert_surface_reaches_every_field(HybridConfig::paper_default, 0x5EED_0001);
+}
+
+#[test]
+fn packed_faults_reach_decoupled_pf_slots_too() {
+    assert_surface_reaches_every_field(
+        || {
+            let mut config = HybridConfig::paper_default();
+            config.lt.pf_mode = PfMode::Decoupled { extra_index_bits: 2 };
+            config
+        },
+        0x5EED_0002,
+    );
+}

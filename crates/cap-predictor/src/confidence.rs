@@ -74,6 +74,13 @@ impl SaturatingCounter {
         self.max
     }
 
+    /// Whether mispredictions decay to `threshold` (hysteresis) instead of 0
+    /// when the counter is saturated.
+    #[must_use]
+    pub fn hysteresis(&self) -> bool {
+        self.hysteresis
+    }
+
     /// Overwrites the stored value with `raw`, modelling a bit upset in the
     /// physical counter. The counter is a `max+1`-state device, so the raw
     /// value wraps into `0..=max` — the structural invariant
@@ -150,6 +157,36 @@ impl ControlFlowIndication {
             path_bits: u64::MAX,
             initialised: true,
         }
+    }
+
+    /// Reassembles an indication from raw parts — the inverse of the
+    /// getters below, used by bit-packed table layouts that store the
+    /// indication field-by-field.
+    #[must_use]
+    pub fn from_parts(bad_pattern: Option<u64>, path_bits: u64, initialised: bool) -> Self {
+        Self {
+            bad_pattern,
+            path_bits,
+            initialised,
+        }
+    }
+
+    /// `LastMisprediction`: the recorded pattern, if any.
+    #[must_use]
+    pub fn bad_pattern(&self) -> Option<u64> {
+        self.bad_pattern
+    }
+
+    /// `PerPath`: the per-path correctness bits.
+    #[must_use]
+    pub fn path_bits(&self) -> u64 {
+        self.path_bits
+    }
+
+    /// Whether this indication has been initialised (snapshot bookkeeping).
+    #[must_use]
+    pub fn initialised(&self) -> bool {
+        self.initialised
     }
 
     /// True when speculation is allowed under the current GHR.

@@ -40,6 +40,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The legacy `drive::run_*` wrappers are deprecated in favour of
+// `drive::Session`; denying here keeps internal callers from creeping
+// back before the wrappers are removed outright.
+#![deny(deprecated)]
 
 pub mod cap;
 pub mod confidence;
@@ -52,6 +56,7 @@ pub mod last_addr;
 pub mod link_table;
 pub mod load_buffer;
 pub mod metrics;
+pub mod packed;
 pub mod profile;
 pub mod stride;
 pub mod types;
@@ -64,8 +69,6 @@ pub mod prelude {
     pub use crate::cap::{CapConfig, CapParams, CapPredictor};
     pub use crate::confidence::{CfiMode, SaturatingCounter};
     pub use crate::delta::{DeltaCapConfig, DeltaCapPredictor};
-    #[allow(deprecated)]
-    pub use crate::drive::{run_immediate, run_value_immediate, run_with_gap, run_with_wrong_path};
     pub use crate::drive::Session;
     pub use crate::history::HistorySpec;
     pub use crate::hybrid::{HybridConfig, HybridPredictor, LtUpdatePolicy, SelectorPolicy};
@@ -73,6 +76,7 @@ pub mod prelude {
     pub use crate::link_table::{LinkTableConfig, PfMode};
     pub use crate::load_buffer::LoadBufferConfig;
     pub use crate::metrics::PredictorStats;
+    pub use crate::packed::PackedHybridPredictor;
     pub use crate::profile::{LoadClass, LoadClassMap, ProfileGuidedPredictor, Profiler};
     pub use crate::stride::{StrideParams, StridePredictor};
     pub use crate::variable::{VariableHistoryCap, VariableHistoryConfig};

@@ -220,9 +220,15 @@ impl LinkTable {
                     }
                 }
             }
-            PfMode::Decoupled { extra_index_bits } => {
-                let idx = ((folded.index << extra_index_bits) as usize
-                    ^ (folded.tag as usize))
+            PfMode::Decoupled { .. } => {
+                // [Mora98]'s decoupled filter is a *larger direct-mapped*
+                // table: the extra index bits come from the low end of the
+                // fold (the tag field), giving finer granularity without
+                // aliasing unrelated contexts. Xoring the whole tag into the
+                // shifted index (the previous scheme) folded distinct
+                // contexts onto one PF slot.
+                let idx = (self.set_index(folded)
+                    | ((folded.tag as usize) << self.config.sets().trailing_zeros()))
                     & (self.decoupled_pf.len() - 1);
                 let slot = &mut self.decoupled_pf[idx];
                 let admit = slot.1 && slot.0 == new_pf;

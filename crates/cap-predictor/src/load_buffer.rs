@@ -204,15 +204,18 @@ impl LoadBuffer {
     }
 
     /// Looks up the entry for `ip` without allocating; refreshes LRU on hit.
+    ///
+    /// The tick advances on *hits only*: a miss observes the table without
+    /// touching it, so diagnostic probes of absent IPs (or a storm of them)
+    /// cannot age unrelated entries and perturb eviction order.
     pub fn lookup(&mut self, ip: u64) -> Option<&mut LbEntry> {
-        self.tick += 1;
-        let tick = self.tick;
         let set_idx = self.set_index(ip);
         let entry = self.sets[set_idx]
             .iter_mut()
             .flatten()
             .find(|e| e.tag == ip)?;
-        entry.lru = tick;
+        self.tick += 1;
+        entry.lru = self.tick;
         Some(entry)
     }
 
@@ -490,6 +493,39 @@ mod tests {
         assert!(b.lookup(0x100).is_some());
         assert!(b.lookup(0x200).is_none(), "LRU way evicted");
         assert!(b.lookup(0x300).is_some());
+    }
+
+    #[test]
+    fn miss_probe_storm_leaves_eviction_order_unchanged() {
+        // Regression: `lookup` used to bump the tick on misses, so a storm
+        // of probes for absent IPs aged resident entries and could flip
+        // which way a later insert evicted.
+        let mut b = lb(2, 2); // 1 set, 2 ways
+        b.lookup_or_insert(0x100);
+        b.lookup_or_insert(0x200);
+        // 0x100 is now LRU. Probe a storm of IPs that are not resident
+        // (same set — (ip >> 2) & 0 == 0 for every ip — so the probes
+        // actually walk this set's ways).
+        for i in 0..10_000u64 {
+            assert!(b.lookup(0x1000 + i * 4).is_none());
+        }
+        // The insert must still evict 0x100, exactly as if the storm
+        // never happened.
+        b.lookup_or_insert(0x300);
+        assert!(b.lookup(0x100).is_none(), "oldest entry still the victim");
+        assert!(b.lookup(0x200).is_some());
+        assert!(b.lookup(0x300).is_some());
+    }
+
+    #[test]
+    fn miss_probes_do_not_advance_tick() {
+        let mut b = lb(16, 2);
+        b.lookup_or_insert(0x100);
+        let tick_before = b.tick;
+        for i in 0..1000u64 {
+            let _ = b.lookup(0x9000 + i * 4);
+        }
+        assert_eq!(b.tick, tick_before, "misses must not age the table");
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Cache-line-aligned bit-packed backing store for the flat tables.
+//!
+//! One [`BitTable`] is one contiguous allocation of 64-byte-aligned cache
+//! lines holding fixed-width entries. Each entry occupies a whole number
+//! of `u64` words; fields live at fixed bit offsets inside the entry and
+//! may straddle a word boundary (handled with a two-word read/write).
+//! Nothing here knows what the fields *mean* — the layout structs in the
+//! sibling modules assign offsets and widths.
+
+/// One 64-byte cache line of packed state.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine([u64; 8]);
+
+/// A fixed-width bit field inside a packed entry: bit offset and width.
+///
+/// A zero-width field is legal (e.g. the LT tag field of an untagged
+/// table): reads return 0 and writes are no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field {
+    /// Bit offset from the start of the entry.
+    pub off: u32,
+    /// Width in bits (0..=64).
+    pub w: u32,
+}
+
+impl Field {
+    /// Allocates the next `w` bits from a running layout cursor.
+    pub fn take(cursor: &mut u32, w: u32) -> Self {
+        debug_assert!(w <= 64, "fields are at most one word wide");
+        let f = Self { off: *cursor, w };
+        *cursor += w;
+        f
+    }
+}
+
+/// A flat array of bit-packed entries in one cache-line-aligned
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct BitTable {
+    lines: Vec<CacheLine>,
+    words_per_entry: usize,
+    entries: usize,
+}
+
+impl BitTable {
+    /// Creates a zeroed table of `entries` entries of `bits_per_entry`
+    /// bits each (rounded up to whole words).
+    #[must_use]
+    pub fn new(entries: usize, bits_per_entry: u32) -> Self {
+        let words_per_entry = (bits_per_entry as usize).div_ceil(64).max(1);
+        let words = entries * words_per_entry;
+        Self {
+            lines: vec![CacheLine::default(); words.div_ceil(8)],
+            words_per_entry,
+            entries,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Words each entry occupies (diagnostics: the real storage cost).
+    #[must_use]
+    pub fn words_per_entry(&self) -> usize {
+        self.words_per_entry
+    }
+
+    #[inline(always)]
+    fn word(&self, w: usize) -> u64 {
+        self.lines[w >> 3].0[w & 7]
+    }
+
+    #[inline(always)]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        &mut self.lines[w >> 3].0[w & 7]
+    }
+
+    /// Reads field `f` of entry `idx`.
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self, idx: usize, f: Field) -> u64 {
+        if f.w == 0 {
+            return 0;
+        }
+        let base = idx * self.words_per_entry;
+        let w = base + (f.off / 64) as usize;
+        let shift = f.off % 64;
+        let have = 64 - shift;
+        let mut v = self.word(w) >> shift;
+        if have < f.w {
+            v |= self.word(w + 1) << have;
+        }
+        if f.w == 64 {
+            v
+        } else {
+            v & ((1u64 << f.w) - 1)
+        }
+    }
+
+    /// Writes field `f` of entry `idx`. `value` must fit in `f.w` bits.
+    #[inline(always)]
+    pub fn set(&mut self, idx: usize, f: Field, value: u64) {
+        if f.w == 0 {
+            return;
+        }
+        debug_assert!(f.w == 64 || value < (1u64 << f.w), "value exceeds field width");
+        let base = idx * self.words_per_entry;
+        let w = base + (f.off / 64) as usize;
+        let shift = f.off % 64;
+        let mask = if f.w == 64 { u64::MAX } else { (1u64 << f.w) - 1 };
+        let lo = self.word_mut(w);
+        *lo = (*lo & !(mask << shift)) | (value << shift);
+        let have = 64 - shift;
+        if have < f.w {
+            let hi = self.word_mut(w + 1);
+            *hi = (*hi & !(mask >> have)) | (value >> have);
+        }
+    }
+
+    /// Zeroes every word of entry `idx`.
+    pub fn clear_entry(&mut self, idx: usize) {
+        let base = idx * self.words_per_entry;
+        for w in base..base + self.words_per_entry {
+            *self.word_mut(w) = 0;
+        }
+    }
+}
+
+/// Bits needed to represent values `0..=max` (0 when `max == 0`).
+#[must_use]
+pub fn bits_for(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_alignment_and_zero_init() {
+        let t = BitTable::new(16, 130);
+        assert_eq!(t.words_per_entry(), 3);
+        assert_eq!(std::mem::align_of::<CacheLine>(), 64);
+        for i in 0..16 {
+            assert_eq!(t.get(i, Field { off: 64, w: 64 }), 0);
+        }
+    }
+
+    #[test]
+    fn fields_roundtrip_across_word_straddles() {
+        let mut t = BitTable::new(4, 200);
+        // A 64-bit field straddling the first word boundary.
+        let f = Field { off: 33, w: 64 };
+        for idx in 0..4 {
+            let v = 0xDEAD_BEEF_CAFE_F00Du64 ^ (idx as u64);
+            t.set(idx, f, v);
+            assert_eq!(t.get(idx, f), v);
+        }
+        // Neighbouring fields stay untouched.
+        let lo = Field { off: 0, w: 33 };
+        let hi = Field { off: 97, w: 40 };
+        assert_eq!(t.get(0, lo), 0);
+        t.set(0, lo, (1 << 33) - 1);
+        t.set(0, hi, (1 << 40) - 1);
+        assert_eq!(t.get(0, f), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(t.get(0, lo), (1 << 33) - 1);
+        assert_eq!(t.get(0, hi), (1 << 40) - 1);
+    }
+
+    #[test]
+    fn zero_width_fields_are_inert() {
+        let mut t = BitTable::new(1, 64);
+        let z = Field { off: 10, w: 0 };
+        t.set(0, z, 0);
+        assert_eq!(t.get(0, z), 0);
+        assert_eq!(t.get(0, Field { off: 0, w: 64 }), 0);
+    }
+
+    #[test]
+    fn clear_entry_is_entry_local() {
+        let mut t = BitTable::new(3, 128);
+        let f = Field { off: 0, w: 64 };
+        for i in 0..3 {
+            t.set(i, f, u64::MAX);
+        }
+        t.clear_entry(1);
+        assert_eq!(t.get(0, f), u64::MAX);
+        assert_eq!(t.get(1, f), 0);
+        assert_eq!(t.get(2, f), u64::MAX);
+    }
+
+    #[test]
+    fn bits_for_covers_boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,370 @@
+//! Bit-packed Link Table: one flat allocation for the ways, one for the
+//! optional decoupled PF slots (5 bits each).
+//!
+//! Logic is a line-for-line transcription of
+//! [`crate::link_table::LinkTable`] over packed fields; the differential
+//! suite proves the two produce identical links, outcomes and PF
+//! decisions. Tags are stored at the configured `tag_bits` width (the
+//! fold masks them there anyway), links and LRU at full width.
+
+use crate::history::FoldedHistory;
+use crate::link_table::{LinkTableConfig, LtWrite, PfMode};
+use crate::packed::bits::{BitTable, Field};
+
+/// PF bits of a base address: bits 2..=5, per §3.5.
+#[inline(always)]
+fn pf_bits(base: u64) -> u8 {
+    ((base >> 2) & 0xF) as u8
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LtLayout {
+    present: Field,
+    tag: Field,
+    link: Field,
+    pf: Field,
+    primed: Field,
+    lru: Field,
+    bits: u32,
+}
+
+impl LtLayout {
+    fn new(tag_bits: u32) -> Self {
+        let mut c = 0u32;
+        let present = Field::take(&mut c, 1);
+        let tag = Field::take(&mut c, tag_bits);
+        let link = Field::take(&mut c, 64);
+        let pf = Field::take(&mut c, 4);
+        let primed = Field::take(&mut c, 1);
+        let lru = Field::take(&mut c, 64);
+        Self {
+            present,
+            tag,
+            link,
+            pf,
+            primed,
+            lru,
+            bits: c,
+        }
+    }
+}
+
+/// Decoupled PF slot layout: 4 PF bits + 1 primed bit.
+const PF_SLOT: Field = Field { off: 0, w: 4 };
+const PF_PRIMED: Field = Field { off: 4, w: 1 };
+
+/// The bit-packed Link Table.
+#[derive(Debug, Clone)]
+pub struct PackedLinkTable {
+    config: LinkTableConfig,
+    tag_bits: u32,
+    layout: LtLayout,
+    table: BitTable,
+    decoupled: BitTable,
+    decoupled_len: usize,
+    tick: u64,
+}
+
+impl PackedLinkTable {
+    /// Creates an empty packed table storing `tag_bits`-wide tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry (same rules as the legacy table).
+    #[must_use]
+    pub fn new(config: LinkTableConfig, tag_bits: u32) -> Self {
+        assert!(config.entries.is_power_of_two(), "LT entries must be a power of two");
+        assert!(config.assoc >= 1, "associativity must be at least 1");
+        assert!(
+            config.entries.is_multiple_of(config.assoc) && config.sets().is_power_of_two(),
+            "LT sets must be a power of two"
+        );
+        assert!(tag_bits <= 63, "LT tag width must be below 64");
+        let decoupled_len = match config.pf_mode {
+            PfMode::Decoupled { extra_index_bits } => config.sets() << extra_index_bits,
+            _ => 0,
+        };
+        let layout = LtLayout::new(tag_bits);
+        Self {
+            table: BitTable::new(config.entries, layout.bits),
+            decoupled: BitTable::new(decoupled_len, 5),
+            decoupled_len,
+            config,
+            tag_bits,
+            layout,
+            tick: 0,
+        }
+    }
+
+    /// The table's configuration.
+    #[must_use]
+    pub fn config(&self) -> &LinkTableConfig {
+        &self.config
+    }
+
+    /// Stored tag width in bits.
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Bits one packed way occupies (diagnostics / DESIGN.md budgets).
+    #[must_use]
+    pub fn entry_bits(&self) -> u32 {
+        self.layout.bits
+    }
+
+    /// Current tick (snapshot support).
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Overwrites the tick (snapshot restore).
+    pub fn set_tick(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    #[inline(always)]
+    fn set_index(&self, folded: &FoldedHistory) -> usize {
+        (folded.index as usize) & (self.config.sets() - 1)
+    }
+
+    // ---- per-way accessors ---------------------------------------------
+
+    /// Whether way `idx` is live.
+    #[inline(always)]
+    #[must_use]
+    pub fn present(&self, idx: usize) -> bool {
+        self.table.get(idx, self.layout.present) != 0
+    }
+
+    /// Stored tag of way `idx`.
+    #[inline(always)]
+    #[must_use]
+    pub fn tag(&self, idx: usize) -> u64 {
+        self.table.get(idx, self.layout.tag)
+    }
+
+    /// Overwrites the tag (must fit `tag_bits`).
+    #[inline(always)]
+    pub fn set_tag(&mut self, idx: usize, v: u64) {
+        self.table.set(idx, self.layout.tag, v);
+    }
+
+    /// Linked base address.
+    #[inline(always)]
+    #[must_use]
+    pub fn link(&self, idx: usize) -> u64 {
+        self.table.get(idx, self.layout.link)
+    }
+
+    /// Overwrites the link.
+    #[inline(always)]
+    pub fn set_link(&mut self, idx: usize, v: u64) {
+        self.table.set(idx, self.layout.link, v);
+    }
+
+    /// Inline PF bits.
+    #[inline(always)]
+    #[must_use]
+    pub fn pf(&self, idx: usize) -> u8 {
+        self.table.get(idx, self.layout.pf) as u8
+    }
+
+    /// Overwrites the inline PF bits (must be ≤ 0xF).
+    #[inline(always)]
+    pub fn set_pf(&mut self, idx: usize, v: u8) {
+        self.table.set(idx, self.layout.pf, u64::from(v));
+    }
+
+    /// Whether the inline PF bits have been written at least once.
+    #[inline(always)]
+    #[must_use]
+    pub fn pf_primed(&self, idx: usize) -> bool {
+        self.table.get(idx, self.layout.primed) != 0
+    }
+
+    /// Overwrites the primed flag.
+    #[inline(always)]
+    pub fn set_pf_primed(&mut self, idx: usize, v: bool) {
+        self.table.set(idx, self.layout.primed, u64::from(v));
+    }
+
+    /// LRU timestamp of way `idx`.
+    #[inline(always)]
+    #[must_use]
+    pub fn lru(&self, idx: usize) -> u64 {
+        self.table.get(idx, self.layout.lru)
+    }
+
+    /// Overwrites the LRU timestamp (snapshot restore).
+    pub fn set_lru(&mut self, idx: usize, v: u64) {
+        self.table.set(idx, self.layout.lru, v);
+    }
+
+    #[inline(always)]
+    fn write_entry(&mut self, idx: usize, tag: u64, link: u64, pf: u8, primed: bool, lru: u64) {
+        let l = self.layout;
+        self.table.set(idx, l.present, 1);
+        self.table.set(idx, l.tag, tag);
+        self.table.set(idx, l.link, link);
+        self.table.set(idx, l.pf, u64::from(pf));
+        self.table.set(idx, l.primed, u64::from(primed));
+        self.table.set(idx, l.lru, lru);
+    }
+
+    /// Marks way `idx` live with `tag` and zeroed fields (restore path;
+    /// the caller fills the rest through the setters).
+    pub fn restore_entry(&mut self, idx: usize, tag: u64) {
+        self.table.clear_entry(idx);
+        self.table.set(idx, self.layout.present, 1);
+        self.table.set(idx, self.layout.tag, tag);
+    }
+
+    // ---- prediction flow -----------------------------------------------
+
+    /// Looks up the link for a folded history: returns the linked base
+    /// only on a tag match, exactly like the legacy table.
+    #[must_use]
+    pub fn lookup(&self, folded: &FoldedHistory) -> Option<u64> {
+        let base = self.set_index(folded) * self.config.assoc;
+        for way in 0..self.config.assoc {
+            let idx = base + way;
+            if self.present(idx) && self.tag(idx) == folded.tag {
+                return Some(self.link(idx));
+            }
+        }
+        None
+    }
+
+    /// Attempts to record `folded → base`; `true` if the link was written.
+    pub fn update(&mut self, folded: &FoldedHistory, base: u64) -> bool {
+        self.update_outcome(folded, base).written()
+    }
+
+    /// [`PackedLinkTable::update`] reporting what the write did —
+    /// transcribed from [`crate::link_table::LinkTable::update_outcome`].
+    pub fn update_outcome(&mut self, folded: &FoldedHistory, base: u64) -> LtWrite {
+        self.tick += 1;
+        let new_pf = pf_bits(base);
+        let admit = match self.config.pf_mode {
+            PfMode::Off => true,
+            PfMode::Inline => {
+                let set_base = self.set_index(folded) * self.config.assoc;
+                let idx = set_base + self.way_for(set_base, folded.tag);
+                if self.present(idx) {
+                    let admit = self.pf_primed(idx) && self.pf(idx) == new_pf;
+                    self.set_pf(idx, new_pf);
+                    self.set_pf_primed(idx, true);
+                    admit || (self.tag(idx) == folded.tag && self.link(idx) == base)
+                } else {
+                    // Empty way: allocate immediately, PF primed.
+                    let tick = self.tick;
+                    self.write_entry(idx, folded.tag, base, new_pf, true, tick);
+                    return LtWrite::Fill;
+                }
+            }
+            PfMode::Decoupled { .. } => {
+                let idx = (self.set_index(folded)
+                    | ((folded.tag as usize) << self.config.sets().trailing_zeros()))
+                    & (self.decoupled_len - 1);
+                let (pf, primed) = self.decoupled_slot(idx);
+                let admit = primed && pf == new_pf;
+                self.set_decoupled_slot(idx, new_pf, true);
+                admit
+            }
+        };
+        if !admit {
+            return LtWrite::Deferred;
+        }
+        let tick = self.tick;
+        let set_base = self.set_index(folded) * self.config.assoc;
+        let idx = set_base + self.way_for(set_base, folded.tag);
+        let (pf_state, outcome) = if self.present(idx) {
+            let pf_state = (self.pf(idx), self.pf_primed(idx));
+            if self.tag(idx) == folded.tag {
+                if self.link(idx) == base {
+                    (pf_state, LtWrite::Refresh)
+                } else {
+                    (pf_state, LtWrite::Retrain)
+                }
+            } else {
+                (pf_state, LtWrite::Replace)
+            }
+        } else {
+            ((new_pf, true), LtWrite::Fill)
+        };
+        self.write_entry(idx, folded.tag, base, pf_state.0, pf_state.1, tick);
+        outcome
+    }
+
+    /// Way holding `tag`, else an empty way, else the LRU way — identical
+    /// selection order to the legacy `way_for`.
+    fn way_for(&self, set_base: usize, tag: u64) -> usize {
+        for way in 0..self.config.assoc {
+            if self.present(set_base + way) && self.tag(set_base + way) == tag {
+                return way;
+            }
+        }
+        for way in 0..self.config.assoc {
+            if !self.present(set_base + way) {
+                return way;
+            }
+        }
+        let mut best = (0usize, u64::MAX);
+        for way in 0..self.config.assoc {
+            let lru = self.lru(set_base + way);
+            if lru < best.1 {
+                best = (way, lru);
+            }
+        }
+        best.0
+    }
+
+    // ---- decoupled PF slots --------------------------------------------
+
+    /// Number of decoupled PF slots (0 unless [`PfMode::Decoupled`]).
+    #[must_use]
+    pub fn decoupled_len(&self) -> usize {
+        self.decoupled_len
+    }
+
+    /// Reads decoupled slot `i` as `(pf_bits, primed)`.
+    #[inline(always)]
+    #[must_use]
+    pub fn decoupled_slot(&self, i: usize) -> (u8, bool) {
+        (
+            self.decoupled.get(i, PF_SLOT) as u8,
+            self.decoupled.get(i, PF_PRIMED) != 0,
+        )
+    }
+
+    /// Writes decoupled slot `i`.
+    #[inline(always)]
+    pub fn set_decoupled_slot(&mut self, i: usize, pf: u8, primed: bool) {
+        self.decoupled.set(i, PF_SLOT, u64::from(pf));
+        self.decoupled.set(i, PF_PRIMED, u64::from(primed));
+    }
+
+    // ---- iteration / fault surface -------------------------------------
+
+    /// Number of live ways.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        (0..self.config.entries).filter(|&i| self.present(i)).count()
+    }
+
+    /// Index of the `n`-th live way in table order (sets-major, then
+    /// ways) — matches the legacy `entries_mut()` iteration order that
+    /// fault-injection draw parity depends on.
+    #[must_use]
+    pub fn nth_live(&self, n: usize) -> Option<usize> {
+        (0..self.config.entries).filter(|&i| self.present(i)).nth(n)
+    }
+
+    /// Indices of live ways, in table order.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.config.entries).filter(|&i| self.present(i))
+    }
+}

@@ -1,0 +1,276 @@
+//! Differential gate for the packed hot path: `PackedHybridPredictor`
+//! must be *bit-identical* to `HybridPredictor` — same prediction, same
+//! predicted address, same source — on every load of every generator
+//! family, across the configuration space the experiments sweep, and
+//! through a mid-trace snapshot round-trip.
+
+use cap_predictor::confidence::CfiMode;
+use cap_predictor::drive::{ControlState, Session};
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor, LtUpdatePolicy, SelectorPolicy};
+use cap_predictor::link_table::PfMode;
+use cap_predictor::packed::PackedHybridPredictor;
+use cap_predictor::types::{AddressPredictor, LoadContext};
+use cap_snapshot::{Restorable, Snapshot};
+use cap_trace::suites::{catalog, Suite, TraceSpec};
+use cap_trace::{Trace, TraceEvent};
+
+/// One representative trace per generator family (suite) — the catalog
+/// holds 45 siblings; family coverage is what the gate needs.
+fn family_reps() -> Vec<TraceSpec> {
+    let mut reps: Vec<TraceSpec> = Vec::new();
+    let mut seen: Vec<Suite> = Vec::new();
+    for spec in catalog() {
+        if !seen.contains(&spec.suite) {
+            seen.push(spec.suite);
+            reps.push(spec);
+        }
+    }
+    reps
+}
+
+/// The configuration points the packed path must match on: the paper
+/// defaults, the pipelined model, and each mechanism the tables encode
+/// differently (decoupled PF, per-path CFI, hysteresis, LT update
+/// policies, static selectors).
+fn config_points() -> Vec<(&'static str, HybridConfig)> {
+    let mut points = vec![
+        ("paper_default", HybridConfig::paper_default()),
+        ("paper_pipelined", HybridConfig::paper_pipelined()),
+    ];
+    let mut c = HybridConfig::paper_default();
+    c.lt.pf_mode = PfMode::Decoupled { extra_index_bits: 2 };
+    points.push(("decoupled_pf", c));
+    let mut c = HybridConfig::paper_default();
+    c.cap.cfi = CfiMode::PerPath { bits: 4 };
+    c.stride.cfi = CfiMode::PerPath { bits: 3 };
+    points.push(("per_path_cfi", c));
+    let mut c = HybridConfig::paper_default();
+    c.cap.hysteresis = true;
+    c.stride.hysteresis = true;
+    points.push(("hysteresis", c));
+    let mut c = HybridConfig::paper_default();
+    c.lt_update = LtUpdatePolicy::UnlessStrideCorrect;
+    points.push(("lt_unless_stride_correct", c));
+    let mut c = HybridConfig::paper_default();
+    c.lt_update = LtUpdatePolicy::UnlessStrideCorrectAndSelected;
+    points.push(("lt_unless_stride_correct_and_selected", c));
+    let mut c = HybridConfig::paper_default();
+    c.selector = SelectorPolicy::StaticCap;
+    points.push(("static_cap", c));
+    let mut c = HybridConfig::paper_default();
+    c.selector = SelectorPolicy::StaticStride;
+    points.push(("static_stride", c));
+    points
+}
+
+/// Drives both predictors through `trace` under the immediate model,
+/// asserting full `Prediction` equality on every load. Returns the
+/// number of loads compared.
+fn assert_twin_on_trace(
+    legacy: &mut HybridPredictor,
+    packed: &mut PackedHybridPredictor,
+    trace: &Trace,
+    label: &str,
+) -> usize {
+    let mut control = ControlState::default();
+    let mut loads = 0usize;
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pl = legacy.predict(&ctx);
+                let pp = packed.predict(&ctx);
+                assert_eq!(
+                    pl, pp,
+                    "[{label}] prediction diverged at load {loads} (ip {:#x})",
+                    load.ip
+                );
+                legacy.update(&ctx, load.addr, &pl);
+                packed.update(&ctx, load.addr, &pp);
+                loads += 1;
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    loads
+}
+
+#[test]
+fn packed_matches_legacy_on_every_family_paper_default() {
+    for spec in family_reps() {
+        let trace = spec.generate(6_000);
+        let mut legacy = HybridPredictor::new(HybridConfig::paper_default());
+        let mut packed = PackedHybridPredictor::new(HybridConfig::paper_default());
+        let loads = assert_twin_on_trace(&mut legacy, &mut packed, &trace, spec.name);
+        assert!(loads >= 6_000, "[{}] drove {loads} loads", spec.name);
+    }
+}
+
+#[test]
+fn packed_matches_legacy_across_config_space() {
+    // One family per config point keeps the matrix quadratic-free; the
+    // family sweep above already covers every generator at the default
+    // point.
+    let reps = family_reps();
+    for (i, (label, config)) in config_points().into_iter().enumerate() {
+        let spec = &reps[i % reps.len()];
+        let trace = spec.generate(6_000);
+        let mut legacy = HybridPredictor::new(config);
+        let mut packed = PackedHybridPredictor::new(config);
+        let tag = format!("{label}/{}", spec.name);
+        assert_twin_on_trace(&mut legacy, &mut packed, &trace, &tag);
+    }
+}
+
+#[test]
+fn packed_matches_legacy_under_the_gap_driver() {
+    // The pipelined model (prediction gap, pending counts, speculative
+    // history repair) is driven by `Session::gap`; equal stats over the
+    // same trace means the packed tables made the same calls the legacy
+    // ones did at every delayed-update point.
+    for gap in [1usize, 3, 8] {
+        let trace = catalog()[0].generate(10_000);
+        let mut legacy = HybridPredictor::new(HybridConfig::paper_pipelined());
+        let mut packed = PackedHybridPredictor::new(HybridConfig::paper_pipelined());
+        let sl = Session::new(&mut legacy).gap(gap).run(&trace);
+        let sp = Session::new(&mut packed).gap(gap).run(&trace);
+        assert_eq!(sl, sp, "stats diverged at gap {gap}");
+    }
+}
+
+#[test]
+fn packed_matches_legacy_under_wrong_path_recovery() {
+    let trace = catalog()[4 % catalog().len()].generate(10_000);
+    let mut legacy = HybridPredictor::new(HybridConfig::paper_pipelined());
+    let mut packed = PackedHybridPredictor::new(HybridConfig::paper_pipelined());
+    let sl = Session::new(&mut legacy)
+        .gap(4)
+        .wrong_path(10)
+        .recovery(true)
+        .run(&trace);
+    let sp = Session::new(&mut packed)
+        .gap(4)
+        .wrong_path(10)
+        .recovery(true)
+        .run(&trace);
+    assert_eq!(sl, sp, "stats diverged under wrong-path recovery");
+}
+
+#[test]
+fn packed_snapshot_mid_trace_continues_identically() {
+    // Half the trace, snapshot the packed predictor, restore it, then
+    // drive original + restored + legacy in lock-step over the rest:
+    // all three must agree on every remaining load.
+    let spec = &catalog()[7 % catalog().len()];
+    let trace = spec.generate(8_000);
+    let events: Vec<_> = trace.iter().collect();
+    let half = events.len() / 2;
+
+    let mut legacy = HybridPredictor::new(HybridConfig::paper_default());
+    let mut packed = PackedHybridPredictor::new(HybridConfig::paper_default());
+    let mut control = ControlState::default();
+    for event in &events[..half] {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pl = legacy.predict(&ctx);
+                let pp = packed.predict(&ctx);
+                assert_eq!(pl, pp, "diverged before the snapshot point");
+                legacy.update(&ctx, load.addr, &pl);
+                packed.update(&ctx, load.addr, &pp);
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+
+    let payload = packed.to_payload();
+    let mut restored =
+        PackedHybridPredictor::from_payload(&payload, "packed-differential").expect("restores");
+    assert_eq!(
+        restored.to_payload(),
+        payload,
+        "restore must re-encode canonically"
+    );
+
+    for event in &events[half..] {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                let pl = legacy.predict(&ctx);
+                let pp = packed.predict(&ctx);
+                let pr = restored.predict(&ctx);
+                assert_eq!(pl, pp, "original packed diverged after snapshot");
+                assert_eq!(pp, pr, "restored packed diverged from original");
+                legacy.update(&ctx, load.addr, &pl);
+                packed.update(&ctx, load.addr, &pp);
+                restored.update(&ctx, load.addr, &pr);
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+}
+
+#[test]
+fn packed_batch_matches_sequential_on_a_real_family() {
+    // `predict_batch` is the service fast path; over live, mid-trace
+    // table state it must equal the same predicts issued one at a time
+    // (predicts tick LRU state, so this is not a purity freebie — the
+    // batch must mutate exactly as the sequence does).
+    let trace = catalog()[2].generate(4_000);
+    let mut packed = PackedHybridPredictor::new(HybridConfig::paper_default());
+    let mut twin = packed.clone();
+    let mut control = ControlState::default();
+    let mut pending_batch: Vec<(LoadContext, u64)> = Vec::new();
+    let mut batches = 0usize;
+    for event in trace.iter() {
+        match event {
+            TraceEvent::Load(load) => {
+                let ctx = LoadContext {
+                    ip: load.ip,
+                    offset: load.offset,
+                    ghr: control.ghr,
+                    path: control.path,
+                    pending: 0,
+                };
+                pending_batch.push((ctx, load.addr));
+                if pending_batch.len() == 32 {
+                    let ctxs: Vec<LoadContext> =
+                        pending_batch.iter().map(|(c, _)| *c).collect();
+                    let mut batch = Vec::new();
+                    packed.predict_batch(&ctxs, &mut batch);
+                    let sequential: Vec<_> = ctxs.iter().map(|c| twin.predict(c)).collect();
+                    assert_eq!(batch, sequential, "batch {batches} diverged");
+                    for ((ctx, addr), pred) in pending_batch.drain(..).zip(batch) {
+                        packed.update(&ctx, addr, &pred);
+                        twin.update(&ctx, addr, &pred);
+                    }
+                    batches += 1;
+                }
+            }
+            TraceEvent::Branch(b) => control.on_branch(b.ip, b.taken, b.kind),
+            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+        }
+    }
+    assert!(batches > 100, "drove {batches} batches");
+}

@@ -1,0 +1,317 @@
+//! Property suite for the bit-packed tables: every packed field must
+//! round-trip at its exact configured width (including the 2-bit
+//! saturating-counter boundaries), and the packed history register must
+//! track the legacy deque fold under arbitrary push/corrupt sequences.
+
+use cap_predictor::confidence::{ControlFlowIndication, SaturatingCounter};
+use cap_predictor::history::{HistoryBuffer, HistorySpec};
+use cap_predictor::link_table::{LinkTableConfig, PfMode};
+use cap_predictor::load_buffer::{LbEntryProto, LoadBufferConfig, StrideState};
+use cap_predictor::packed::bits::{bits_for, BitTable, Field};
+use cap_predictor::packed::{HistHalf, PackedLinkTable, PackedLoadBuffer};
+use cap_rand::check;
+use cap_rand::Rng;
+
+fn mask(w: u32) -> u64 {
+    if w == 0 {
+        0
+    } else if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// A raw `BitTable` with arbitrary field widths round-trips every field
+/// of every entry independently — including fields straddling word
+/// boundaries — without perturbing its neighbours.
+#[test]
+fn bit_table_round_trips_arbitrary_layouts() {
+    check::run("bit_table_round_trips_arbitrary_layouts", |rng| {
+        let entries = rng.gen_range(1usize..24);
+        let n_fields = rng.gen_range(1usize..12);
+        let mut cursor = 0u32;
+        let fields: Vec<Field> = (0..n_fields)
+            .map(|_| Field::take(&mut cursor, rng.gen_range(0u32..=64)))
+            .collect();
+        let mut table = BitTable::new(entries, cursor.max(1));
+        let mut model = vec![vec![0u64; n_fields]; entries];
+        for _ in 0..200 {
+            let e = rng.gen_range(0..entries);
+            let f = rng.gen_range(0..n_fields);
+            let v = rng.gen::<u64>() & mask(fields[f].w);
+            table.set(e, fields[f], v);
+            model[e][f] = v;
+            // The whole model must still be intact, not just the slot
+            // we wrote.
+            for (me, row) in model.iter().enumerate() {
+                for (mf, &mv) in row.iter().enumerate() {
+                    assert_eq!(
+                        table.get(me, fields[mf]),
+                        mv,
+                        "field {mf} of entry {me} perturbed by write to ({e},{f})"
+                    );
+                }
+            }
+        }
+    });
+}
+
+fn random_spec(rng: &mut impl Rng) -> HistorySpec {
+    HistorySpec {
+        length: rng.gen_range(1usize..8),
+        shift: rng.gen_range(1u32..8),
+        index_bits: rng.gen_range(4u32..14),
+        tag_bits: rng.gen_range(0u32..10),
+    }
+}
+
+fn random_proto(rng: &mut impl Rng) -> LbEntryProto {
+    let t1 = rng.gen_range(1u8..4);
+    let t2 = rng.gen_range(1u8..4);
+    LbEntryProto {
+        cap_conf: SaturatingCounter::new(t1, t1 + rng.gen_range(0u8..4), rng.gen()),
+        stride_conf: SaturatingCounter::new(t2, t2 + rng.gen_range(0u8..4), rng.gen()),
+    }
+}
+
+fn random_lb(rng: &mut impl Rng) -> PackedLoadBuffer {
+    let entries = 1usize << rng.gen_range(3u32..8);
+    let assoc = 1usize << rng.gen_range(0u32..3);
+    let config = LoadBufferConfig { entries, assoc };
+    let offset_bits = rng.gen_range(0u32..=16);
+    PackedLoadBuffer::new(config, random_proto(rng), random_spec(rng), offset_bits)
+}
+
+/// Every packed LB field round-trips at its exact width over a random
+/// geometry, and writing one entry's fields never leaks into another.
+#[test]
+fn packed_lb_fields_round_trip_at_exact_width() {
+    check::run("packed_lb_fields_round_trip_at_exact_width", |rng| {
+        let mut lb = random_lb(rng);
+        let entries = lb.config().entries;
+        let a = rng.gen_range(0..entries);
+        let b = (a + rng.gen_range(1..entries)) % entries;
+        lb.restore_entry(a, 0x400);
+        lb.restore_entry(b, 0x404);
+
+        let offset = rng.gen::<u32>() & (mask(lb.offset_bits()) as u32);
+        lb.set_offset_lsb(a, offset);
+        let cap_v = rng.gen_range(0..=lb.proto().cap_conf.max());
+        let stride_v = rng.gen_range(0..=lb.proto().stride_conf.max());
+        lb.set_cap_conf_value(a, cap_v);
+        lb.set_stride_conf_value(a, stride_v);
+        let cfi = ControlFlowIndication::from_parts(
+            if rng.gen() { Some(rng.gen()) } else { None },
+            rng.gen(),
+            rng.gen(),
+        );
+        lb.set_cap_cfi(a, cfi);
+        let stride = rng.gen::<i64>();
+        let last_addr = rng.gen::<u64>();
+        lb.set_stride(a, stride);
+        lb.set_last_addr(a, last_addr);
+        let state = [StrideState::Init, StrideState::Transient, StrideState::Steady]
+            [rng.gen_range(0usize..3)];
+        lb.set_stride_state(a, state);
+        let mut iv = lb.interval(a);
+        iv.learned = rng.gen();
+        iv.run = rng.gen();
+        lb.set_interval(a, iv);
+        let sel = rng.gen_range(0u8..4);
+        lb.set_selector(a, sel);
+        let seen = rng.gen::<bool>();
+        lb.set_stride_seen(a, seen);
+        let lru = rng.gen::<u64>();
+        lb.set_lru(a, lru);
+
+        assert_eq!(lb.offset_lsb(a), offset);
+        assert_eq!(lb.cap_conf_value(a), cap_v);
+        assert_eq!(lb.stride_conf_value(a), stride_v);
+        assert_eq!(lb.cap_cfi(a), cfi);
+        assert_eq!(lb.stride(a), stride);
+        assert_eq!(lb.last_addr(a), last_addr);
+        assert_eq!(lb.stride_state(a), state);
+        assert_eq!(lb.interval(a).learned, iv.learned);
+        assert_eq!(lb.interval(a).run, iv.run);
+        assert_eq!(lb.selector(a), sel);
+        assert_eq!(lb.stride_seen(a), seen);
+        assert_eq!(lb.lru(a), lru);
+
+        // The neighbouring entry keeps its freshly-restored defaults.
+        assert_eq!(lb.tag(b), 0x404);
+        assert_eq!(lb.offset_lsb(b), 0);
+        assert_eq!(lb.selector(b), 0);
+        assert_eq!(lb.hist_len(b, HistHalf::Arch), 0);
+    });
+}
+
+/// The packed confidence counters behave exactly like a freestanding
+/// `SaturatingCounter` through reconstruct → event → repack cycles,
+/// across the saturation boundaries — including the paper's 2-bit
+/// (threshold 2, max 3) shape with and without hysteresis.
+#[test]
+fn packed_counter_saturation_boundaries() {
+    for (threshold, max) in [(1u8, 1u8), (2, 3), (2, 4), (3, 7)] {
+        for hysteresis in [false, true] {
+            let proto = LbEntryProto {
+                cap_conf: SaturatingCounter::new(threshold, max, hysteresis),
+                stride_conf: SaturatingCounter::new(threshold, max, hysteresis),
+            };
+            let config = LoadBufferConfig { entries: 8, assoc: 1 };
+            let mut lb =
+                PackedLoadBuffer::new(config, proto, HistorySpec::paper_default(), 8);
+            lb.restore_entry(0, 0x400);
+            let mut model = SaturatingCounter::new(threshold, max, hysteresis);
+            lb.set_cap_conf_value(0, model.value());
+            // Walk the counter over every boundary: up to saturation,
+            // one miss (hysteresis drop vs reset), and back up.
+            let script = [true, true, true, true, true, false, true, false, false, true];
+            for correct in script {
+                let mut c = lb.cap_conf(0);
+                assert_eq!(c.value(), model.value());
+                assert_eq!(c.is_confident(), model.is_confident());
+                if correct {
+                    c.on_correct();
+                    model.on_correct();
+                } else {
+                    c.on_incorrect();
+                    model.on_incorrect();
+                }
+                lb.set_cap_conf_value(0, c.value());
+                assert_eq!(lb.cap_conf_value(0), model.value());
+                assert!(lb.cap_conf_value(0) <= max);
+                assert!(u32::from(lb.cap_conf_value(0)) < (1 << bits_for(u64::from(max))));
+            }
+        }
+    }
+}
+
+/// The packed incremental fold tracks the legacy deque fold over
+/// arbitrary push sequences and random specs.
+#[test]
+fn packed_history_tracks_legacy_fold() {
+    check::run("packed_history_tracks_legacy_fold", |rng| {
+        let mut lb = random_lb(rng);
+        let spec = *lb.history_spec();
+        lb.restore_entry(0, 0x400);
+        let mut legacy = HistoryBuffer::new();
+        let addrs = check::vec_of(rng, 1..40, |r| r.gen::<u64>());
+        for a in addrs {
+            lb.hist_push(0, HistHalf::Arch, a);
+            legacy.push(a, &spec);
+            assert_eq!(lb.hist_len(0, HistHalf::Arch), legacy.len());
+            assert_eq!(lb.hist_is_warm(0, HistHalf::Arch), legacy.is_warm(&spec));
+            assert_eq!(lb.hist_fold(0, HistHalf::Arch), legacy.fold(&spec));
+        }
+    });
+}
+
+/// `hist_corrupt_bit` stays in lock-step with the legacy
+/// `HistoryBuffer::corrupt_bit`: same return value, and the same folded
+/// register afterwards — for any slot/bit, including fold-invisible bits.
+#[test]
+fn packed_history_corruption_matches_legacy() {
+    check::run("packed_history_corruption_matches_legacy", |rng| {
+        let mut lb = random_lb(rng);
+        let spec = *lb.history_spec();
+        lb.restore_entry(0, 0x400);
+        let mut legacy = HistoryBuffer::new();
+        for _ in 0..rng.gen_range(0usize..12) {
+            let a = rng.gen::<u64>();
+            lb.hist_push(0, HistHalf::Arch, a);
+            legacy.push(a, &spec);
+        }
+        for _ in 0..8 {
+            let slot = rng.gen::<u32>() as usize;
+            let bit = rng.gen_range(0u32..64);
+            let packed_hit = lb.hist_corrupt_bit(0, HistHalf::Arch, slot, bit);
+            let legacy_hit = legacy.corrupt_bit(slot, bit);
+            assert_eq!(packed_hit, legacy_hit, "corrupt_bit({slot},{bit}) return diverged");
+            if legacy_hit {
+                assert_eq!(
+                    lb.hist_fold(0, HistHalf::Arch),
+                    legacy.fold(&spec),
+                    "fold diverged after corrupt_bit({slot},{bit})"
+                );
+            }
+        }
+    });
+}
+
+/// Speculative-history copy repair mirrors the legacy `copy_from`.
+#[test]
+fn packed_spec_history_copy_matches_arch() {
+    check::run("packed_spec_history_copy_matches_arch", |rng| {
+        let mut lb = random_lb(rng);
+        lb.restore_entry(0, 0x400);
+        for _ in 0..rng.gen_range(0usize..12) {
+            lb.hist_push(0, HistHalf::Arch, rng.gen());
+        }
+        for _ in 0..rng.gen_range(0usize..6) {
+            lb.hist_push(0, HistHalf::Spec, rng.gen());
+        }
+        lb.spec_copy_from_arch(0);
+        assert_eq!(lb.hist_len(0, HistHalf::Spec), lb.hist_len(0, HistHalf::Arch));
+        assert_eq!(
+            lb.hist_fold(0, HistHalf::Spec),
+            lb.hist_fold(0, HistHalf::Arch)
+        );
+        for k in 0..lb.hist_len(0, HistHalf::Arch) {
+            assert_eq!(
+                lb.hist_slot(0, HistHalf::Spec, k),
+                lb.hist_slot(0, HistHalf::Arch, k)
+            );
+        }
+    });
+}
+
+/// Packed LT fields round-trip at exact width, and decoupled PF slots
+/// are independent of the ways.
+#[test]
+fn packed_lt_fields_round_trip_at_exact_width() {
+    check::run("packed_lt_fields_round_trip_at_exact_width", |rng| {
+        let entries = 1usize << rng.gen_range(3u32..9);
+        let assoc = 1usize << rng.gen_range(0u32..3);
+        let pf_mode = match rng.gen_range(0u32..3) {
+            0 => PfMode::Off,
+            1 => PfMode::Inline,
+            _ => PfMode::Decoupled {
+                extra_index_bits: rng.gen_range(0u32..3),
+            },
+        };
+        let config = LinkTableConfig { entries, assoc, pf_mode };
+        let tag_bits = rng.gen_range(0u32..12);
+        let mut lt = PackedLinkTable::new(config, tag_bits);
+
+        let idx = rng.gen_range(0..entries);
+        let tag = rng.gen::<u64>() & mask(tag_bits);
+        lt.restore_entry(idx, tag);
+        let link = rng.gen::<u64>();
+        let pf = rng.gen::<u8>() & 0xF;
+        let primed = rng.gen::<bool>();
+        let lru = rng.gen::<u64>();
+        lt.set_link(idx, link);
+        lt.set_pf(idx, pf);
+        lt.set_pf_primed(idx, primed);
+        lt.set_lru(idx, lru);
+        assert_eq!(lt.tag(idx), tag);
+        assert_eq!(lt.link(idx), link);
+        assert_eq!(lt.pf(idx), pf);
+        assert_eq!(lt.pf_primed(idx), primed);
+        assert_eq!(lt.lru(idx), lru);
+        assert_eq!(lt.occupancy(), 1);
+        assert_eq!(lt.nth_live(0), Some(idx));
+
+        if lt.decoupled_len() > 0 {
+            let s = rng.gen_range(0..lt.decoupled_len());
+            let spf = rng.gen::<u8>() & 0xF;
+            let sprimed = rng.gen::<bool>();
+            lt.set_decoupled_slot(s, spf, sprimed);
+            assert_eq!(lt.decoupled_slot(s), (spf, sprimed));
+            // Way state is untouched by side-table writes.
+            assert_eq!(lt.pf(idx), pf);
+            assert_eq!(lt.link(idx), link);
+        }
+    });
+}

@@ -11,6 +11,7 @@
 use cap_predictor::cap::{CapConfig, CapPredictor};
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::load_buffer::LoadBufferConfig;
+use cap_predictor::packed::PackedHybridPredictor;
 use cap_predictor::stride::{StrideParams, StridePredictor};
 use cap_predictor::types::SharedPredictor;
 use cap_snapshot::{SectionReader, Restorable, SnapshotError};
@@ -24,6 +25,10 @@ pub enum BackendKind {
     Cap,
     /// Enhanced stride (§3.2).
     Stride,
+    /// The hybrid on the bit-packed flat tables — behaviourally
+    /// identical to [`BackendKind::Hybrid`], with a batch predict fast
+    /// path and no allocation on the predict path.
+    PackedHybrid,
 }
 
 impl BackendKind {
@@ -34,6 +39,7 @@ impl BackendKind {
             BackendKind::Hybrid => "hybrid",
             BackendKind::Cap => "cap",
             BackendKind::Stride => "stride",
+            BackendKind::PackedHybrid => "packed-hybrid",
         }
     }
 
@@ -44,6 +50,7 @@ impl BackendKind {
             "hybrid" => Some(BackendKind::Hybrid),
             "cap" => Some(BackendKind::Cap),
             "stride" => Some(BackendKind::Stride),
+            "packed-hybrid" => Some(BackendKind::PackedHybrid),
             _ => None,
         }
     }
@@ -55,6 +62,7 @@ impl BackendKind {
             BackendKind::Hybrid => 0,
             BackendKind::Cap => 1,
             BackendKind::Stride => 2,
+            BackendKind::PackedHybrid => 3,
         }
     }
 
@@ -65,6 +73,7 @@ impl BackendKind {
             0 => Some(BackendKind::Hybrid),
             1 => Some(BackendKind::Cap),
             2 => Some(BackendKind::Stride),
+            3 => Some(BackendKind::PackedHybrid),
             _ => None,
         }
     }
@@ -78,6 +87,9 @@ impl BackendKind {
             BackendKind::Stride => Box::new(StridePredictor::new(
                 LoadBufferConfig::paper_default(),
                 StrideParams::paper_default(),
+            )),
+            BackendKind::PackedHybrid => Box::new(PackedHybridPredictor::new(
+                HybridConfig::paper_default(),
             )),
         }
     }
@@ -95,6 +107,7 @@ impl BackendKind {
             BackendKind::Hybrid => Box::new(HybridPredictor::read_state(r)?),
             BackendKind::Cap => Box::new(CapPredictor::read_state(r)?),
             BackendKind::Stride => Box::new(StridePredictor::read_state(r)?),
+            BackendKind::PackedHybrid => Box::new(PackedHybridPredictor::read_state(r)?),
         })
     }
 }
@@ -107,7 +120,12 @@ mod tests {
 
     #[test]
     fn names_and_tags_roundtrip() {
-        for kind in [BackendKind::Hybrid, BackendKind::Cap, BackendKind::Stride] {
+        for kind in [
+            BackendKind::Hybrid,
+            BackendKind::Cap,
+            BackendKind::Stride,
+            BackendKind::PackedHybrid,
+        ] {
             assert_eq!(BackendKind::parse(kind.name()), Some(kind));
             assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
         }
@@ -117,7 +135,12 @@ mod tests {
 
     #[test]
     fn build_snapshot_restore_preserves_behavior() {
-        for kind in [BackendKind::Hybrid, BackendKind::Cap, BackendKind::Stride] {
+        for kind in [
+            BackendKind::Hybrid,
+            BackendKind::Cap,
+            BackendKind::Stride,
+            BackendKind::PackedHybrid,
+        ] {
             let mut original = kind.build();
             // Train a short stride pattern so there is state to carry.
             for i in 0..64u64 {

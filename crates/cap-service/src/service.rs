@@ -724,11 +724,155 @@ impl Worker {
         }
     }
 
+    /// Whether an envelope can join a predict batch: a deadline-free
+    /// predict-only request. Observes never batch (their predict+update
+    /// pairs must not reorder against each other), and deadline-carrying
+    /// requests keep the per-request budget checks of the scalar path.
+    fn batchable(env: &Envelope) -> bool {
+        env.deadline.is_none() && matches!(env.job, Job::Serve(Request::Predict { .. }))
+    }
+
+    /// Serves a run of deadline-free predict-only envelopes through one
+    /// `predict_batch` call on the active rung — one rung decision, one
+    /// breaker charge, one sandbox, N replies. Each envelope still gets
+    /// exactly one reply.
+    fn serve_predict_batch(&mut self, batch: Vec<Envelope>) {
+        let now = Instant::now();
+        let rung = match self.pin_rung {
+            Some(r) => r,
+            None => {
+                let inputs = LadderInputs {
+                    hybrid_available: self.slots[0].breaker.call_permitted(now),
+                    stride_available: self.slots[1].breaker.call_permitted(now),
+                    queue_depth: self.depth.load(Ordering::Acquire),
+                };
+                self.ladder.reassess(&inputs)
+            }
+        };
+        let ctxs: Vec<LoadContext> = batch
+            .iter()
+            .filter_map(|env| match env.job {
+                Job::Serve(Request::Predict { ip, offset, ghr }) => {
+                    Some(LoadContext::new(ip, offset, ghr))
+                }
+                _ => None,
+            })
+            .collect();
+        debug_assert_eq!(ctxs.len(), batch.len(), "batch must be predict-only");
+
+        let preds = match rung {
+            Rung::Bypass => Some(vec![Prediction::none(); ctxs.len()]),
+            rung => {
+                let slot = &mut self.slots[if rung == Rung::StrideOnly { 1 } else { 0 }];
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut out = Vec::with_capacity(ctxs.len());
+                    slot.backend.predict_batch(&ctxs, &mut out);
+                    out
+                }));
+                match result {
+                    Ok(out) if out.len() == ctxs.len() => {
+                        slot.breaker.on_success(now);
+                        Some(out)
+                    }
+                    // A short answer is a backend bug; treat it like a
+                    // panic so every caller still gets a reply.
+                    Ok(_) | Err(_) => {
+                        slot.breaker.on_failure(now);
+                        None
+                    }
+                }
+            }
+        };
+
+        match preds {
+            Some(preds) => {
+                for (env, pred) in batch.into_iter().zip(preds) {
+                    self.ladder.note_outcome(true);
+                    self.counters.served += 1;
+                    self.counters.served_by_rung[rung.index()] += 1;
+                    self.obs.incr(names::SERVED);
+                    if self.obs.enabled() {
+                        self.obs.record(
+                            names::LATENCY_BY_RUNG[rung.index()],
+                            now.elapsed().as_micros() as u64,
+                        );
+                    }
+                    let _ = env.reply.send(Ok(Reply::Response(Response::Predicted {
+                        addr: pred.addr,
+                        speculate: pred.speculate,
+                        rung,
+                    })));
+                }
+            }
+            None => {
+                let component =
+                    self.slots[if rung == Rung::StrideOnly { 1 } else { 0 }].kind.name();
+                self.counters.backend_panics += 1;
+                self.obs.incr(names::BACKEND_PANIC);
+                self.ladder.note_outcome(false);
+                for env in batch {
+                    let _ = env
+                        .reply
+                        .send(Err(ServiceError::BackendPanicked { component }));
+                }
+            }
+        }
+    }
+
     fn run(mut self, rx: &Receiver<Envelope>) -> WorkerFinal {
+        /// Upper bound on one batch drain — enough to amortise dispatch,
+        /// small enough to keep rung reassessment responsive.
+        const BATCH_MAX: usize = 32;
         let mut drain_rejected = 0u64;
+        let mut pending: std::collections::VecDeque<Envelope> = std::collections::VecDeque::new();
         loop {
-            let Ok(env) = rx.recv() else { break };
-            self.depth.fetch_sub(1, Ordering::AcqRel);
+            let env = if let Some(env) = pending.pop_front() {
+                env
+            } else {
+                let Ok(env) = rx.recv() else { break };
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                env
+            };
+
+            // Batch fast path: a run of deadline-free predict-only
+            // requests at the queue head drains through one
+            // `predict_batch` call. Chaos and drain mode fall back to
+            // the scalar path, whose per-request bookkeeping they need.
+            let env = if Self::batchable(&env)
+                && pending.is_empty()
+                && self.chaos.lock().expect("chaos lock").is_none()
+                && !self
+                    .drain_deadline
+                    .lock()
+                    .expect("drain lock")
+                    .is_some_and(|d| Instant::now() > d)
+            {
+                let mut batch = vec![env];
+                while batch.len() < BATCH_MAX {
+                    match rx.try_recv() {
+                        Ok(next) => {
+                            self.depth.fetch_sub(1, Ordering::AcqRel);
+                            if Self::batchable(&next) {
+                                batch.push(next);
+                            } else {
+                                // Handled right after the batch, in
+                                // arrival order.
+                                pending.push_back(next);
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if batch.len() > 1 {
+                    self.serve_predict_batch(batch);
+                    continue;
+                }
+                batch.pop().expect("batch holds the head envelope")
+            } else {
+                env
+            };
+
             let is_stop = matches!(env.job, Job::Stop);
             let was_draining = self
                 .drain_deadline
@@ -759,6 +903,10 @@ impl Worker {
                 // structured ShuttingDown reply before the worker
                 // exits. (A submit racing the accepting flag can land
                 // an envelope here; it is answered, not dropped.)
+                for tail in pending.drain(..) {
+                    drain_rejected += 1;
+                    let _ = tail.reply.send(Err(ServiceError::ShuttingDown));
+                }
                 while let Ok(tail) = rx.try_recv() {
                     self.depth.fetch_sub(1, Ordering::AcqRel);
                     drain_rejected += 1;
@@ -1279,6 +1427,80 @@ mod tests {
             stats.merged_predictor()
         );
         let _ = service.shutdown(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn predict_floods_drain_in_batches_on_the_packed_backend() {
+        // Many concurrent deadline-free predicts against one worker: the
+        // queue head becomes a run of batchable envelopes, so the worker
+        // drains them through `predict_batch`. The observable contract
+        // stays exactly one valid reply per accepted request.
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            primary: BackendKind::PackedHybrid,
+            ..ServiceConfig::default()
+        };
+        let service = Service::start(config);
+        let handle = service.handle();
+
+        // Train a stride so batched predicts have addresses to produce.
+        for i in 0..100u64 {
+            handle.call(observe(0x400, 0x1000 + i * 8), None).unwrap();
+        }
+
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    let mut answered = 0u64;
+                    let mut with_addr = 0u64;
+                    for _ in 0..200 {
+                        loop {
+                            match h.call(
+                                Request::Predict {
+                                    ip: 0x400,
+                                    offset: 0,
+                                    ghr: 0,
+                                },
+                                None,
+                            ) {
+                                Ok(Response::Predicted { addr, .. }) => {
+                                    answered += 1;
+                                    with_addr += u64::from(addr.is_some());
+                                    break;
+                                }
+                                Ok(other) => panic!("unexpected reply {other:?}"),
+                                Err(ServiceError::Shed { .. }) => continue,
+                                Err(e) => panic!("unexpected error {e:?}"),
+                            }
+                        }
+                    }
+                    (answered, with_addr)
+                })
+            })
+            .collect();
+        let mut answered = 0u64;
+        let mut with_addr = 0u64;
+        for t in threads {
+            let (a, w) = t.join().expect("flood thread");
+            answered += a;
+            with_addr += w;
+        }
+        assert_eq!(answered, 800, "every accepted predict gets exactly one reply");
+        assert_eq!(with_addr, 800, "a trained stride predicts on every rung pass");
+
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.workers[0].served, 900, "100 observes + 800 predicts");
+        assert_eq!(
+            stats.workers[0].breakers[0].component,
+            "packed-hybrid",
+            "primary slot is the packed backend"
+        );
+        // Predict-only traffic records no loads.
+        assert_eq!(stats.merged_predictor().loads, 100);
+        let report = service.shutdown(Duration::from_secs(1));
+        assert_eq!(report.drain_rejected, 0);
     }
 
     #[test]

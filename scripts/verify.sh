@@ -2,20 +2,25 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service|obs]
+# Usage: scripts/verify.sh [all|service|obs|bench]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
 #   obs      just the observability gate: golden stats exports, the
 #            zero-overhead-when-disabled bench check, and the
 #            no-parallel-metric-types grep
+#   bench    just the perf-baseline gate: the packed-vs-legacy
+#            differential, then the baseline bench emitting
+#            BENCH_<git-short-sha>.json and diffing it against the
+#            newest prior baseline (>10% single-predict regression
+#            fails)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service|obs) ;;
-    *) echo "usage: scripts/verify.sh [all|service|obs]" >&2; exit 2 ;;
+    all|service|obs|bench) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs|bench]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -79,6 +84,18 @@ core_gates() {
         echo "ERROR: external dependency reference found in a manifest" >&2
         exit 1
     fi
+
+    step "deprecated drive wrappers: no callers outside their definition"
+    # The one-release run_* compatibility shims must not regrow callers
+    # before removal; cap-predictor also carries #![deny(deprecated)],
+    # this grep covers the crates that don't.
+    if grep -rn 'run_immediate\|run_value_immediate\|run_with_gap\|run_with_wrong_path' \
+        crates/*/src crates/*/tests crates/*/benches crates/*/examples 2>/dev/null \
+        | grep -v '^crates/cap-predictor/src/drive.rs:'; then
+        echo "ERROR: a caller of the deprecated drive::run_* wrappers crept back in" >&2
+        exit 1
+    fi
+    echo "deprecated-wrapper grep: clean"
 }
 
 # The service gate: chaos soak (seeded, bounded), graceful-shutdown
@@ -211,6 +228,91 @@ obs_gate() {
     echo "metric-type grep: clean"
 }
 
+# The perf-baseline gate: prove the packed hot path still predicts
+# bit-identically to the legacy structs, then price it. The baseline
+# bench writes BENCH_<git-short-sha>.json at the repo root (tracked, so
+# every PR extends the perf trajectory); when a prior baseline exists
+# the gate diffs single-predict latency against it and fails on a >10%
+# regression of either the packed or the legacy path.
+bench_gate() {
+    step "bench: packed-vs-legacy differential (release)"
+    cargo test -q --offline --release -p cap-predictor --test packed_differential
+    cargo test -q --offline --release -p cap-faults --test packed_surface
+
+    step "bench: emit tracked baseline JSON"
+    local sha out prev
+    sha=$(git rev-parse --short HEAD)
+    out="BENCH_${sha}.json"
+    prev=$(ls -t BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | head -n 1 || true)
+
+    # Runs the baseline bench, writing $out at the repo root (cargo runs
+    # the bench binary from the crate dir, hence the absolute path) and
+    # sanity-checking the JSON it emits.
+    emit_baseline() {
+        CAP_BENCH_BASELINE_OUT="$PWD/$out" \
+            cargo bench -q --offline -p cap-bench --bench baseline
+        grep -q '"schema": "cap-bench-baseline-v1"' "$out" || {
+            echo "ERROR: $out is not a v1 baseline" >&2
+            exit 1
+        }
+        local key
+        for key in single_predict_legacy_ns single_predict_packed_ns \
+            batch_predict_loads_per_sec p50_ns p99_ns; do
+            grep -q "\"$key\"" "$out" || {
+                echo "ERROR: $out is missing \"$key\"" >&2
+                exit 1
+            }
+        done
+        echo "baseline written: $out"
+    }
+
+    # Returns nonzero if either single-predict latency regressed >10%
+    # vs $prev; prints the comparison either way.
+    diff_baseline() {
+        local field old new ok=0
+        for field in single_predict_packed_ns single_predict_legacy_ns; do
+            old=$(sed -n "s/.*\"$field\": \([0-9.]*\).*/\1/p" "$prev")
+            new=$(sed -n "s/.*\"$field\": \([0-9.]*\).*/\1/p" "$out")
+            if [ -z "$old" ]; then
+                echo "  $field: absent from $prev, recorded as $new ns"
+                continue
+            fi
+            printf '  %-26s %s ns -> %s ns\n' "$field" "$old" "$new"
+            awk -v n="$new" -v o="$old" 'BEGIN { exit !(n <= o * 1.10) }' || {
+                echo "  $field regressed >10% vs $prev"
+                ok=1
+            }
+        done
+        return "$ok"
+    }
+
+    emit_baseline
+    if [ -z "$prev" ]; then
+        echo "no prior BENCH_*.json — nothing to diff against"
+        return 0
+    fi
+    if grep -q '"quick": true' "$prev"; then
+        echo "prior baseline $prev was a quick-mode smoke — skipping the diff"
+        return 0
+    fi
+    step "bench: diff against $prev (>10% single-predict regression fails)"
+    if diff_baseline; then
+        echo "perf diff vs $prev: within budget"
+        return 0
+    fi
+    # Per-process page placement can swing a short latency loop well
+    # past 10% on a shared box; a real regression reproduces in a fresh
+    # process, noise usually doesn't. One retry, then believe the tape.
+    step "bench: regression seen — re-running once to rule out machine noise"
+    emit_baseline
+    if diff_baseline; then
+        echo "perf diff vs $prev: within budget on retry (first run was noise)"
+        return 0
+    fi
+    echo "ERROR: single-predict latency regressed >10% vs $prev in two fresh runs" >&2
+    exit 1
+}
+
 if [ "$GATE" = "all" ]; then
     core_gates
 fi
@@ -219,6 +321,9 @@ if [ "$GATE" = "all" ] || [ "$GATE" = "service" ]; then
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "obs" ]; then
     obs_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "bench" ]; then
+    bench_gate
 fi
 
 echo
