@@ -1,11 +1,13 @@
 //! Bench: the tracked performance baseline for the packed hot path.
 //!
 //! Unlike the figure benches, this target is a *gate input*: it prices
-//! the three numbers the packed-table work is accountable for —
+//! the numbers the packed-table and cluster work are accountable for —
 //! single-predict latency (legacy vs packed), `predict_batch`
-//! throughput, and per-rung service request latency on the packed
-//! backend — and, when `CAP_BENCH_BASELINE_OUT` names a file, writes
-//! them as machine-readable JSON. `scripts/verify.sh bench` snapshots
+//! throughput, per-rung service request latency on the packed
+//! backend, and the router-hop overhead (the same node served directly
+//! vs through the cluster front door) — and, when
+//! `CAP_BENCH_BASELINE_OUT` names a file, writes them as
+//! machine-readable JSON. `scripts/verify.sh bench` snapshots
 //! that JSON as `BENCH_<git-short-sha>.json` and diffs it against the
 //! previous baseline, failing the gate on a >10% single-predict
 //! regression.
@@ -15,6 +17,7 @@
 //! no arrays that need a real parser.
 
 use cap_bench::bench_kit::Criterion;
+use cap_cluster::prelude::{LocalNode, Router, RouterConfig};
 use cap_predictor::drive::ControlState;
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::packed::PackedHybridPredictor;
@@ -217,6 +220,81 @@ fn bench_service(c: &mut Criterion) -> Vec<(&'static str, Duration, Duration)> {
     tails
 }
 
+/// Prices the router hop: one pinned single-worker node answering
+/// predict round-trips over its own socket, then the identical calls
+/// through the cluster front door (hash lookup + breaker permit +
+/// forwarded frame). The delta between the two tails is what a fleet
+/// pays per request for routing. Returns `(direct, via-router)` as
+/// `(p50, p99)` pairs.
+fn bench_cluster(c: &mut Criterion) -> [(Duration, Duration); 2] {
+    let mut group = c.benchmark_group("baseline-cluster");
+    group.sample_size(5);
+
+    let node = LocalNode::start(ServiceConfig {
+        workers: 1,
+        pin_rung: Some(Rung::Hybrid),
+        primary: BackendKind::PackedHybrid,
+        ..ServiceConfig::default()
+    })
+    .expect("start bench node");
+    let mut direct = TcpClient::connect(node.addr()).expect("connect to bench node");
+    for i in 0..1_000u64 {
+        let reply = direct
+            .serve(
+                Request::Observe {
+                    ip: 0x40_1000,
+                    offset: 0,
+                    ghr: 0,
+                    actual: 0x1000 + i * 8,
+                },
+                None,
+            )
+            .expect("unpressured node serves every warmup observe");
+        assert!(matches!(reply, WireResponse::Response(_)));
+    }
+
+    let predict = Request::Predict {
+        ip: 0x40_1000,
+        offset: 0,
+        ghr: 0,
+    };
+    let mut latencies = Vec::with_capacity(REQUESTS);
+    group.bench_function("predict_direct", |b| {
+        b.iter(|| {
+            latencies.clear();
+            for _ in 0..REQUESTS {
+                let start = Instant::now();
+                black_box(direct.serve(predict, None).expect("direct predict"));
+                latencies.push(start.elapsed());
+            }
+        });
+    });
+    latencies.sort_unstable();
+    let direct_tail = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+
+    let router = Router::new(&[node.addr()], RouterConfig::default()).expect("router");
+    group.bench_function("predict_router", |b| {
+        b.iter(|| {
+            latencies.clear();
+            for _ in 0..REQUESTS {
+                let start = Instant::now();
+                black_box(router.call(predict, None).expect("routed predict"));
+                latencies.push(start.elapsed());
+            }
+        });
+    });
+    latencies.sort_unstable();
+    let router_tail = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+
+    for (name, (p50, p99)) in [("direct", direct_tail), ("via router", router_tail)] {
+        println!("  {name:<12} p50 {p50:>9?}   p99 {p99:>9?}");
+    }
+    group.finish();
+    drop(router);
+    node.stop(Duration::from_secs(1)).expect("stop bench node");
+    [direct_tail, router_tail]
+}
+
 fn main() {
     let mut criterion = Criterion::from_args();
     let quick = !std::env::args().any(|a| a == "--bench")
@@ -225,6 +303,7 @@ fn main() {
     let loads = workload();
     bench_predict(&mut criterion, &loads);
     let tails = bench_service(&mut criterion);
+    let [direct, routed] = bench_cluster(&mut criterion);
     criterion.summary();
 
     let ops = loads.len() * REPS;
@@ -244,7 +323,11 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"service\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"cluster_direct_p50_ns\": {},\n  \"cluster_direct_p99_ns\": {},\n  \"cluster_router_p50_ns\": {},\n  \"cluster_router_p99_ns\": {},\n  \"service\": {{\n{}\n  }}\n}}\n",
+        direct.0.as_nanos(),
+        direct.1.as_nanos(),
+        routed.0.as_nanos(),
+        routed.1.as_nanos(),
         rung_lines.join(",\n")
     );
     print!("{json}");

@@ -1,0 +1,64 @@
+//! # cap-cluster — the sharded multi-node prediction fleet
+//!
+//! Composes the per-node robustness primitives the workspace already
+//! has — `cap-service`'s breakers and degradation ladder, bit-identical
+//! `cap-snapshot` restore, `cap-obs` export — into a fleet that
+//! survives node loss:
+//!
+//! - **[`ring`]** — consistent-hash placement of IPs across N nodes,
+//!   with an epoch-stamped routing table. The paper's predictors are
+//!   pure functions of per-IP state, which is exactly what makes an IP
+//!   a clean shard unit: no cross-IP state ever needs to move.
+//! - **[`router`]** — the front door. Forwards over the existing
+//!   length-prefixed TCP protocol, guards each node with a three-state
+//!   breaker fed by health probes, ships warm replicas over
+//!   `OP_SNAPSHOT_PULL`, promotes replacements with a measured drift
+//!   bound, and proves live migrations drift-free with a differential
+//!   twin byte-compare. Maintains the request-accounting invariant
+//!   `accepted == answered + shed + failover + other`.
+//! - **[`node`]** — one reconnecting router→node link with the
+//!   trust-boundary error classification.
+//! - **[`local`]** — in-process nodes (service + TCP server + registry)
+//!   for tests and benches; the chaos soak uses real processes.
+//!
+//! The cardinal rule inherited from `cap-service` scales up one level:
+//! every accepted request terminates in exactly one accounted outcome,
+//! no matter which node dies mid-flight.
+
+pub mod error;
+pub mod local;
+pub mod node;
+pub mod ring;
+pub mod router;
+
+/// Telemetry names the router emits, mirroring [`router::Accounting`]
+/// one for one plus the shipping/probe/epoch counters.
+pub mod names {
+    /// Requests entering the router.
+    pub const ACCEPTED: &str = "cluster.accepted";
+    /// Requests answered with a prediction response.
+    pub const ANSWERED: &str = "cluster.answered";
+    /// Requests a node shed under backpressure.
+    pub const SHED: &str = "cluster.shed";
+    /// Requests refused for node-loss or migration reasons.
+    pub const FAILOVER: &str = "cluster.failover_attributed";
+    /// Every other structured failure.
+    pub const OTHER_ERROR: &str = "cluster.error.other";
+    /// Replica ships completed.
+    pub const SHIP_COUNT: &str = "cluster.ship.count";
+    /// Total replica bytes shipped.
+    pub const SHIP_BYTES: &str = "cluster.ship.bytes";
+    /// Health probes that failed (breaker charged).
+    pub const PROBE_FAIL: &str = "cluster.probe.fail";
+    /// Routing-epoch flips (promotions).
+    pub const EPOCH_FLIP: &str = "cluster.epoch_flip";
+}
+
+/// The working set for fleet callers.
+pub mod prelude {
+    pub use crate::error::ClusterError;
+    pub use crate::local::LocalNode;
+    pub use crate::node::NodeLink;
+    pub use crate::ring::{HashRing, RingConfig, RoutingTable};
+    pub use crate::router::{Accounting, Router, RouterConfig};
+}

@@ -1,0 +1,115 @@
+//! In-process fleet nodes: a [`Service`] plus its TCP front door on a
+//! loopback port, each with its own telemetry registry.
+//!
+//! This is the fleet member used by router tests and the router-hop
+//! bench — behaviorally identical to a `simulate serve` process (same
+//! service, same wire protocol) minus the process boundary. The
+//! multi-process chaos soak uses real processes; everything else gets
+//! the cheap version.
+
+use cap_obs::Registry;
+use cap_service::net::{debug_stats_renderer, ObsExporter, TcpClient, TcpServer};
+use cap_service::service::{Service, ServiceConfig, ShutdownReport};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One in-process node: service + TCP server thread + registry.
+pub struct LocalNode {
+    addr: SocketAddr,
+    join: JoinHandle<ShutdownReport>,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for LocalNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalNode").field("addr", &self.addr).finish()
+    }
+}
+
+impl LocalNode {
+    /// Starts a cold node on a fresh loopback port. The node gets its
+    /// own [`Registry`]; any `obs` already in `config` is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServiceConfig) -> io::Result<Self> {
+        Self::start_with(config, None)
+    }
+
+    /// Starts a node warm-restored from `snapshot` (a shipped replica
+    /// or a migration's final archive).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, plus `InvalidData` when the snapshot does not
+    /// decode under `config`.
+    pub fn start_restored(config: ServiceConfig, snapshot: &[u8]) -> io::Result<Self> {
+        Self::start_with(config, Some(snapshot))
+    }
+
+    fn start_with(mut config: ServiceConfig, snapshot: Option<&[u8]>) -> io::Result<Self> {
+        let registry = Arc::new(Registry::new());
+        config.obs = registry.obs();
+        let service = match snapshot {
+            Some(bytes) => Service::start_restored(config, bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            None => Service::start(config),
+        };
+        let exporter: ObsExporter = {
+            let registry = Arc::clone(&registry);
+            Arc::new(move || registry.snapshot().encode())
+        };
+        let server = TcpServer::bind(("127.0.0.1", 0), service.handle(), debug_stats_renderer())?
+            .with_obs_exporter(exporter);
+        let addr = server.local_addr()?;
+        let join = std::thread::Builder::new()
+            .name(format!("cap-cluster-node-{}", addr.port()))
+            .spawn(move || {
+                let drain = server.run().unwrap_or(Duration::from_millis(500));
+                service.shutdown(drain)
+            })
+            .expect("spawn node thread");
+        Ok(Self {
+            addr,
+            join,
+            registry,
+        })
+    }
+
+    /// The node's TCP address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's telemetry registry (the same one its TCP exporter
+    /// serves).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Graceful stop: shutdown frame over the wire, then join the
+    /// server thread and return its drain report (which carries the
+    /// final warm-restart snapshot).
+    ///
+    /// # Errors
+    ///
+    /// An unreachable or already-stopped node reports the transport
+    /// failure; the thread is still joined.
+    pub fn stop(self, drain: Duration) -> io::Result<ShutdownReport> {
+        let send = TcpClient::connect(self.addr).and_then(|mut c| {
+            c.shutdown(drain)
+                .map(|_| ())
+                .map_err(|e| io::Error::other(e.to_string()))
+        });
+        match self.join.join() {
+            Ok(report) => send.map(|()| report),
+            Err(_) => Err(io::Error::other("node server thread panicked")),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! One router→node link: a lazily-(re)connected TCP client that
+//! classifies every failure for the accounting layer.
+//!
+//! The link owns the *trust boundary* translation: a structured error
+//! frame from the node passes through as [`ClusterError::Remote`] with
+//! its original code; anything transport-shaped — refused connect,
+//! reset mid-call, an undecodable or mismatched reply — collapses to
+//! [`ClusterError::NodeUnavailable`] and drops the cached connection so
+//! the next call reconnects from scratch.
+
+use crate::error::ClusterError;
+use cap_service::net::TcpClient;
+use cap_service::service::{Request, Response};
+use cap_service::wire::WireResponse;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// A reconnecting client for one fleet node.
+#[derive(Debug)]
+pub struct NodeLink {
+    node: usize,
+    addr: SocketAddr,
+    client: Option<TcpClient>,
+}
+
+impl NodeLink {
+    /// A link to node `node` at `addr`. Nothing connects until the
+    /// first call.
+    #[must_use]
+    pub fn new(node: usize, addr: SocketAddr) -> Self {
+        Self {
+            node,
+            addr,
+            client: None,
+        }
+    }
+
+    /// The address this link dials.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Re-points the link (promotion installed a replacement node) and
+    /// drops any cached connection to the old address.
+    pub fn retarget(&mut self, addr: SocketAddr) {
+        self.addr = addr;
+        self.client = None;
+    }
+
+    fn unavailable(&mut self, reason: impl std::fmt::Display) -> ClusterError {
+        self.client = None;
+        ClusterError::NodeUnavailable {
+            node: self.node,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn client(&mut self) -> Result<&mut TcpClient, ClusterError> {
+        if self.client.is_none() {
+            match TcpClient::connect(self.addr) {
+                Ok(c) => self.client = Some(c),
+                Err(e) => return Err(self.unavailable(format_args!("connect: {e}"))),
+            }
+        }
+        Ok(self.client.as_mut().expect("client just installed"))
+    }
+
+    /// Forwards one prediction request.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Remote`] for the node's own structured errors;
+    /// [`ClusterError::NodeUnavailable`] for transport-level death.
+    pub fn serve(
+        &mut self,
+        request: Request,
+        budget: Option<Duration>,
+    ) -> Result<Response, ClusterError> {
+        let node = self.node;
+        match self.client()?.serve(request, budget) {
+            Ok(WireResponse::Response(resp)) => Ok(resp),
+            Ok(WireResponse::Error { code, message }) => {
+                Err(ClusterError::Remote { node, code, message })
+            }
+            Ok(other) => Err(self.unavailable(format_args!("mismatched reply {other:?}"))),
+            Err(e) => Err(self.unavailable(e)),
+        }
+    }
+
+    /// Pulls a live warm-restart archive (replica shipping / the final
+    /// ship of a migration).
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`]; a truncated or lying ship surfaces
+    /// as [`ClusterError::NodeUnavailable`], never a panic.
+    pub fn pull_snapshot(&mut self) -> Result<Vec<u8>, ClusterError> {
+        match self.client()?.pull_snapshot() {
+            Ok(bytes) => Ok(bytes),
+            Err(e) => Err(self.unavailable(e)),
+        }
+    }
+
+    /// Fetches the node's telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn obs_stats(&mut self) -> Result<cap_obs::StatsSnapshot, ClusterError> {
+        match self.client()?.obs_stats() {
+            Ok(snap) => Ok(snap),
+            Err(e) => Err(self.unavailable(e)),
+        }
+    }
+
+    /// A cheap liveness probe (an obs-stats roundtrip — read-only and
+    /// always answerable, even by a node with no exporter).
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn probe(&mut self) -> Result<(), ClusterError> {
+        self.obs_stats().map(|_| ())
+    }
+
+    /// Asks the node to drain under `drain`, snapshot, and exit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn shutdown(&mut self, drain: Duration) -> Result<(), ClusterError> {
+        let result = match self.client()?.shutdown(drain) {
+            Ok(WireResponse::ShutdownAck) => Ok(()),
+            Ok(other) => Err(self.unavailable(format_args!("mismatched reply {other:?}"))),
+            Err(e) => Err(self.unavailable(e)),
+        };
+        // The node is exiting either way; never reuse the connection.
+        self.client = None;
+        result
+    }
+}

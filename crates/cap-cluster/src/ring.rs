@@ -1,0 +1,196 @@
+//! Consistent-hash ring and the epoch-stamped routing table.
+//!
+//! IPs are placed on a 64-bit ring by a splitmix scramble; each node
+//! contributes [`RingConfig::vnodes`] virtual points so the keyspace
+//! splits evenly without coordination. Routing answers are stamped with
+//! the table's **epoch** — a counter bumped on every node promotion —
+//! so concurrent operations can tell pre-flip from post-flip decisions.
+//! The ring itself never changes shape during failover or migration:
+//! a replacement node takes over its predecessor's index, which is what
+//! makes "drain → ship → flip" a pure handoff with no key remapping.
+
+/// Tuning for ring construction.
+#[derive(Debug, Clone, Copy)]
+pub struct RingConfig {
+    /// Virtual points per node. More points → smoother key split at the
+    /// cost of a larger (still tiny) routing array.
+    pub vnodes: usize,
+    /// Seed for point placement; the same seed always yields the same
+    /// ring, so every router instance over a fleet agrees on routing.
+    pub seed: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self {
+            vnodes: 64,
+            seed: 0xC0A5_7A17,
+        }
+    }
+}
+
+/// The splitmix64 finalizer — the same scramble family the service uses
+/// for worker routing, so the two layers hash independently (different
+/// constants) but with the same avalanche quality.
+fn scramble(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fixed consistent-hash ring over node indices `0..nodes`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, node index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Builds the ring. Every instance built from the same `(nodes,
+    /// config)` routes identically.
+    ///
+    /// # Panics
+    ///
+    /// With zero nodes or zero vnodes — an unroutable ring is a
+    /// construction bug, not a runtime condition.
+    #[must_use]
+    pub fn new(nodes: usize, config: RingConfig) -> Self {
+        assert!(nodes >= 1, "a ring needs at least one node");
+        assert!(config.vnodes >= 1, "a node needs at least one point");
+        let mut points = Vec::with_capacity(nodes * config.vnodes);
+        for node in 0..nodes {
+            for v in 0..config.vnodes {
+                let pos = scramble(
+                    config
+                        .seed
+                        .wrapping_add((node as u64) << 32)
+                        .wrapping_add(v as u64),
+                );
+                points.push((pos, node));
+            }
+        }
+        points.sort_unstable();
+        Self { points, nodes }
+    }
+
+    /// Number of nodes the ring routes across.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node owning `ip`: the first ring point at or after the IP's
+    /// scrambled position, wrapping at the top.
+    #[must_use]
+    pub fn node_of(&self, ip: u64) -> usize {
+        let pos = scramble(ip);
+        let i = self.points.partition_point(|&(p, _)| p < pos);
+        self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+}
+
+/// A [`HashRing`] plus the routing **epoch**: bumped on every node
+/// promotion (failover or migration flip), never on plain traffic.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    ring: HashRing,
+    epoch: u64,
+}
+
+impl RoutingTable {
+    /// Starts at epoch 0 over a fresh ring.
+    #[must_use]
+    pub fn new(ring: HashRing) -> Self {
+        Self { ring, epoch: 0 }
+    }
+
+    /// Routes `ip`, returning `(node index, epoch the answer is valid
+    /// for)`.
+    #[must_use]
+    pub fn route(&self, ip: u64) -> (usize, u64) {
+        (self.ring.node_of(ip), self.epoch)
+    }
+
+    /// The current epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records a topology flip (a promotion). Routing is unchanged —
+    /// the new node holds the old index — but every decision after this
+    /// carries the new epoch.
+    pub fn flip_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The underlying ring.
+    #[must_use]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_across_instances() {
+        let a = HashRing::new(5, RingConfig::default());
+        let b = HashRing::new(5, RingConfig::default());
+        for ip in (0..10_000u64).map(|i| 0x400 + i * 0x40) {
+            assert_eq!(a.node_of(ip), b.node_of(ip));
+            assert!(a.node_of(ip) < 5);
+        }
+    }
+
+    #[test]
+    fn keyspace_splits_roughly_evenly() {
+        let ring = HashRing::new(4, RingConfig::default());
+        let mut counts = [0usize; 4];
+        for ip in (0..40_000u64).map(|i| 0x1000 + i * 8) {
+            counts[ring.node_of(ip)] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            // 64 vnodes keeps every node within a loose 2x band of the
+            // fair share — enough to prove the split is real without
+            // making the test a statistics lottery.
+            assert!(
+                (5_000..=20_000).contains(&c),
+                "node {node} owns {c} of 40000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_route_differently() {
+        let a = HashRing::new(4, RingConfig::default());
+        let b = HashRing::new(
+            4,
+            RingConfig {
+                seed: 0xDEAD_BEEF,
+                ..RingConfig::default()
+            },
+        );
+        let moved = (0..10_000u64)
+            .map(|i| 0x400 + i * 0x40)
+            .filter(|&ip| a.node_of(ip) != b.node_of(ip))
+            .count();
+        assert!(moved > 2_000, "only {moved} of 10000 keys moved");
+    }
+
+    #[test]
+    fn epoch_flips_do_not_move_keys() {
+        let mut table = RoutingTable::new(HashRing::new(3, RingConfig::default()));
+        let before: Vec<usize> = (0..1_000u64).map(|ip| table.route(ip).0).collect();
+        assert_eq!(table.epoch(), 0);
+        assert_eq!(table.flip_epoch(), 1);
+        let after: Vec<usize> = (0..1_000u64).map(|ip| table.route(ip).0).collect();
+        assert_eq!(before, after, "a flip changes the epoch, never routing");
+        assert_eq!(table.route(42).1, 1, "answers carry the new epoch");
+    }
+}

@@ -1,0 +1,481 @@
+//! The fleet front door: consistent-hash routing, breaker-guarded
+//! forwarding, replica shipping, failover promotion, and live
+//! migration.
+//!
+//! # Accounting invariant
+//!
+//! Every request accepted by [`Router::call`] terminates in **exactly
+//! one** bucket: `answered`, `shed`, `failover_attributed`, or
+//! `other_error`. The chaos soak proves the identity
+//! `accepted == answered + shed + failover + other` holds across node
+//! kills, promotions, and a full rolling restart — no request is ever
+//! silently lost. The structure that makes it true is simple: `call`
+//! increments `accepted`, delegates to one fallible forward, and
+//! classifies its single outcome; there is no early return between.
+//!
+//! # Failover state machine (per node)
+//!
+//! ```text
+//!        probe ok / call ok                breaker trips
+//!   Up ───────────────────── Up      Up ──────────────────▶ (unavailable)
+//!   Up ──drain_node()──▶ Draining ──promote()──▶ Up   [epoch += 1]
+//!   (unavailable) ──promote(replica)──▶ Up           [epoch += 1]
+//! ```
+//!
+//! "Unavailable" is not a stored state — it is the breaker's opinion,
+//! re-derived on every call, which is what lets a node that recovers on
+//! its own come back with no operator action (half-open probe → close).
+//!
+//! # Drift bound
+//!
+//! A warm replica is the archive from the last [`Router::ship_now`].
+//! The router counts every request forwarded to a node since its last
+//! ship; that counter **is** the prediction drift bound on promotion —
+//! exact, not estimated, because shipping holds the node's link lock,
+//! so no request can slip between "archive pulled" and "counter reset".
+
+use crate::error::ClusterError;
+use crate::node::NodeLink;
+use crate::ring::{HashRing, RingConfig, RoutingTable};
+use cap_obs::{Obs, StatsSnapshot};
+use cap_service::breaker::{BreakerConfig, CircuitBreaker};
+use cap_service::service::{Request, Response};
+use crate::names;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Ring construction (vnodes, placement seed).
+    pub ring: RingConfig,
+    /// Per-node health breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Seed for breaker jitter streams; node `i` uses `seed + i`.
+    pub seed: u64,
+    /// Router-side telemetry sink.
+    pub obs: Obs,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            ring: RingConfig::default(),
+            breaker: BreakerConfig::default(),
+            seed: 0x0C1A_57E5,
+            obs: Obs::off(),
+        }
+    }
+}
+
+/// Whether a node is taking traffic or being migrated away from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Up,
+    Draining,
+}
+
+struct Node {
+    /// The link mutex is the per-node serialization point: forwards,
+    /// ships, drains, and promotions all hold it, which is what makes
+    /// the drain barrier and the drift counter exact.
+    link: Mutex<NodeLink>,
+    state: Mutex<NodeState>,
+    breaker: Mutex<CircuitBreaker>,
+    replica: Mutex<Option<Vec<u8>>>,
+    since_ship: AtomicU64,
+}
+
+/// A point-in-time copy of the router's request accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accounting {
+    /// Requests that entered [`Router::call`].
+    pub accepted: u64,
+    /// Requests answered with a prediction response.
+    pub answered: u64,
+    /// Requests a node shed under backpressure.
+    pub shed: u64,
+    /// Requests refused for node-loss or migration reasons.
+    pub failover_attributed: u64,
+    /// Every other structured failure.
+    pub other_error: u64,
+}
+
+impl Accounting {
+    /// The soak's identity: every accepted request landed in exactly
+    /// one bucket.
+    #[must_use]
+    pub fn balances(&self) -> bool {
+        self.accepted
+            == self.answered + self.shed + self.failover_attributed + self.other_error
+    }
+}
+
+/// The cluster front door. Share via `Arc`; every method takes `&self`.
+pub struct Router {
+    nodes: Vec<Node>,
+    table: Mutex<RoutingTable>,
+    config: RouterConfig,
+    accepted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    failover: AtomicU64,
+    other_error: AtomicU64,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("nodes", &self.nodes.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl Router {
+    /// A router over `addrs` (node index = position in the slice).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::BadTopology`] on an empty fleet.
+    pub fn new(addrs: &[SocketAddr], config: RouterConfig) -> Result<Self, ClusterError> {
+        if addrs.is_empty() {
+            return Err(ClusterError::BadTopology("a fleet needs at least one node".into()));
+        }
+        let nodes = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| Node {
+                link: Mutex::new(NodeLink::new(i, addr)),
+                state: Mutex::new(NodeState::Up),
+                breaker: Mutex::new(CircuitBreaker::new(
+                    config.breaker,
+                    config.seed.wrapping_add(i as u64),
+                )),
+                replica: Mutex::new(None),
+                since_ship: AtomicU64::new(0),
+            })
+            .collect();
+        let table = RoutingTable::new(HashRing::new(addrs.len(), config.ring));
+        Ok(Self {
+            nodes,
+            table: Mutex::new(table),
+            config,
+            accepted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            failover: AtomicU64::new(0),
+            other_error: AtomicU64::new(0),
+        })
+    }
+
+    /// Fleet size.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current routing epoch (bumped by every promotion).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.table.lock().expect("table lock").epoch()
+    }
+
+    /// Which node owns `ip` right now, and under which epoch.
+    #[must_use]
+    pub fn node_for_ip(&self, ip: u64) -> (usize, u64) {
+        self.table.lock().expect("table lock").route(ip)
+    }
+
+    fn node(&self, index: usize) -> Result<&Node, ClusterError> {
+        self.nodes.get(index).ok_or_else(|| {
+            ClusterError::BadTopology(format!(
+                "node {index} out of range (fleet has {})",
+                self.nodes.len()
+            ))
+        })
+    }
+
+    /// Routes and forwards one request. This is the only traffic entry
+    /// point, and it maintains the accounting invariant documented on
+    /// the module.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`ClusterError`]; see [`ClusterError::is_failover`]
+    /// and [`ClusterError::retry_is_exactly_once`] for retry guidance.
+    pub fn call(
+        &self,
+        request: Request,
+        budget: Option<Duration>,
+    ) -> Result<Response, ClusterError> {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.config.obs.incr(names::ACCEPTED);
+        let ip = match request {
+            Request::Observe { ip, .. } | Request::Predict { ip, .. } => ip,
+        };
+        let (index, _epoch) = self.node_for_ip(ip);
+        let outcome = self.forward(index, request, budget);
+        let (counter, name) = match &outcome {
+            Ok(_) => (&self.answered, names::ANSWERED),
+            Err(e) if e.is_shed() => (&self.shed, names::SHED),
+            Err(e) if e.is_failover() => (&self.failover, names::FAILOVER),
+            Err(_) => (&self.other_error, names::OTHER_ERROR),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.config.obs.incr(name);
+        outcome
+    }
+
+    fn forward(
+        &self,
+        index: usize,
+        request: Request,
+        budget: Option<Duration>,
+    ) -> Result<Response, ClusterError> {
+        let node = self.node(index)?;
+        // The link lock is held across the state check *and* the
+        // forward: a drain that flips the state under this same lock
+        // can never interleave between them, so no request slips into a
+        // node after its final migration ship.
+        let mut link = node.link.lock().expect("link lock");
+        if *node.state.lock().expect("state lock") == NodeState::Draining {
+            return Err(ClusterError::Migrating { node: index });
+        }
+        let now = Instant::now();
+        {
+            let mut breaker = node.breaker.lock().expect("breaker lock");
+            if !breaker.call_permitted(now) {
+                return Err(ClusterError::NodeUnavailable {
+                    node: index,
+                    reason: format!("breaker {}", breaker.state(now).name()),
+                });
+            }
+        }
+        let result = link.serve(request, budget);
+        let mut breaker = node.breaker.lock().expect("breaker lock");
+        match &result {
+            Ok(_) => {
+                breaker.on_success(now);
+                node.since_ship.fetch_add(1, Ordering::Relaxed);
+            }
+            // A structured remote error is a *healthy* node saying no
+            // (shed, deadline); only transport death charges the
+            // breaker.
+            Err(ClusterError::Remote { .. }) => {
+                breaker.on_success(now);
+                node.since_ship.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => breaker.on_failure(now),
+        }
+        result
+    }
+
+    /// Ships a fresh warm replica from every `Up` node: pulls a live
+    /// archive over `OP_SNAPSHOT_PULL`, stores it router-side, and
+    /// resets that node's drift counter. Returns per-node archive sizes
+    /// (or the per-node failure — one dead node never blocks the rest).
+    pub fn ship_now(&self) -> Vec<Result<usize, ClusterError>> {
+        (0..self.nodes.len()).map(|i| self.ship_node(i)).collect()
+    }
+
+    fn ship_node(&self, index: usize) -> Result<usize, ClusterError> {
+        let node = self.node(index)?;
+        let mut link = node.link.lock().expect("link lock");
+        if *node.state.lock().expect("state lock") == NodeState::Draining {
+            return Err(ClusterError::Migrating { node: index });
+        }
+        let now = Instant::now();
+        match link.pull_snapshot() {
+            Ok(bytes) => {
+                node.breaker.lock().expect("breaker lock").on_success(now);
+                let len = bytes.len();
+                *node.replica.lock().expect("replica lock") = Some(bytes);
+                // Exact, not racy: the link lock blocks forwards for
+                // the duration of the pull, so every counted request is
+                // inside the archive we just stored.
+                node.since_ship.store(0, Ordering::Relaxed);
+                self.config.obs.incr(names::SHIP_COUNT);
+                self.config.obs.count(names::SHIP_BYTES, len as u64);
+                Ok(len)
+            }
+            Err(e) => {
+                node.breaker.lock().expect("breaker lock").on_failure(now);
+                Err(e)
+            }
+        }
+    }
+
+    /// Probes every node's health (one obs roundtrip each), feeding the
+    /// per-node breakers. Draining nodes are skipped (reported `Ok`).
+    pub fn probe_now(&self) -> Vec<Result<(), ClusterError>> {
+        self.nodes
+            .iter()
+            .map(|node| {
+                let mut link = node.link.lock().expect("link lock");
+                if *node.state.lock().expect("state lock") == NodeState::Draining {
+                    return Ok(());
+                }
+                let now = Instant::now();
+                let result = link.probe();
+                let mut breaker = node.breaker.lock().expect("breaker lock");
+                match &result {
+                    Ok(()) => breaker.on_success(now),
+                    Err(_) => {
+                        breaker.on_failure(now);
+                        self.config.obs.incr(names::PROBE_FAIL);
+                    }
+                }
+                result
+            })
+            .collect()
+    }
+
+    /// The latest shipped replica for a node, with its exact drift (how
+    /// many requests the node answered since that archive was taken).
+    #[must_use]
+    pub fn replica(&self, index: usize) -> Option<(Vec<u8>, u64)> {
+        let node = self.nodes.get(index)?;
+        let bytes = node.replica.lock().expect("replica lock").clone()?;
+        Some((bytes, node.since_ship.load(Ordering::Relaxed)))
+    }
+
+    /// Requests forwarded to `index` since its last ship — the
+    /// prediction-drift bound a promotion from the current replica
+    /// would carry.
+    #[must_use]
+    pub fn drift(&self, index: usize) -> u64 {
+        self.nodes
+            .get(index)
+            .map_or(0, |n| n.since_ship.load(Ordering::Relaxed))
+    }
+
+    /// Begins a live migration of node `index`: gates its traffic
+    /// (subsequent calls get retryable [`ClusterError::Migrating`]),
+    /// then pulls the **final** archive with the node quiesced from the
+    /// router's perspective. Returns that archive — restore a
+    /// replacement from it, then call [`Router::promote`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index, or the final pull failing (the node stays
+    /// gated; promote from the last shipped replica instead).
+    pub fn drain_node(&self, index: usize) -> Result<Vec<u8>, ClusterError> {
+        let node = self.node(index)?;
+        let mut link = node.link.lock().expect("link lock");
+        // Flip under the link lock: any forward already past its state
+        // check finished before we acquired the lock; any forward still
+        // waiting will see Draining.
+        *node.state.lock().expect("state lock") = NodeState::Draining;
+        let bytes = link.pull_snapshot()?;
+        *node.replica.lock().expect("replica lock") = Some(bytes.clone());
+        node.since_ship.store(0, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Sends a drain-and-exit to node `index` (rolling restarts retire
+    /// the old process this way after [`Router::drain_node`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; an already-dead node is fine to ignore.
+    pub fn shutdown_node(&self, index: usize, drain: Duration) -> Result<(), ClusterError> {
+        self.node(index)?
+            .link
+            .lock()
+            .expect("link lock")
+            .shutdown(drain)
+    }
+
+    /// Installs a replacement for node `index` at `addr` and flips the
+    /// routing epoch. With `expect_identical = Some(archive)` this is a
+    /// **zero-drift proof**: the replacement's live state is pulled and
+    /// byte-compared against `archive` (the differential twin) before
+    /// any traffic resumes; a mismatch aborts the promotion with
+    /// [`ClusterError::DriftDetected`] and leaves the node gated. With
+    /// `None` (failover from a stale replica) the measured drift is
+    /// whatever [`Router::drift`] reported at promotion time.
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index, an unreachable replacement, or a failed
+    /// drift proof.
+    pub fn promote(
+        &self,
+        index: usize,
+        addr: SocketAddr,
+        expect_identical: Option<&[u8]>,
+    ) -> Result<u64, ClusterError> {
+        let node = self.node(index)?;
+        let mut link = node.link.lock().expect("link lock");
+        link.retarget(addr);
+        if let Some(expected) = expect_identical {
+            let got = link.pull_snapshot()?;
+            if got != expected {
+                // Leave the node gated (Draining) — promoting a drifted
+                // twin silently would defeat the whole proof.
+                let first_diff = expected
+                    .iter()
+                    .zip(&got)
+                    .position(|(a, b)| a != b)
+                    .filter(|_| expected.len() == got.len());
+                return Err(ClusterError::DriftDetected {
+                    node: index,
+                    expected_len: expected.len(),
+                    got_len: got.len(),
+                    first_diff,
+                });
+            }
+            *node.replica.lock().expect("replica lock") = Some(got);
+        }
+        *node.breaker.lock().expect("breaker lock") = CircuitBreaker::new(
+            self.config.breaker,
+            self.config.seed.wrapping_add(index as u64),
+        );
+        node.since_ship.store(0, Ordering::Relaxed);
+        *node.state.lock().expect("state lock") = NodeState::Up;
+        let epoch = self.table.lock().expect("table lock").flip_epoch();
+        self.config.obs.incr(names::EPOCH_FLIP);
+        Ok(epoch)
+    }
+
+    /// Merges every reachable node's telemetry snapshot into one
+    /// fleet-wide view. Returns the merged snapshot and how many nodes
+    /// reported (draining and unreachable nodes are skipped, never
+    /// fatal — a dashboard must work *during* an incident).
+    #[must_use]
+    pub fn fleet_obs(&self) -> (StatsSnapshot, usize) {
+        let mut merged = StatsSnapshot::default();
+        let mut reporting = 0;
+        for node in &self.nodes {
+            let mut link = node.link.lock().expect("link lock");
+            if *node.state.lock().expect("state lock") == NodeState::Draining {
+                continue;
+            }
+            if let Ok(snap) = link.obs_stats() {
+                merged.merge(&snap);
+                reporting += 1;
+            }
+        }
+        (merged, reporting)
+    }
+
+    /// A point-in-time accounting copy. Taken with no lock: each bucket
+    /// is monotone, so a concurrent snapshot may be mid-request (sum
+    /// short of `accepted`) but can never over-count. Quiesce traffic
+    /// before asserting [`Accounting::balances`].
+    #[must_use]
+    pub fn accounting(&self) -> Accounting {
+        Accounting {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failover_attributed: self.failover.load(Ordering::Relaxed),
+            other_error: self.other_error.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Router integration: a real in-process fleet behind real sockets —
+//! routing, accounting, failover from shipped replicas, zero-drift
+//! live migration, and a lying node on the snapshot-ship path.
+
+use cap_cluster::prelude::*;
+use cap_service::prelude::{Request, Response, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn node_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..ServiceConfig::default()
+    }
+}
+
+fn start_fleet(n: usize) -> (Vec<LocalNode>, Router) {
+    let nodes: Vec<LocalNode> = (0..n)
+        .map(|_| LocalNode::start(node_config()).expect("start node"))
+        .collect();
+    let addrs: Vec<_> = nodes.iter().map(LocalNode::addr).collect();
+    let router = Router::new(&addrs, RouterConfig::default()).expect("router");
+    (nodes, router)
+}
+
+fn observe(ip: u64, actual: u64) -> Request {
+    Request::Observe {
+        ip,
+        offset: 0,
+        ghr: 0,
+        actual,
+    }
+}
+
+/// IPs that the router currently maps to `node`.
+fn ips_owned_by(router: &Router, node: usize, want: usize) -> Vec<u64> {
+    (0..100_000u64)
+        .map(|i| 0x400 + i * 0x40)
+        .filter(|&ip| router.node_for_ip(ip).0 == node)
+        .take(want)
+        .collect()
+}
+
+#[test]
+fn fleet_routes_deterministically_and_accounts_every_request() {
+    let (nodes, router) = start_fleet(3);
+
+    // Train a stride per IP across the whole fleet.
+    let ips: Vec<u64> = (0..60u64).map(|i| 0x1000 + i * 0x100).collect();
+    let mut sent = 0u64;
+    for round in 0..50u64 {
+        for &ip in &ips {
+            let resp = router
+                .call(observe(ip, 0x8000 + ip + round * 8), Some(Duration::from_secs(2)))
+                .expect("routed observe");
+            assert!(matches!(resp, Response::Observed { .. }));
+            sent += 1;
+        }
+    }
+
+    // Same IP, same node, every time; answers span more than one node.
+    let owners: Vec<usize> = ips.iter().map(|&ip| router.node_for_ip(ip).0).collect();
+    assert_eq!(
+        owners,
+        ips.iter().map(|&ip| router.node_for_ip(ip).0).collect::<Vec<_>>()
+    );
+    let distinct: std::collections::BTreeSet<_> = owners.iter().copied().collect();
+    assert!(distinct.len() > 1, "60 IPs must spread across the fleet");
+
+    let acct = router.accounting();
+    assert!(acct.balances(), "accounting must balance: {acct:?}");
+    assert_eq!(acct.accepted, sent);
+    assert_eq!(acct.answered, sent, "a healthy fleet answers everything");
+
+    // The fleet obs view is the sum of the per-node views.
+    let (merged, reporting) = router.fleet_obs();
+    assert_eq!(reporting, 3);
+    assert_eq!(
+        merged.counter(cap_service::names::SERVED),
+        Some(sent),
+        "merged fleet telemetry accounts every served request"
+    );
+
+    for node in nodes {
+        node.stop(Duration::from_millis(200)).expect("stop node");
+    }
+}
+
+#[test]
+fn failover_promotes_the_shipped_replica_with_an_exact_drift_bound() {
+    let (mut nodes, router) = start_fleet(3);
+    let router = Arc::new(router);
+    let victim = 0usize;
+    let ips = ips_owned_by(&router, victim, 8);
+    assert_eq!(ips.len(), 8);
+
+    // Phase 1: traffic, then ship replicas of the whole fleet.
+    for round in 0..30u64 {
+        for &ip in &ips {
+            router.call(observe(ip, 0x5000 + round * 8), None).expect("observe");
+        }
+    }
+    for shipped in router.ship_now() {
+        shipped.expect("every node ships");
+    }
+    assert_eq!(router.drift(victim), 0, "a ship resets the drift counter");
+
+    // Phase 2: exactly 24 more requests land on the victim → drift 24.
+    for round in 0..3u64 {
+        for &ip in &ips {
+            router.call(observe(ip, 0x6000 + round * 8), None).expect("observe");
+        }
+    }
+    assert_eq!(router.drift(victim), 24);
+
+    // The victim dies (stopped out from under the router).
+    let dead = nodes.remove(victim);
+    dead.stop(Duration::from_millis(200)).expect("victim exits");
+
+    // Calls to its shards now fail, attributed to failover — and the
+    // accounting still balances.
+    let before = router.accounting();
+    let err = router.call(observe(ips[0], 0x7000), None).expect_err("dead node");
+    assert!(err.is_failover(), "got {err:?}");
+    let after = router.accounting();
+    assert_eq!(after.failover_attributed, before.failover_attributed + 1);
+    assert!(after.balances());
+
+    // Promote the shipped replica: bounded, measured drift.
+    let (replica, drift) = router.replica(victim).expect("replica was shipped");
+    assert_eq!(drift, 24, "drift bound is exact, not estimated");
+    let replacement = LocalNode::start_restored(node_config(), &replica).expect("warm replica");
+    let epoch_before = router.epoch();
+    let epoch = router
+        .promote(victim, replacement.addr(), None)
+        .expect("promotion");
+    assert_eq!(epoch, epoch_before + 1, "promotion flips the routing epoch");
+
+    // Traffic to the victim's shards flows again, same routing.
+    for &ip in &ips {
+        router.call(observe(ip, 0x9000), None).expect("served by replacement");
+        assert_eq!(router.node_for_ip(ip).0, victim, "routing never moved");
+    }
+    assert!(router.accounting().balances());
+
+    replacement.stop(Duration::from_millis(200)).expect("stop replacement");
+    for node in nodes {
+        node.stop(Duration::from_millis(200)).expect("stop node");
+    }
+}
+
+#[test]
+fn live_migration_is_provably_zero_drift() {
+    let (mut nodes, router) = start_fleet(3);
+    let moving = 1usize;
+    let ips = ips_owned_by(&router, moving, 6);
+
+    for round in 0..40u64 {
+        for &ip in &ips {
+            router.call(observe(ip, 0x4000 + round * 16), None).expect("observe");
+        }
+    }
+
+    // Drain: the final archive is pulled with the node quiesced, and
+    // requests meanwhile get the retryable Migrating error without ever
+    // touching the node.
+    let final_archive = router.drain_node(moving).expect("drain");
+    match router.call(observe(ips[0], 0xA000), None) {
+        Err(ClusterError::Migrating { node }) => assert_eq!(node, moving),
+        other => panic!("expected Migrating, got {other:?}"),
+    }
+    assert!(
+        router.call(observe(ips[0], 0xA000), None).expect_err("still gated").retry_is_exactly_once(),
+        "migration errors must be safe to retry"
+    );
+
+    // A *cold* replacement fails the differential-twin proof...
+    let impostor = LocalNode::start(node_config()).expect("cold node");
+    match router.promote(moving, impostor.addr(), Some(&final_archive)) {
+        Err(ClusterError::DriftDetected { node, .. }) => assert_eq!(node, moving),
+        other => panic!("expected DriftDetected, got {other:?}"),
+    }
+    assert!(
+        matches!(
+            router.call(observe(ips[0], 0xA000), None),
+            Err(ClusterError::Migrating { .. })
+        ),
+        "a failed proof leaves the node gated"
+    );
+
+    // ...and the restored twin passes it: bit-identical, zero drift.
+    let replacement =
+        LocalNode::start_restored(node_config(), &final_archive).expect("restored twin");
+    let epoch = router
+        .promote(moving, replacement.addr(), Some(&final_archive))
+        .expect("zero-drift promotion");
+    assert_eq!(epoch, 1);
+
+    // The old node is retired only after the flip; traffic never gaps.
+    let old = nodes.remove(moving);
+    old.stop(Duration::from_millis(200)).expect("retire old node");
+    for &ip in &ips {
+        router.call(observe(ip, 0xB000), None).expect("served post-flip");
+    }
+    assert!(router.accounting().balances());
+
+    impostor.stop(Duration::from_millis(200)).expect("stop impostor");
+    replacement.stop(Duration::from_millis(200)).expect("stop replacement");
+    for node in nodes {
+        node.stop(Duration::from_millis(200)).expect("stop node");
+    }
+}
+
+#[test]
+fn a_lying_node_cannot_break_the_shipping_path() {
+    // A "node" that answers every frame with a torn reply: announces a
+    // big payload, sends half, hangs up.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind liar");
+    let addr = listener.local_addr().expect("liar addr");
+    let liar = std::thread::spawn(move || {
+        for stream in listener.incoming().take(2) {
+            let Ok(mut stream) = stream else { continue };
+            let mut len = [0u8; 4];
+            use std::io::{Read, Write};
+            if stream.read_exact(&mut len).is_err() {
+                continue;
+            }
+            let announced = u32::from_le_bytes(len) as usize;
+            let mut payload = vec![0u8; announced];
+            let _ = stream.read_exact(&mut payload);
+            // Announce 4 KiB, deliver half, vanish mid-archive.
+            let _ = stream.write_all(&4096u32.to_le_bytes());
+            let _ = stream.write_all(&[0u8; 2048]);
+        }
+    });
+
+    let router = Router::new(&[addr], RouterConfig::default()).expect("router");
+    match router.ship_now().remove(0) {
+        Err(ClusterError::NodeUnavailable { node, .. }) => assert_eq!(node, 0),
+        other => panic!("expected NodeUnavailable, got {other:?}"),
+    }
+    // The call path survives the same liar with a structured error.
+    let err = router.call(observe(1, 2), None).expect_err("liar cannot serve");
+    assert!(err.is_failover());
+    assert!(router.accounting().balances());
+    drop(router);
+    let _ = liar.join();
+}

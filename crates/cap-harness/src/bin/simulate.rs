@@ -37,21 +37,46 @@
 //! wire (the `CAPO` stats frame) and prints sorted counter/gauge tables,
 //! per-rung latency quantiles, and the newest trace events — or the
 //! whole snapshot as JSON with `--json`.
+//!
+//! Cluster mode (the fleet analogue of `serve`):
+//!
+//! ```text
+//! simulate route --nodes <host:port,...> [--addr <host:port>] [--port-file <p>]
+//!          [--ship-every-ms <n>] [--probe-every-ms <n>]
+//!          [--respawn --respawn-dir <dir>] [--workers <n>] [--queue <n>] [--seed <s>]
+//! simulate top --cluster <host:port,...> [--events <n>] [--json]
+//! ```
+//!
+//! `route` is the fleet front door: it speaks the same wire protocol
+//! clients already use, consistent-hash-maps each request's IP onto one
+//! of the `--nodes`, ships warm replicas on a cadence, health-probes
+//! every node into its breaker, and — with `--respawn` — promotes a
+//! freshly spawned `simulate serve` child restored from the latest
+//! replica when a node stops answering. Its stats frame reports the
+//! request-accounting invariant; its obs frame is the merged fleet view.
+//! `top --cluster` produces the same merged dashboard by polling nodes
+//! directly, no router required. `client` rides through node restarts
+//! with connect retry/backoff (`--connect-retries`).
 
+use cap_cluster::prelude::{Router, RouterConfig};
 use cap_harness::checkpoint::{list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint};
 use cap_harness::json::JsonObject;
 use cap_harness::supervisor::{
-    run, PredictorKind, Resume, RunOutcome, SupervisorConfig, SupervisorError,
+    run, with_retry, PredictorKind, Resume, RetryPolicy, RunOutcome, SupervisorConfig,
+    SupervisorError,
 };
 use cap_predictor::drive::ControlState;
 use cap_service::prelude::*;
+use cap_service::wire::{read_frame, write_frame_with_cap, MAX_REPLY_FRAME_LEN};
 use cap_trace::io::{read_trace, write_trace};
 use cap_trace::suites::catalog;
 use cap_trace::TraceEvent;
-use std::path::PathBuf;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Exit status of a `--kill-after` self-destruct (mirrors SIGKILL's 137).
 const KILLED_STATUS: i32 = 137;
@@ -92,8 +117,14 @@ fn usage() -> ! {
     eprintln!("                [--workers <n>] [--queue <n>] [--snapshot-dir <dir>] [--resume]");
     eprintln!("                [--keep <k>] [--seed <s>] [--pin hybrid|stride-only|bypass]");
     eprintln!("       simulate client --addr <host:port> [--trace <path>] [--take <n>]");
-    eprintln!("                [--budget-ms <n>] [--stats] [--shutdown <drain-ms>] [--json]");
-    eprintln!("       simulate top --addr <host:port> [--events <n>] [--json]");
+    eprintln!("                [--budget-ms <n>] [--connect-retries <n>] [--stats]");
+    eprintln!("                [--shutdown <drain-ms>] [--json]");
+    eprintln!("       simulate route --nodes <host:port,...> [--addr <host:port>]");
+    eprintln!("                [--port-file <path>] [--ship-every-ms <n>] [--probe-every-ms <n>]");
+    eprintln!("                [--respawn --respawn-dir <dir>] [--workers <n>] [--queue <n>]");
+    eprintln!("                [--seed <s>]");
+    eprintln!("       simulate top --addr <host:port> | --cluster <host:port,...>");
+    eprintln!("                [--events <n>] [--json]");
     exit(2);
 }
 
@@ -428,16 +459,28 @@ fn cmd_client(mut args: Vec<String>) {
         take_value(&mut args, "--budget-ms").map(|v| parse_number("--budget-ms", &v));
     let want_stats = take_flag(&mut args, "--stats");
     let shutdown_ms = take_value(&mut args, "--shutdown").map(|v| parse_number("--shutdown", &v));
+    let retries = take_value(&mut args, "--connect-retries")
+        .map_or(5, |v| parse_number("--connect-retries", &v)) as u32;
     let json = take_flag(&mut args, "--json");
     if !args.is_empty() {
         eprintln!("unrecognized arguments: {}", args.join(" "));
         usage();
     }
 
-    let mut client = TcpClient::connect(addr.as_str()).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        exit(1);
-    });
+    // Connect rides through node restarts: during a rolling restart the
+    // listener is down for a beat, and a refused connect is transient,
+    // not fatal. Backoff doubles from 50ms; ~5 attempts spans a node's
+    // drain-snapshot-respawn window.
+    let policy = RetryPolicy {
+        attempts: retries.max(1),
+        base_delay: Duration::from_millis(50),
+        max_elapsed: Some(Duration::from_secs(15)),
+    };
+    let mut client = with_retry(&policy, |_| true, || TcpClient::connect(addr.as_str()))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot connect to {addr}: {e}");
+            exit(1);
+        });
 
     let mut sent = 0u64;
     let mut correct = 0u64;
@@ -531,12 +574,12 @@ fn cmd_client(mut args: Vec<String>) {
 }
 
 /// Fetches a running server's telemetry registry over the wire and
-/// prints it `top`-style (or as JSON).
+/// prints it `top`-style (or as JSON). With `--cluster`, polls every
+/// node and merges the snapshots into one fleet dashboard; nodes that
+/// are down are reported and skipped rather than failing the view.
 fn cmd_top(mut args: Vec<String>) {
-    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| {
-        eprintln!("top requires --addr <host:port>");
-        exit(2);
-    });
+    let addr = take_value(&mut args, "--addr");
+    let cluster = take_value(&mut args, "--cluster");
     let events =
         take_value(&mut args, "--events").map_or(16, |v| parse_number("--events", &v) as usize);
     let json = take_flag(&mut args, "--json");
@@ -545,19 +588,385 @@ fn cmd_top(mut args: Vec<String>) {
         usage();
     }
 
-    let mut client = TcpClient::connect(addr.as_str()).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {addr}: {e}");
-        exit(1);
-    });
-    let snapshot = client.obs_stats().unwrap_or_else(|e| {
-        eprintln!("obs-stats failed: {e}");
-        exit(1);
-    });
+    let snapshot = match (addr, cluster) {
+        (Some(addr), None) => {
+            let mut client = TcpClient::connect(addr.as_str()).unwrap_or_else(|e| {
+                eprintln!("cannot connect to {addr}: {e}");
+                exit(1);
+            });
+            client.obs_stats().unwrap_or_else(|e| {
+                eprintln!("obs-stats failed: {e}");
+                exit(1);
+            })
+        }
+        (None, Some(list)) => {
+            let mut merged = cap_obs::StatsSnapshot::default();
+            let mut reporting = 0usize;
+            let mut polled = 0usize;
+            for node in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                polled += 1;
+                let snap = TcpClient::connect(node).and_then(|mut c| {
+                    c.obs_stats()
+                        .map_err(|e| std::io::Error::other(e.to_string()))
+                });
+                match snap {
+                    Ok(snap) => {
+                        merged.merge(&snap);
+                        reporting += 1;
+                    }
+                    Err(e) => eprintln!("node {node} not reporting: {e}"),
+                }
+            }
+            if reporting == 0 {
+                eprintln!("no node of {polled} answered");
+                exit(1);
+            }
+            eprintln!("fleet view: {reporting}/{polled} nodes reporting");
+            merged
+        }
+        _ => {
+            eprintln!("top requires exactly one of --addr <host:port> or --cluster <list>");
+            exit(2);
+        }
+    };
     if json {
         println!("{}", cap_harness::json::obs_snapshot_json(&snapshot).pretty());
     } else {
         print!("{}", snapshot.render_top(events));
     }
+}
+
+/// The fleet's request-accounting ledger plus routing facts, rendered
+/// the same way as the single-node stats frame.
+fn router_stats_json(router: &Router) -> String {
+    let a = router.accounting();
+    JsonObject::new()
+        .u64("accepted", a.accepted)
+        .u64("answered", a.answered)
+        .u64("shed", a.shed)
+        .u64("failover_attributed", a.failover_attributed)
+        .u64("other_error", a.other_error)
+        .bool("balances", a.balances())
+        .u64("epoch", router.epoch())
+        .u64("nodes", router.node_count() as u64)
+        .pretty()
+}
+
+/// One front-door connection: the same framing loop as a node's
+/// `serve_connection`, but requests terminate in the router — `Serve`
+/// forwards by hash ring, `Stats` reports the accounting ledger,
+/// `ObsStats` returns the merged fleet view, and `SnapshotPull` is
+/// refused (the router holds no predictor state).
+fn route_connection(
+    stream: std::net::TcpStream,
+    router: &Router,
+    registry: &cap_obs::Registry,
+    stop: &AtomicBool,
+) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        let response = match WireRequest::decode(&payload) {
+            Ok(WireRequest::Serve { request, budget }) => match router.call(request, budget) {
+                Ok(resp) => WireResponse::Response(resp),
+                Err(e) => WireResponse::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            },
+            Ok(WireRequest::Stats) => WireResponse::Stats(router_stats_json(router)),
+            Ok(WireRequest::ObsStats) => {
+                let (mut merged, _) = router.fleet_obs();
+                merged.merge(&registry.snapshot());
+                WireResponse::ObsStats(merged.encode())
+            }
+            Ok(WireRequest::SnapshotPull) => WireResponse::from_error(&ServiceError::Protocol(
+                "the router holds no predictor state; pull snapshots from a node".into(),
+            )),
+            Ok(WireRequest::Shutdown { .. }) => {
+                stop.store(true, Ordering::Release);
+                WireResponse::ShutdownAck
+            }
+            Err(err) => WireResponse::from_error(&err),
+        };
+        let is_ack = matches!(response, WireResponse::ShutdownAck);
+        if write_frame_with_cap(&mut stream, &response.encode(), MAX_REPLY_FRAME_LEN).is_err() {
+            return;
+        }
+        if is_ack {
+            return;
+        }
+    }
+}
+
+/// Spawns a replacement `simulate serve` child seeded from the latest
+/// shipped replica (when one exists) and promotes it into slot `node`.
+/// Returns the replacement's address.
+fn respawn_node(
+    router: &Router,
+    node: usize,
+    dir: &Path,
+    workers: u64,
+    queue: u64,
+    seed: Option<u64>,
+) -> std::io::Result<SocketAddr> {
+    use std::io::{Error, ErrorKind};
+    let node_dir = dir.join(format!("node-{node}"));
+    std::fs::create_dir_all(&node_dir)?;
+    let port_file = node_dir.join("port");
+    let _ = std::fs::remove_file(&port_file);
+
+    let mut cmd = std::process::Command::new(std::env::current_exe()?);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--queue")
+        .arg(queue.to_string())
+        .arg("--snapshot-dir")
+        .arg(&node_dir)
+        .arg("--port-file")
+        .arg(&port_file)
+        .arg("--keep")
+        .arg("3");
+    if let Some(seed) = seed {
+        cmd.arg("--seed").arg(seed.to_string());
+    }
+    if let Some((replica, drift)) = router.replica(node) {
+        // Warm promotion: publish the replica as the newest checkpoint
+        // so the child's --resume restores it. The drift bound says how
+        // many answered requests the replacement has not seen.
+        let seq = list_checkpoints(&node_dir)
+            .ok()
+            .and_then(|list| list.last().map(|(n, _)| n + 1))
+            .unwrap_or(1);
+        write_checkpoint(&node_dir, seq, &replica)?;
+        cmd.arg("--resume");
+        eprintln!("promoting node {node} from replica (drift bound: {drift} requests)");
+    } else {
+        eprintln!("no replica for node {node}; replacement starts cold");
+    }
+    cmd.stdout(std::process::Stdio::null());
+    // The child is a fleet node in its own right; it outlives the
+    // router and is reaped by whoever shuts the fleet down.
+    let _child = cmd.spawn()?;
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let port = loop {
+        if let Some(port) = std::fs::read_to_string(&port_file)
+            .ok()
+            .and_then(|text| text.trim().parse::<u16>().ok())
+        {
+            break port;
+        }
+        if Instant::now() > deadline {
+            return Err(Error::new(
+                ErrorKind::TimedOut,
+                "replacement node never published its port",
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().expect("loopback addr");
+    router
+        .promote(node, addr, None)
+        .map_err(|e| Error::other(e.to_string()))?;
+    Ok(addr)
+}
+
+/// Hosts the cluster front door: consistent-hash routing across a
+/// fleet of `serve` nodes with background replica shipping, health
+/// probes, and (with `--respawn`) automatic promote-from-replica when a
+/// node goes dark.
+fn cmd_route(mut args: Vec<String>) {
+    let nodes_arg = take_value(&mut args, "--nodes").unwrap_or_else(|| {
+        eprintln!("route requires --nodes <host:port,host:port,...>");
+        exit(2);
+    });
+    let addr = take_value(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let port_file = take_value(&mut args, "--port-file").map(PathBuf::from);
+    let ship_every = Duration::from_millis(
+        take_value(&mut args, "--ship-every-ms").map_or(500, |v| parse_number("--ship-every-ms", &v)),
+    );
+    let probe_every = Duration::from_millis(
+        take_value(&mut args, "--probe-every-ms")
+            .map_or(200, |v| parse_number("--probe-every-ms", &v)),
+    );
+    let respawn = take_flag(&mut args, "--respawn");
+    let respawn_dir = take_value(&mut args, "--respawn-dir").map(PathBuf::from);
+    let workers = take_value(&mut args, "--workers").map_or(2, |v| parse_number("--workers", &v));
+    let queue = take_value(&mut args, "--queue").map_or(64, |v| parse_number("--queue", &v));
+    let seed = take_value(&mut args, "--seed").map(|v| parse_number("--seed", &v));
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+    if respawn && respawn_dir.is_none() {
+        eprintln!("--respawn needs --respawn-dir");
+        exit(2);
+    }
+
+    let mut addrs = Vec::new();
+    for part in nodes_arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match part.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+            Some(a) => addrs.push(a),
+            None => {
+                eprintln!("cannot resolve node address '{part}'");
+                exit(1);
+            }
+        }
+    }
+
+    let registry = Arc::new(cap_obs::Registry::new());
+    let rconfig = RouterConfig {
+        obs: registry.obs(),
+        ..RouterConfig::default()
+    };
+    let router = Arc::new(Router::new(&addrs, rconfig).unwrap_or_else(|e| {
+        eprintln!("router: {e}");
+        exit(1);
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The keeper owns the fleet's background duties on one thread:
+    // probes feed the breakers on their cadence, ships refresh replicas
+    // on theirs, and three consecutive failed probes trigger the
+    // respawn-and-promote path.
+    let keeper = {
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&stop);
+        let respawn_dir = respawn_dir.clone();
+        std::thread::Builder::new()
+            .name("cap-route-keeper".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(50);
+                let mut until_ship = ship_every;
+                let mut until_probe = probe_every;
+                let mut strikes = vec![0u32; router.node_count()];
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    until_probe = until_probe.saturating_sub(tick);
+                    until_ship = until_ship.saturating_sub(tick);
+                    if until_probe == Duration::ZERO {
+                        until_probe = probe_every;
+                        for (i, probed) in router.probe_now().into_iter().enumerate() {
+                            match probed {
+                                Ok(()) => strikes[i] = 0,
+                                Err(e) => {
+                                    strikes[i] += 1;
+                                    if strikes[i] != 3 {
+                                        continue;
+                                    }
+                                    eprintln!("node {i} failed 3 consecutive probes: {e}");
+                                    let Some(dir) = respawn_dir.as_deref() else {
+                                        continue;
+                                    };
+                                    match respawn_node(&router, i, dir, workers, queue, seed) {
+                                        Ok(addr) => {
+                                            strikes[i] = 0;
+                                            eprintln!(
+                                                "node {i} replaced at {addr} (epoch {})",
+                                                router.epoch()
+                                            );
+                                        }
+                                        Err(e) => eprintln!("node {i} respawn failed: {e}"),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if until_ship == Duration::ZERO {
+                        until_ship = ship_every;
+                        for (i, shipped) in router.ship_now().into_iter().enumerate() {
+                            if let Err(e) = shipped {
+                                eprintln!("replica ship from node {i} failed: {e}");
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn keeper thread")
+    };
+
+    let listener = std::net::TcpListener::bind(addr.as_str()).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        exit(1);
+    });
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!("routing on {local} across {} nodes", router.node_count());
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", local.port())) {
+            eprintln!("cannot write {}: {e}", path.display());
+            exit(1);
+        }
+    }
+
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking accept loop");
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let router = Arc::clone(&router);
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name("cap-route-conn".into())
+                        .spawn(move || route_connection(stream, &router, &registry, &stop))
+                        .expect("spawn connection thread"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                stop.store(true, Ordering::Release);
+            }
+        }
+        conns.retain(|c| !c.is_finished());
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+    let _ = keeper.join();
+
+    let acct = router.accounting();
+    println!(
+        "router drained: {} accepted = {} answered + {} shed + {} failover + {} other \
+         (balanced: {}, epoch {})",
+        acct.accepted,
+        acct.answered,
+        acct.shed,
+        acct.failover_attributed,
+        acct.other_error,
+        acct.balances(),
+        router.epoch()
+    );
 }
 
 fn main() {
@@ -571,6 +980,7 @@ fn main() {
         "run" => cmd_run(args),
         "serve" => cmd_serve(args),
         "client" => cmd_client(args),
+        "route" => cmd_route(args),
         "top" => cmd_top(args),
         _ => usage(),
     }

@@ -275,6 +275,49 @@ impl StatsSnapshot {
         })
     }
 
+    /// Merges another snapshot into this one: counters and gauges sum
+    /// by name, histograms merge bucket-wise, trace events interleave
+    /// by sequence number, and drop counts add. This is the fleet
+    /// aggregation primitive — a cluster router merges every node's
+    /// snapshot into one dashboard view. Merging is commutative up to
+    /// event ordering ties, and name tables stay sorted, so a merged
+    /// snapshot re-encodes canonically.
+    pub fn merge(&mut self, other: &Self) {
+        fn merge_sums<V: Copy>(
+            dst: &mut Vec<(String, V)>,
+            src: &[(String, V)],
+            add: impl Fn(V, V) -> V,
+        ) {
+            for (name, value) in src {
+                match dst.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => dst[i].1 = add(dst[i].1, *value),
+                    Err(i) => dst.insert(i, (name.clone(), *value)),
+                }
+            }
+        }
+        merge_sums(&mut self.counters, &other.counters, u64::saturating_add);
+        merge_sums(&mut self.gauges, &other.gauges, i64::saturating_add);
+        for (name, theirs) in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => {
+                    let mut dense = self.histograms[i].1.to_histogram();
+                    dense.merge(&theirs.to_histogram());
+                    self.histograms[i].1 = dense.snapshot();
+                }
+                Err(i) => self.histograms.insert(i, (name.clone(), theirs.clone())),
+            }
+        }
+        // Sequence numbers are per-registry, so cross-node ordering is
+        // only approximate — good enough for a dashboard's "recent
+        // events" pane, which is all the ring feeds.
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.seq);
+        self.dropped_events = self.dropped_events.saturating_add(other.dropped_events);
+    }
+
     /// Value of a counter, if present.
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -398,6 +441,72 @@ mod tests {
             }],
             dropped_events: 4,
         }
+    }
+
+    #[test]
+    fn merge_sums_tables_and_interleaves_events() {
+        let mut a = sample();
+        let b = StatsSnapshot {
+            counters: vec![("a.misses".into(), 7), ("b.new".into(), 1)],
+            gauges: vec![("occupancy".into(), 8), ("queue".into(), 2)],
+            histograms: vec![
+                (
+                    "lat".into(),
+                    HistogramSnapshot {
+                        count: 2,
+                        sum: 500,
+                        min: 40,
+                        max: 460,
+                        buckets: vec![(6, 1), (9, 1)],
+                    },
+                ),
+                (
+                    "other".into(),
+                    HistogramSnapshot {
+                        count: 1,
+                        sum: 10,
+                        min: 10,
+                        max: 10,
+                        buckets: vec![(4, 1)],
+                    },
+                ),
+            ],
+            events: vec![TraceEvent {
+                seq: 2,
+                name: "early".into(),
+                kind: EventKind::Mark,
+                value: 0,
+            }],
+            dropped_events: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("a.hits"), Some(12));
+        assert_eq!(a.counter("a.misses"), Some(10));
+        assert_eq!(a.counter("b.new"), Some(1));
+        assert_eq!(a.gauge("occupancy"), Some(3));
+        assert_eq!(a.gauge("queue"), Some(2));
+        let lat = a.histogram("lat").unwrap();
+        assert_eq!(lat.count, 5);
+        assert_eq!(lat.sum, 800);
+        assert_eq!(lat.min, 40);
+        assert_eq!(lat.max, 460);
+        assert_eq!(a.histogram("other").unwrap().count, 1);
+        assert_eq!(a.events.first().map(|e| e.seq), Some(2), "events sort by seq");
+        assert_eq!(a.dropped_events, 5);
+        // Name tables stay sorted, so the merged snapshot re-encodes
+        // and decodes canonically.
+        assert_eq!(StatsSnapshot::decode(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_tables() {
+        let mut ab = sample();
+        ab.merge(&StatsSnapshot::default());
+        let mut ba = StatsSnapshot::default();
+        ba.merge(&sample());
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.gauges, ba.gauges);
+        assert_eq!(ab.histograms, ba.histograms);
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub mod names {
     pub const LADDER_DEMOTE: &str = "service.ladder.demote";
     /// Degradation-ladder climbs up (towards hybrid).
     pub const LADDER_PROMOTE: &str = "service.ladder.promote";
+    /// Warm restarts that found a snapshot but could not decode it and
+    /// degraded to a cold start (state silently lost without this).
+    pub const SNAPSHOT_DEGRADED_COLD: &str = "service.snapshot.degraded_cold";
     /// Per-rung service latency histograms (microseconds), indexed by
     /// [`crate::ladder::Rung::index`].
     pub const LATENCY_BY_RUNG: [&str; 3] = [

@@ -13,7 +13,10 @@
 
 use crate::error::ServiceError;
 use crate::service::{ServiceHandle, ServiceStats};
-use crate::wire::{read_frame, write_frame, WireRequest, WireResponse};
+use crate::wire::{
+    read_frame, read_frame_with_cap, write_frame, write_frame_with_cap, WireRequest, WireResponse,
+    MAX_REPLY_FRAME_LEN,
+};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -174,6 +177,10 @@ fn serve_connection(
                 Some(export) => export(),
                 None => cap_obs::StatsSnapshot::default().encode(),
             }),
+            Ok(WireRequest::SnapshotPull) => match handle.snapshot_live() {
+                Ok(archive) => WireResponse::Snapshot(archive),
+                Err(err) => WireResponse::from_error(&err),
+            },
             Ok(WireRequest::Shutdown { drain: budget }) => {
                 *drain.lock().expect("drain lock") = budget;
                 stop.store(true, Ordering::Release);
@@ -182,7 +189,9 @@ fn serve_connection(
             Err(err) => WireResponse::from_error(&err),
         };
         let is_ack = matches!(response, WireResponse::ShutdownAck);
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        // Replies get the wide cap: a snapshot archive outgrows the
+        // request cap at real table sizes. Requests stay tightly capped.
+        if write_frame_with_cap(&mut stream, &response.encode(), MAX_REPLY_FRAME_LEN).is_err() {
             return;
         }
         if is_ack {
@@ -212,7 +221,10 @@ impl TcpClient {
     fn roundtrip(&mut self, request: &WireRequest) -> Result<WireResponse, ServiceError> {
         let io_err = |e: io::Error| ServiceError::Protocol(format!("transport: {e}"));
         write_frame(&mut self.stream, &request.encode()).map_err(io_err)?;
-        match read_frame(&mut self.stream).map_err(io_err)? {
+        // Replies are read under the wide cap: snapshot-pull answers
+        // carry whole archives. We chose this server; the asymmetric
+        // trust is deliberate.
+        match read_frame_with_cap(&mut self.stream, MAX_REPLY_FRAME_LEN).map_err(io_err)? {
             Some(payload) => WireResponse::decode(&payload),
             None => Err(ServiceError::Protocol(
                 "server closed the connection mid-request".into(),
@@ -259,6 +271,25 @@ impl TcpClient {
             ))),
             other => Err(ServiceError::Protocol(format!(
                 "unexpected response to obs-stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Pulls a live warm-restart snapshot archive from the server (the
+    /// cluster layer's replica-shipping primitive). The server keeps
+    /// serving; see [`ServiceHandle::snapshot_live`] for consistency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn pull_snapshot(&mut self) -> Result<Vec<u8>, ServiceError> {
+        match self.roundtrip(&WireRequest::SnapshotPull)? {
+            WireResponse::Snapshot(bytes) => Ok(bytes),
+            WireResponse::Error { code, message } => Err(ServiceError::Protocol(format!(
+                "server error {code}: {message}"
+            ))),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response to snapshot-pull: {other:?}"
             ))),
         }
     }

@@ -250,6 +250,7 @@ pub struct ShutdownReport {
 enum Job {
     Serve(Request),
     Stats,
+    Snapshot,
     Stop,
 }
 
@@ -262,6 +263,7 @@ struct Envelope {
 enum Reply {
     Response(Response),
     Stats(Box<WorkerStats>),
+    SnapshotSection(Vec<u8>),
     Stopped,
 }
 
@@ -273,6 +275,8 @@ struct WorkerPort {
 
 struct Inner {
     ports: Vec<WorkerPort>,
+    primary: BackendKind,
+    fallback: BackendKind,
     accepting: AtomicBool,
     drain_deadline: Arc<Mutex<Option<Instant>>>,
     accepted: AtomicU64,
@@ -378,9 +382,11 @@ impl ServiceHandle {
         let rx = self.submit(Job::Serve(request), worker, budget)?;
         match self.wait(&rx, worker)? {
             Reply::Response(r) => Ok(r),
-            Reply::Stats(_) | Reply::Stopped => Err(ServiceError::Protocol(
-                "mismatched reply kind for serve request".into(),
-            )),
+            Reply::Stats(_) | Reply::SnapshotSection(_) | Reply::Stopped => {
+                Err(ServiceError::Protocol(
+                    "mismatched reply kind for serve request".into(),
+                ))
+            }
         }
     }
 
@@ -396,7 +402,7 @@ impl ServiceHandle {
             let rx = self.submit(Job::Stats, w, None)?;
             match self.wait(&rx, w)? {
                 Reply::Stats(s) => workers.push(*s),
-                Reply::Response(_) | Reply::Stopped => {
+                Reply::Response(_) | Reply::SnapshotSection(_) | Reply::Stopped => {
                     return Err(ServiceError::Protocol(
                         "mismatched reply kind for stats request".into(),
                     ))
@@ -409,6 +415,38 @@ impl ServiceHandle {
             rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::Relaxed),
             workers,
         })
+    }
+
+    /// Takes a live warm-restart snapshot without stopping the service:
+    /// one snapshot probe through every worker's queue, so each worker's
+    /// section is serialized between requests and is internally
+    /// consistent. Cross-worker skew is harmless — state is per-IP and
+    /// an IP never spans workers. The bytes are restorable via
+    /// [`Service::start_restored`] under the same config, and are what
+    /// the cluster layer ships to warm replicas over `OP_SNAPSHOT_PULL`.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`ServiceError`] if any worker cannot answer (shed
+    /// under full queues, shutting down, worker lost).
+    pub fn snapshot_live(&self) -> Result<Vec<u8>, ServiceError> {
+        let mut sections = Vec::with_capacity(self.inner.ports.len());
+        for w in 0..self.inner.ports.len() {
+            let rx = self.submit(Job::Snapshot, w, None)?;
+            match self.wait(&rx, w)? {
+                Reply::SnapshotSection(bytes) => sections.push(bytes),
+                Reply::Response(_) | Reply::Stats(_) | Reply::Stopped => {
+                    return Err(ServiceError::Protocol(
+                        "mismatched reply kind for snapshot request".into(),
+                    ))
+                }
+            }
+        }
+        Ok(assemble_service_snapshot(
+            self.inner.primary,
+            self.inner.fallback,
+            sections,
+        ))
     }
 
     /// Replaces every worker's chaos plan. `None` stops injection;
@@ -699,6 +737,19 @@ impl Worker {
                 let _ = env.reply.send(Ok(Reply::Stats(Box::new(stats))));
                 ControlFlow::Continue
             }
+            Job::Snapshot => {
+                // A live snapshot section: the worker serializes its own
+                // state between requests, so the section is internally
+                // consistent without stopping the service. Same layout
+                // as the shutdown snapshot's worker sections.
+                let mut w = SectionWriter::new();
+                for slot in &self.slots {
+                    slot.backend.write_state(&mut w);
+                }
+                self.stats.write_state(&mut w);
+                let _ = env.reply.send(Ok(Reply::SnapshotSection(w.into_bytes())));
+                ControlFlow::Continue
+            }
             Job::Serve(request) => {
                 let outcome = if draining_expired {
                     Err(ServiceError::ShuttingDown)
@@ -972,12 +1023,26 @@ impl Service {
     /// Warm restart when possible, cold start otherwise: a corrupt or
     /// missing snapshot must degrade to a cold start, never to a dead
     /// service. Returns the service and whether the snapshot was used.
+    ///
+    /// Degrading on a *present but bad* snapshot is visible to
+    /// operators: it bumps [`names::SNAPSHOT_DEGRADED_COLD`] and emits
+    /// one structured log line naming the decode failure. A plain cold
+    /// start (no snapshot offered) stays silent — that path is routine.
     #[must_use]
     pub fn restore_or_cold(config: ServiceConfig, snapshot: Option<&[u8]>) -> (Self, bool) {
         if let Some(bytes) = snapshot {
             match Self::start_restored(config.clone(), bytes) {
                 Ok(service) => return (service, true),
-                Err(_) => return (Self::start(config), false),
+                Err(err) => {
+                    config.obs.incr(names::SNAPSHOT_DEGRADED_COLD);
+                    eprintln!(
+                        "{{\"event\":\"{}\",\"snapshot_bytes\":{},\"reason\":{:?}}}",
+                        names::SNAPSHOT_DEGRADED_COLD,
+                        bytes.len(),
+                        err.to_string()
+                    );
+                    return (Self::start(config), false);
+                }
             }
         }
         (Self::start(config), false)
@@ -1074,6 +1139,8 @@ impl Service {
         Ok(Self {
             inner: Arc::new(Inner {
                 ports,
+                primary: config.primary,
+                fallback: config.fallback,
                 accepting: AtomicBool::new(true),
                 drain_deadline,
                 accepted: AtomicU64::new(0),
@@ -1148,24 +1215,40 @@ fn worker_section_name(index: usize) -> String {
     format!("worker-{index}")
 }
 
-fn encode_service_snapshot(config: &ServiceConfig, finals: &[WorkerFinal]) -> Vec<u8> {
+/// Builds a service archive from already-serialized worker sections —
+/// the shared tail of the shutdown snapshot and [`ServiceHandle::snapshot_live`].
+fn assemble_service_snapshot(
+    primary: BackendKind,
+    fallback: BackendKind,
+    sections: Vec<Vec<u8>>,
+) -> Vec<u8> {
     let mut meta = SectionWriter::new();
     meta.put_u32(SERVICE_SNAPSHOT_VERSION);
-    meta.put_u64(finals.len() as u64);
-    meta.put_u8(config.primary.tag());
-    meta.put_u8(config.fallback.tag());
+    meta.put_u64(sections.len() as u64);
+    meta.put_u8(primary.tag());
+    meta.put_u8(fallback.tag());
 
     let mut b = SnapshotBuilder::new();
     b.add_raw(SEC_SERVICE, meta.into_bytes());
-    for (i, f) in finals.iter().enumerate() {
-        let mut w = SectionWriter::new();
-        for slot in &f.slots {
-            slot.backend.write_state(&mut w);
-        }
-        f.stats.write_state(&mut w);
-        b.add_raw(&worker_section_name(i), w.into_bytes());
+    for (i, section) in sections.into_iter().enumerate() {
+        b.add_raw(&worker_section_name(i), section);
     }
     b.finish()
+}
+
+fn encode_service_snapshot(config: &ServiceConfig, finals: &[WorkerFinal]) -> Vec<u8> {
+    let sections = finals
+        .iter()
+        .map(|f| {
+            let mut w = SectionWriter::new();
+            for slot in &f.slots {
+                slot.backend.write_state(&mut w);
+            }
+            f.stats.write_state(&mut w);
+            w.into_bytes()
+        })
+        .collect();
+    assemble_service_snapshot(config.primary, config.fallback, sections)
 }
 
 fn decode_service_snapshot(
@@ -1367,6 +1450,32 @@ mod tests {
     }
 
     #[test]
+    fn live_snapshot_restores_bit_identical_without_stopping_the_donor() {
+        let config = small_config();
+        let service = Service::start(config.clone());
+        let handle = service.handle();
+        for i in 0..300u64 {
+            handle
+                .call(observe(0x400 + (i % 4) * 0x40, 0x2000 + i * 16), None)
+                .unwrap();
+        }
+        let at_snapshot = handle.stats().unwrap().merged_predictor();
+        let live = handle.snapshot_live().expect("live snapshot");
+
+        // The donor keeps serving after the snapshot — it never stopped.
+        handle.call(observe(0x400, 0x9000), None).unwrap();
+
+        let twin = Service::start_restored(config, &live).expect("restores");
+        let twin_stats = twin.handle().stats().unwrap().merged_predictor();
+        assert_eq!(
+            twin_stats, at_snapshot,
+            "live snapshot must capture the exact state at snapshot time"
+        );
+        let _ = twin.shutdown(Duration::from_millis(100));
+        let _ = service.shutdown(Duration::from_millis(100));
+    }
+
+    #[test]
     fn corrupt_snapshot_falls_back_to_cold_start() {
         let config = small_config();
         let (service, restored) = Service::restore_or_cold(config.clone(), Some(b"garbage"));
@@ -1385,6 +1494,31 @@ mod tests {
             Err(ServiceError::BadSnapshot(why)) => assert!(why.contains("workers")),
             other => panic!("expected BadSnapshot, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degrading_to_cold_start_is_counted_not_silent() {
+        let registry = Arc::new(cap_obs::Registry::new());
+        let mut config = small_config();
+        config.obs = registry.obs();
+
+        // No snapshot offered: routine cold start, no degradation count.
+        let (cold, used) = Service::restore_or_cold(config.clone(), None);
+        assert!(!used);
+        let _ = cold.shutdown(Duration::from_millis(100));
+        assert_eq!(
+            registry.snapshot().counter(names::SNAPSHOT_DEGRADED_COLD),
+            None
+        );
+
+        // A present-but-corrupt snapshot bumps the counter.
+        let (service, used) = Service::restore_or_cold(config, Some(b"not an archive"));
+        assert!(!used);
+        let _ = service.shutdown(Duration::from_millis(100));
+        assert_eq!(
+            registry.snapshot().counter(names::SNAPSHOT_DEGRADED_COLD),
+            Some(1)
+        );
     }
 
     #[test]

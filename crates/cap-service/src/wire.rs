@@ -8,10 +8,16 @@
 //! [`MAX_FRAME_LEN`]; a peer announcing a larger payload is cut off
 //! before any allocation happens.
 //!
-//! Request opcodes: `1` observe, `2` predict, `3` stats, `4` shutdown,
-//! `5` obs-stats (the binary [`cap_obs::StatsSnapshot`] frame).
-//! Response status: `0` ok (payload follows), otherwise a
-//! [`ServiceError::code`] with a human-readable message.
+//! Every payload opens with a protocol **version byte**
+//! ([`WIRE_VERSION`]); a peer speaking a different protocol revision is
+//! refused with a structured error naming both versions instead of
+//! being misparsed. Request opcodes: `1` observe, `2` predict, `3`
+//! stats, `4` shutdown, `5` obs-stats (the binary
+//! [`cap_obs::StatsSnapshot`] frame), `6` snapshot-pull (a live
+//! warm-restart archive of the whole service — the cluster layer's
+//! replica-shipping primitive). Response status: `0` ok (payload
+//! follows), otherwise a [`ServiceError::code`] with a human-readable
+//! message.
 
 use crate::error::ServiceError;
 use crate::ladder::Rung;
@@ -20,9 +26,21 @@ use cap_snapshot::{SectionReader, SectionWriter};
 use std::io::{Read, Write};
 use std::time::Duration;
 
-/// Hard ceiling on one frame's payload (1 MiB — stats JSON for any
-/// plausible worker count fits with orders of magnitude to spare).
+/// Protocol revision spoken by this build. Bump on any frame-layout
+/// change; decoders refuse other versions with a structured error.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on one *request* frame's payload (1 MiB — every
+/// request is a few dozen bytes; the cap exists purely to bound what a
+/// hostile peer can make the server allocate).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Ceiling on one *response* frame as read by a client. Larger than
+/// the request cap because a snapshot-pull reply carries a whole
+/// warm-restart archive (hundreds of KiB per worker at the paper's
+/// table sizes). Servers never read frames this large — only clients,
+/// from servers they chose to connect to.
+pub const MAX_REPLY_FRAME_LEN: usize = 64 << 20;
 
 const SECTION: &str = "wire";
 
@@ -31,6 +49,7 @@ const OP_PREDICT: u8 = 2;
 const OP_STATS: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
 const OP_OBS: u8 = 5;
+const OP_SNAPSHOT_PULL: u8 = 6;
 
 const STATUS_OK: u8 = 0;
 
@@ -50,6 +69,9 @@ pub enum WireRequest {
     /// Fetch the telemetry registry as an encoded
     /// [`cap_obs::StatsSnapshot`] frame.
     ObsStats,
+    /// Fetch a live warm-restart snapshot of the whole service without
+    /// stopping it (the cluster layer ships these to warm replicas).
+    SnapshotPull,
     /// Drain under this budget, snapshot, and exit.
     Shutdown {
         /// Drain budget granted to in-flight requests.
@@ -68,6 +90,10 @@ pub enum WireResponse {
     /// [`cap_obs::StatsSnapshot::encode`]. Kept as bytes at this layer
     /// so the wire codec never partially re-interprets the inner frame.
     ObsStats(Vec<u8>),
+    /// A live warm-restart archive answering
+    /// [`WireRequest::SnapshotPull`]. Opaque bytes at this layer for
+    /// the same reason as `ObsStats`.
+    Snapshot(Vec<u8>),
     /// Acknowledges a shutdown request; the connection closes after.
     ShutdownAck,
     /// Structured failure: a [`ServiceError::code`] plus its message.
@@ -77,6 +103,16 @@ pub enum WireResponse {
         /// Display rendering of the error.
         message: String,
     },
+}
+
+fn check_version(found: u8) -> Result<(), ServiceError> {
+    if found == WIRE_VERSION {
+        Ok(())
+    } else {
+        Err(ServiceError::Protocol(format!(
+            "peer speaks wire version {found}, this build speaks {WIRE_VERSION}"
+        )))
+    }
 }
 
 fn budget_ms(budget: Option<Duration>) -> u32 {
@@ -92,6 +128,7 @@ impl WireRequest {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = SectionWriter::new();
+        w.put_u8(WIRE_VERSION);
         match self {
             WireRequest::Serve {
                 request:
@@ -122,6 +159,7 @@ impl WireRequest {
             }
             WireRequest::Stats => w.put_u8(OP_STATS),
             WireRequest::ObsStats => w.put_u8(OP_OBS),
+            WireRequest::SnapshotPull => w.put_u8(OP_SNAPSHOT_PULL),
             WireRequest::Shutdown { drain } => {
                 w.put_u8(OP_SHUTDOWN);
                 w.put_u32(u32::try_from(drain.as_millis()).unwrap_or(u32::MAX));
@@ -139,6 +177,7 @@ impl WireRequest {
     pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
         let proto = |e: &dyn std::fmt::Display| ServiceError::Protocol(e.to_string());
         let mut r = SectionReader::new(payload, SECTION);
+        check_version(r.take_u8("wire version").map_err(|e| proto(&e))?)?;
         let op = r.take_u8("opcode").map_err(|e| proto(&e))?;
         let decoded = match op {
             OP_OBSERVE => {
@@ -166,6 +205,7 @@ impl WireRequest {
             }
             OP_STATS => WireRequest::Stats,
             OP_OBS => WireRequest::ObsStats,
+            OP_SNAPSHOT_PULL => WireRequest::SnapshotPull,
             OP_SHUTDOWN => WireRequest::Shutdown {
                 drain: Duration::from_millis(u64::from(
                     r.take_u32("drain").map_err(|e| proto(&e))?,
@@ -207,6 +247,7 @@ impl WireResponse {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = SectionWriter::new();
+        w.put_u8(WIRE_VERSION);
         match self {
             WireResponse::Response(Response::Observed {
                 addr,
@@ -243,6 +284,12 @@ impl WireResponse {
                 w.put_len(bytes.len());
                 w.put_raw(bytes);
             }
+            WireResponse::Snapshot(bytes) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_SNAPSHOT_PULL);
+                w.put_len(bytes.len());
+                w.put_raw(bytes);
+            }
             WireResponse::ShutdownAck => {
                 w.put_u8(STATUS_OK);
                 w.put_u8(OP_SHUTDOWN);
@@ -263,6 +310,7 @@ impl WireResponse {
     pub fn decode(payload: &[u8]) -> Result<Self, ServiceError> {
         let proto = |e: &dyn std::fmt::Display| ServiceError::Protocol(e.to_string());
         let mut r = SectionReader::new(payload, SECTION);
+        check_version(r.take_u8("wire version").map_err(|e| proto(&e))?)?;
         let status = r.take_u8("status").map_err(|e| proto(&e))?;
         let decoded = if status == STATUS_OK {
             match r.take_u8("ok kind").map_err(|e| proto(&e))? {
@@ -282,6 +330,11 @@ impl WireResponse {
                     let len = r.take_len(1, "obs frame").map_err(|e| proto(&e))?;
                     let bytes = r.take_raw(len, "obs frame").map_err(|e| proto(&e))?;
                     WireResponse::ObsStats(bytes.to_vec())
+                }
+                OP_SNAPSHOT_PULL => {
+                    let len = r.take_len(1, "snapshot archive").map_err(|e| proto(&e))?;
+                    let bytes = r.take_raw(len, "snapshot archive").map_err(|e| proto(&e))?;
+                    WireResponse::Snapshot(bytes.to_vec())
                 }
                 OP_SHUTDOWN => WireResponse::ShutdownAck,
                 other => {
@@ -316,10 +369,21 @@ impl WireResponse {
 ///
 /// Propagates I/O errors; refuses payloads over [`MAX_FRAME_LEN`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    if payload.len() > MAX_FRAME_LEN {
+    write_frame_with_cap(w, payload, MAX_FRAME_LEN)
+}
+
+/// [`write_frame`] with an explicit payload cap. Servers answering a
+/// snapshot-pull use [`MAX_REPLY_FRAME_LEN`] here; everything else
+/// stays under the request cap.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses payloads over `cap`.
+pub fn write_frame_with_cap(w: &mut impl Write, payload: &[u8], cap: usize) -> std::io::Result<()> {
+    if payload.len() > cap {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame payload {} exceeds cap {MAX_FRAME_LEN}", payload.len()),
+            format!("frame payload {} exceeds cap {cap}", payload.len()),
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -335,6 +399,19 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// Propagates I/O errors; refuses announced lengths over
 /// [`MAX_FRAME_LEN`] before allocating.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    read_frame_with_cap(r, MAX_FRAME_LEN)
+}
+
+/// [`read_frame`] with an explicit cap on the announced length.
+/// Clients reading replies (which may carry a whole snapshot archive)
+/// pass [`MAX_REPLY_FRAME_LEN`]; servers reading requests keep the
+/// tight [`MAX_FRAME_LEN`] bound against hostile peers.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses announced lengths over `cap` before
+/// allocating.
+pub fn read_frame_with_cap(r: &mut impl Read, cap: usize) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -348,10 +425,10 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         filled += n;
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME_LEN {
+    if len > cap {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("peer announced frame of {len} bytes, cap {MAX_FRAME_LEN}"),
+            format!("peer announced frame of {len} bytes, cap {cap}"),
         ));
     }
     let mut payload = vec![0u8; len];
@@ -394,6 +471,7 @@ mod tests {
         });
         roundtrip_request(&WireRequest::Stats);
         roundtrip_request(&WireRequest::ObsStats);
+        roundtrip_request(&WireRequest::SnapshotPull);
         roundtrip_request(&WireRequest::Shutdown {
             drain: Duration::from_millis(500),
         });
@@ -416,6 +494,7 @@ mod tests {
         roundtrip_response(&WireResponse::ObsStats(
             cap_obs::StatsSnapshot::default().encode(),
         ));
+        roundtrip_response(&WireResponse::Snapshot(vec![0xCA, 0x9A, 0x00, 0x01]));
         roundtrip_response(&WireResponse::ShutdownAck);
         roundtrip_response(&WireResponse::from_error(&ServiceError::Shed {
             capacity: 64,
@@ -469,6 +548,66 @@ mod tests {
             WireResponse::decode(&[]),
             Err(ServiceError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn wrong_wire_version_is_refused_by_name() {
+        let mut req = WireRequest::SnapshotPull.encode();
+        assert_eq!(req[0], WIRE_VERSION);
+        req[0] = WIRE_VERSION + 1;
+        match WireRequest::decode(&req) {
+            Err(ServiceError::Protocol(msg)) => {
+                assert!(msg.contains("wire version"), "got: {msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut resp = WireResponse::ShutdownAck.encode();
+        resp[0] = 0;
+        assert!(matches!(
+            WireResponse::decode(&resp),
+            Err(ServiceError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_reply_is_a_protocol_error() {
+        // A snapshot ship torn mid-archive must decode to a structured
+        // error, never a panic or a short read silently accepted.
+        let good = WireResponse::Snapshot(vec![7u8; 64]).encode();
+        for cut in [good.len() - 1, good.len() - 32, 3] {
+            assert!(matches!(
+                WireResponse::decode(&good[..cut]),
+                Err(ServiceError::Protocol(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn reply_cap_admits_large_snapshots_but_not_monsters() {
+        let mut buf = Vec::new();
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        // Over the request cap: refused by the default writer...
+        assert!(write_frame(&mut buf, &big).is_err());
+        // ...but fine under the reply cap, and readable back.
+        write_frame_with_cap(&mut buf, &big, MAX_REPLY_FRAME_LEN).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame_with_cap(&mut cursor, MAX_REPLY_FRAME_LEN)
+                .unwrap()
+                .unwrap()
+                .len(),
+            big.len()
+        );
+        // An announced length over even the reply cap is still refused
+        // before any allocation happens.
+        let mut evil =
+            std::io::Cursor::new(((MAX_REPLY_FRAME_LEN + 1) as u32).to_le_bytes().to_vec());
+        assert_eq!(
+            read_frame_with_cap(&mut evil, MAX_REPLY_FRAME_LEN)
+                .unwrap_err()
+                .kind(),
+            std::io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

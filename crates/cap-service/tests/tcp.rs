@@ -2,7 +2,7 @@
 //! service, exercised by real clients — including a hostile one.
 
 use cap_service::prelude::*;
-use cap_service::wire::{write_frame, MAX_FRAME_LEN};
+use cap_service::wire::{write_frame, MAX_FRAME_LEN, WIRE_VERSION};
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -164,13 +164,64 @@ fn server_without_exporter_answers_with_an_empty_snapshot() {
 }
 
 #[test]
+fn snapshot_pull_over_tcp_restores_a_live_twin() {
+    let (addr, join) = spawn_server();
+    let mut client = TcpClient::connect(addr).expect("connect");
+    for i in 0..250u64 {
+        client
+            .serve(
+                Request::Observe {
+                    ip: 0x400 + (i % 4) * 0x40,
+                    offset: 0,
+                    ghr: 0,
+                    actual: 0x8000 + i * 8,
+                },
+                Some(Duration::from_secs(1)),
+            )
+            .expect("observe over tcp");
+    }
+
+    // Pull a live archive; the server keeps serving afterwards.
+    let archive = client.pull_snapshot().expect("snapshot pull");
+    assert!(!archive.is_empty());
+    client
+        .serve(
+            Request::Predict {
+                ip: 0x400,
+                offset: 0,
+                ghr: 0,
+            },
+            None,
+        )
+        .expect("server still serves after a pull");
+
+    // The pulled bytes start a twin whose state matches the donor at
+    // pull time.
+    let twin = Service::start_restored(
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            ..ServiceConfig::default()
+        },
+        &archive,
+    )
+    .expect("pulled archive restores");
+    let loads = twin.handle().stats().unwrap().merged_predictor().loads;
+    assert_eq!(loads, 250, "twin carries every observe up to the pull");
+    let _ = twin.shutdown(Duration::from_millis(100));
+
+    let _ = client.shutdown(Duration::from_millis(100));
+    let _ = join.join();
+}
+
+#[test]
 fn hostile_peers_get_structured_errors_not_crashes() {
     let (addr, join) = spawn_server();
 
-    // Unknown opcode: a structured protocol error comes back and the
-    // connection stays usable.
+    // Unknown opcode (behind a valid version byte): a structured
+    // protocol error comes back and the connection stays usable.
     let mut stream = TcpStream::connect(addr).expect("connect raw");
-    write_frame(&mut stream, &[0xEE, 1, 2, 3]).expect("send junk opcode");
+    write_frame(&mut stream, &[WIRE_VERSION, 0xEE, 1, 2, 3]).expect("send junk opcode");
     let payload = cap_service::wire::read_frame(&mut stream)
         .expect("read")
         .expect("a reply, not a hangup");
@@ -178,6 +229,19 @@ fn hostile_peers_get_structured_errors_not_crashes() {
         WireResponse::Error { code, message } => {
             assert_eq!(code, ServiceError::Protocol(String::new()).code());
             assert!(message.contains("opcode"), "got {message}");
+        }
+        resp => panic!("unexpected response {resp:?}"),
+    }
+
+    // Wrong protocol version: refused by name, same connection usable.
+    write_frame(&mut stream, &[WIRE_VERSION + 1, 2, 0, 0, 0, 0]).expect("send wrong version");
+    let payload = cap_service::wire::read_frame(&mut stream)
+        .expect("read")
+        .expect("a reply, not a hangup");
+    match WireResponse::decode(&payload).expect("decodable error") {
+        WireResponse::Error { code, message } => {
+            assert_eq!(code, ServiceError::Protocol(String::new()).code());
+            assert!(message.contains("wire version"), "got {message}");
         }
         resp => panic!("unexpected response {resp:?}"),
     }

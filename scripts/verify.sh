@@ -2,13 +2,16 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service|obs|bench]
+# Usage: scripts/verify.sh [all|service|obs|cluster|bench]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
 #   obs      just the observability gate: golden stats exports, the
 #            zero-overhead-when-disabled bench check, and the
 #            no-parallel-metric-types grep
+#   cluster  just the fleet gate: router crate tests, the multi-process
+#            chaos soak (seeded kills + rolling restart vs control),
+#            and a scripted 3-node kill-and-promote smoke
 #   bench    just the perf-baseline gate: the packed-vs-legacy
 #            differential, then the baseline bench emitting
 #            BENCH_<git-short-sha>.json and diffing it against the
@@ -19,8 +22,8 @@ cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service|obs|bench) ;;
-    *) echo "usage: scripts/verify.sh [all|service|obs|bench]" >&2; exit 2 ;;
+    all|service|obs|cluster|bench) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|bench]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -228,6 +231,120 @@ obs_gate() {
     echo "metric-type grep: clean"
 }
 
+# The cluster gate: the sharded fleet's robustness contracts.
+#   1. Router crate tests — ring placement, request accounting,
+#      failover from shipped replicas, zero-drift live migration, and
+#      a hostile peer on the snapshot-ship path.
+#   2. The multi-process chaos soak — real serve processes, seeded
+#      SIGKILLs mid-traffic with exact request accounting, and a full
+#      rolling restart proved bit-identical to an unrestarted control
+#      fleet.
+#   3. A scripted end-to-end smoke — 3 nodes behind the router front
+#      door, one killed under traffic, the keeper promoting a respawned
+#      replacement from its shipped replica, the ledger still balanced
+#      and the fleet dashboard still merging.
+cluster_gate() {
+    step "cluster: router crate tests (ring, accounting, failover, migration)"
+    cargo test -q --offline --release -p cap-cluster
+
+    step "cluster: multi-process chaos soak + rolling-restart differential"
+    cargo test -q --offline --release -p cap-harness --test cluster_soak
+
+    step "cluster: scripted 3-node fleet, kill-and-promote under traffic"
+    local dir="$SMOKE_DIR/cluster"
+    mkdir -p "$dir"
+    "${SIMULATE[@]}" gen --out "$dir/trace.txt" --loads 6000
+
+    local pids=() addrs=() i
+    for i in 1 2 3; do
+        rm -f "$dir/port$i"
+        "${SIMULATE[@]}" serve --addr 127.0.0.1:0 --port-file "$dir/port$i" \
+            --workers 2 --snapshot-dir "$dir/node$i" > "$dir/serve$i.log" 2>&1 &
+        pids+=($!)
+    done
+    for i in 1 2 3; do
+        for _ in $(seq 1 100); do [ -s "$dir/port$i" ] && break; sleep 0.1; done
+        [ -s "$dir/port$i" ] || {
+            echo "ERROR: node $i never published its port" >&2
+            cat "$dir/serve$i.log" >&2
+            exit 1
+        }
+        addrs+=("127.0.0.1:$(cat "$dir/port$i")")
+    done
+
+    rm -f "$dir/rport"
+    "${SIMULATE[@]}" route --nodes "$(IFS=,; echo "${addrs[*]}")" \
+        --port-file "$dir/rport" --respawn --respawn-dir "$dir/spawned" \
+        --ship-every-ms 200 --probe-every-ms 100 > "$dir/route.log" 2>&1 &
+    local route_pid=$!
+    for _ in $(seq 1 100); do [ -s "$dir/rport" ] && break; sleep 0.1; done
+    [ -s "$dir/rport" ] || {
+        echo "ERROR: router never published its port" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    local raddr="127.0.0.1:$(cat "$dir/rport")"
+
+    "${SIMULATE[@]}" client --addr "$raddr" --trace "$dir/trace.txt" \
+        --take 3000 --json > "$dir/replay1.json"
+    grep -q '"sent": 3000' "$dir/replay1.json" || {
+        echo "ERROR: fleet replay did not send all 3000 loads" >&2
+        exit 1
+    }
+    sleep 0.5  # let a replica ship land before the kill
+    kill -9 "${pids[0]}"
+    for _ in $(seq 1 100); do
+        grep -q 'replaced at' "$dir/route.log" && break
+        sleep 0.1
+    done
+    grep -q 'promoting node 0 from replica' "$dir/route.log" || {
+        echo "ERROR: keeper never promoted a replacement from the replica" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    "${SIMULATE[@]}" client --addr "$raddr" --trace "$dir/trace.txt" \
+        --take 3000 --connect-retries 8 --stats > "$dir/after.json"
+    grep -q '"balances": true' "$dir/after.json" || {
+        echo "ERROR: router accounting does not balance after the kill" >&2
+        cat "$dir/after.json" >&2
+        exit 1
+    }
+    grep -q '"epoch": 1' "$dir/after.json" || {
+        echo "ERROR: promotion did not flip the routing epoch" >&2
+        cat "$dir/after.json" >&2
+        exit 1
+    }
+    "${SIMULATE[@]}" top --cluster "$(IFS=,; echo "${addrs[*]:1}")" --json \
+        > "$dir/fleet.json" 2> "$dir/fleet.log"
+    grep -q 'nodes reporting' "$dir/fleet.log" || {
+        echo "ERROR: fleet dashboard did not merge" >&2
+        cat "$dir/fleet.log" >&2
+        exit 1
+    }
+
+    "${SIMULATE[@]}" client --addr "$raddr" --shutdown 500
+    wait "$route_pid" || {
+        echo "ERROR: router exited nonzero on shutdown" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    grep -q 'balanced: true' "$dir/route.log" || {
+        echo "ERROR: final router ledger did not balance" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    # Retire the survivors and the respawned replacement.
+    for a in "${addrs[@]:1}"; do
+        "${SIMULATE[@]}" client --addr "$a" --shutdown 300 || true
+    done
+    if [ -s "$dir/spawned/node-0/port" ]; then
+        "${SIMULATE[@]}" client \
+            --addr "127.0.0.1:$(cat "$dir/spawned/node-0/port")" --shutdown 300 || true
+    fi
+    wait "${pids[1]}" "${pids[2]}" 2>/dev/null || true
+    echo "cluster smoke: kill survived, replica promoted, ledger balanced"
+}
+
 # The perf-baseline gate: prove the packed hot path still predicts
 # bit-identically to the legacy structs, then price it. The baseline
 # bench writes BENCH_<git-short-sha>.json at the repo root (tracked, so
@@ -257,7 +374,9 @@ bench_gate() {
         }
         local key
         for key in single_predict_legacy_ns single_predict_packed_ns \
-            batch_predict_loads_per_sec p50_ns p99_ns; do
+            batch_predict_loads_per_sec cluster_direct_p50_ns \
+            cluster_direct_p99_ns cluster_router_p50_ns \
+            cluster_router_p99_ns p50_ns p99_ns; do
             grep -q "\"$key\"" "$out" || {
                 echo "ERROR: $out is missing \"$key\"" >&2
                 exit 1
@@ -321,6 +440,9 @@ if [ "$GATE" = "all" ] || [ "$GATE" = "service" ]; then
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "obs" ]; then
     obs_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "cluster" ]; then
+    cluster_gate
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "bench" ]; then
     bench_gate
