@@ -9,6 +9,40 @@
 
 use cap_service::error::ServiceError;
 
+/// *Why* a node was unavailable — the router's partition-handling
+/// logic keys off this: a refused connect or an open breaker reads as
+/// "node dead", while a read **timeout** on an established connection
+/// is the signature of a link swallowing frames (a partition), counted
+/// separately as `cluster.partition_suspected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnavailableKind {
+    /// The TCP connect itself was refused or failed.
+    Connect,
+    /// An established connection went idle past the read timeout —
+    /// the partition signature. The node may be alive on the far side.
+    Timeout,
+    /// The connection died mid-call (reset, torn frame, mismatched
+    /// reply). The request may have trained the node before the reply
+    /// was lost.
+    Transport,
+    /// The router's breaker for this node is open or half-open-busy;
+    /// no call was attempted.
+    Breaker,
+}
+
+impl UnavailableKind {
+    /// Stable lowercase name for logs and counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UnavailableKind::Connect => "connect",
+            UnavailableKind::Timeout => "timeout",
+            UnavailableKind::Transport => "transport",
+            UnavailableKind::Breaker => "breaker",
+        }
+    }
+}
+
 /// Everything that can go wrong with a routed request or a fleet
 /// control operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +54,8 @@ pub enum ClusterError {
     NodeUnavailable {
         /// Fleet index of the node.
         node: usize,
+        /// Structured failure class (see [`UnavailableKind`]).
+        kind: UnavailableKind,
         /// Human-readable cause (breaker state or transport error).
         reason: String,
     },
@@ -59,6 +95,15 @@ pub enum ClusterError {
     },
     /// The fleet description itself is unusable (no nodes, bad index).
     BadTopology(String),
+    /// The node refused the forward because the frame's routing epoch
+    /// was stale relative to its fence — the request was rejected
+    /// *before* any training, so retrying under the current epoch is
+    /// exactly-once safe. The router re-fences the node in passing, so
+    /// one retry normally suffices.
+    EpochFenced {
+        /// Fleet index of the refusing node.
+        node: usize,
+    },
 }
 
 impl ClusterError {
@@ -73,6 +118,7 @@ impl ClusterError {
             ClusterError::NoReplica { .. } => 34,
             ClusterError::DriftDetected { .. } => 35,
             ClusterError::BadTopology(_) => 36,
+            ClusterError::EpochFenced { .. } => 37,
         }
     }
 
@@ -82,7 +128,22 @@ impl ClusterError {
     pub fn is_failover(&self) -> bool {
         matches!(
             self,
-            ClusterError::NodeUnavailable { .. } | ClusterError::Migrating { .. }
+            ClusterError::NodeUnavailable { .. }
+                | ClusterError::Migrating { .. }
+                | ClusterError::EpochFenced { .. }
+        )
+    }
+
+    /// True when the failure carries the partition signature: an
+    /// established link going silent rather than dying outright.
+    #[must_use]
+    pub fn is_partition_suspect(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::NodeUnavailable {
+                kind: UnavailableKind::Timeout,
+                ..
+            }
         )
     }
 
@@ -98,22 +159,30 @@ impl ClusterError {
     }
 
     /// True when a retry cannot double-train a predictor: the request
-    /// provably never reached a node. Only [`ClusterError::Migrating`]
-    /// qualifies — everything else may have been forwarded.
+    /// provably never reached a backend. [`ClusterError::Migrating`]
+    /// (gated before forwarding) and [`ClusterError::EpochFenced`]
+    /// (rejected by the node before training) qualify — everything
+    /// else may have been forwarded.
     #[must_use]
     pub fn retry_is_exactly_once(&self) -> bool {
-        matches!(self, ClusterError::Migrating { .. })
+        matches!(
+            self,
+            ClusterError::Migrating { .. } | ClusterError::EpochFenced { .. }
+        )
     }
 }
 
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClusterError::NodeUnavailable { node, reason } => {
-                write!(f, "node {node} unavailable: {reason}")
+            ClusterError::NodeUnavailable { node, kind, reason } => {
+                write!(f, "node {node} unavailable ({}): {reason}", kind.name())
             }
             ClusterError::Migrating { node } => {
-                write!(f, "node {node} is draining for migration; retry after the epoch flip")
+                write!(
+                    f,
+                    "node {node} is draining for migration; retry after the epoch flip"
+                )
             }
             ClusterError::NoReplica { node } => {
                 write!(f, "node {node} has no shipped replica to promote")
@@ -133,10 +202,17 @@ impl std::fmt::Display for ClusterError {
                     "node {node} drifted: archive length {got_len}, expected {expected_len}"
                 ),
             },
-            ClusterError::Remote { node, code, message } => {
+            ClusterError::Remote {
+                node,
+                code,
+                message,
+            } => {
                 write!(f, "node {node} error {code}: {message}")
             }
             ClusterError::BadTopology(why) => write!(f, "bad topology: {why}"),
+            ClusterError::EpochFenced { node } => {
+                write!(f, "node {node} fenced the forward: stale routing epoch; retry under the current epoch")
+            }
         }
     }
 }
@@ -154,6 +230,7 @@ mod tests {
         let minted = [
             ClusterError::NodeUnavailable {
                 node: 0,
+                kind: UnavailableKind::Transport,
                 reason: String::new(),
             },
             ClusterError::Migrating { node: 0 },
@@ -165,6 +242,7 @@ mod tests {
                 first_diff: None,
             },
             ClusterError::BadTopology(String::new()),
+            ClusterError::EpochFenced { node: 0 },
         ];
         for e in &minted {
             assert!(e.code() >= 32, "{e:?} minted code {}", e.code());
@@ -181,12 +259,38 @@ mod tests {
     }
 
     #[test]
-    fn only_migrating_is_exactly_once_retryable() {
+    fn only_gated_or_fenced_rejections_are_exactly_once_retryable() {
         assert!(ClusterError::Migrating { node: 2 }.retry_is_exactly_once());
+        assert!(ClusterError::EpochFenced { node: 2 }.retry_is_exactly_once());
         assert!(!ClusterError::NodeUnavailable {
             node: 2,
+            kind: UnavailableKind::Transport,
             reason: "reset".into()
         }
         .retry_is_exactly_once());
+    }
+
+    #[test]
+    fn only_timeouts_suggest_a_partition() {
+        let timeout = ClusterError::NodeUnavailable {
+            node: 1,
+            kind: UnavailableKind::Timeout,
+            reason: "no reply within 100ms".into(),
+        };
+        assert!(timeout.is_partition_suspect());
+        assert!(timeout.is_failover());
+        for kind in [
+            UnavailableKind::Connect,
+            UnavailableKind::Transport,
+            UnavailableKind::Breaker,
+        ] {
+            let e = ClusterError::NodeUnavailable {
+                node: 1,
+                kind,
+                reason: String::new(),
+            };
+            assert!(!e.is_partition_suspect(), "{kind:?}");
+        }
+        assert!(ClusterError::EpochFenced { node: 0 }.is_failover());
     }
 }

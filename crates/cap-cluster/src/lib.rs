@@ -52,11 +52,36 @@ pub mod names {
     pub const PROBE_FAIL: &str = "cluster.probe.fail";
     /// Routing-epoch flips (promotions).
     pub const EPOCH_FLIP: &str = "cluster.epoch_flip";
+    /// Failures carrying the partition signature (an established link
+    /// going silent past its read timeout).
+    pub const PARTITION_SUSPECTED: &str = "cluster.partition_suspected";
+    /// Failover promotions from a surviving replica (as opposed to
+    /// drift-proven migrations).
+    pub const REPLICA_PROMOTIONS: &str = "cluster.replica_promotions";
+    /// Forwards a node refused because their routing epoch was stale
+    /// relative to its fence.
+    pub const EPOCH_FENCED: &str = "cluster.epoch_fenced";
+    /// Replica pushes accepted by a ring successor.
+    pub const REPLICA_PUSHED: &str = "cluster.replica.pushed";
+    /// Replica pushes that failed in transport.
+    pub const REPLICA_PUSH_FAIL: &str = "cluster.replica.push_fail";
+    /// Ring rebuilds (member added or removed at runtime).
+    pub const RING_RESIZE: &str = "cluster.ring_resize";
+    /// Fence broadcasts that could not reach a node (it will be
+    /// re-fenced on first contact instead).
+    pub const FENCE_FAIL: &str = "cluster.fence.fail";
+
+    /// Gauge name for the router's breaker opinion of one node
+    /// (0 = closed, 1 = half-open, 2 = open).
+    #[must_use]
+    pub fn breaker_state_gauge(node: usize) -> String {
+        format!("cluster.node.{node}.breaker_state")
+    }
 }
 
 /// The working set for fleet callers.
 pub mod prelude {
-    pub use crate::error::ClusterError;
+    pub use crate::error::{ClusterError, UnavailableKind};
     pub use crate::local::LocalNode;
     pub use crate::node::NodeLink;
     pub use crate::ring::{HashRing, RingConfig, RoutingTable};

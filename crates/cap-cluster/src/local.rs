@@ -10,6 +10,7 @@
 use cap_obs::Registry;
 use cap_service::net::{debug_stats_renderer, ObsExporter, TcpClient, TcpServer};
 use cap_service::service::{Service, ServiceConfig, ShutdownReport};
+use cap_service::wire::MAX_REPLY_FRAME_LEN;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -25,7 +26,9 @@ pub struct LocalNode {
 
 impl std::fmt::Debug for LocalNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LocalNode").field("addr", &self.addr).finish()
+        f.debug_struct("LocalNode")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -63,8 +66,11 @@ impl LocalNode {
             let registry = Arc::clone(&registry);
             Arc::new(move || registry.snapshot().encode())
         };
+        // Fleet nodes accept replica pushes, whose archives can exceed
+        // the hostile-tight default request cap.
         let server = TcpServer::bind(("127.0.0.1", 0), service.handle(), debug_stats_renderer())?
-            .with_obs_exporter(exporter);
+            .with_obs_exporter(exporter)
+            .with_request_cap(MAX_REPLY_FRAME_LEN);
         let addr = server.local_addr()?;
         let join = std::thread::Builder::new()
             .name(format!("cap-cluster-node-{}", addr.port()))

@@ -6,14 +6,29 @@
 //! its original code; anything transport-shaped — refused connect,
 //! reset mid-call, an undecodable or mismatched reply — collapses to
 //! [`ClusterError::NodeUnavailable`] and drops the cached connection so
-//! the next call reconnects from scratch.
+//! the next call reconnects from scratch. The `NodeUnavailable` kind
+//! records *how* the transport died: a refused connect reads as "node
+//! dead", while a **read timeout** on an established connection is the
+//! partition signature (frames swallowed in flight, node possibly alive
+//! on the far side) and is counted separately by the router.
+//!
+//! Every frame read carries the link's read timeout, so a stalled peer
+//! can no longer hold the link mutex indefinitely — which previously
+//! also stalled the replica ships that share that mutex.
 
-use crate::error::ClusterError;
+use crate::error::{ClusterError, UnavailableKind};
+use cap_service::error::ServiceError;
 use cap_service::net::TcpClient;
 use cap_service::service::{Request, Response};
 use cap_service::wire::WireResponse;
 use std::net::SocketAddr;
 use std::time::Duration;
+
+/// Default inactivity bound on one reply read. Generous against real
+/// work (a loopback roundtrip is microseconds; a snapshot pull streams
+/// continuously and keeps resetting it) but finite, so a black-holed
+/// link surfaces as a structured timeout instead of a wedged mutex.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// A reconnecting client for one fleet node.
 #[derive(Debug)]
@@ -21,18 +36,30 @@ pub struct NodeLink {
     node: usize,
     addr: SocketAddr,
     client: Option<TcpClient>,
+    read_timeout: Option<Duration>,
 }
 
 impl NodeLink {
-    /// A link to node `node` at `addr`. Nothing connects until the
-    /// first call.
+    /// A link to node `node` at `addr` with the default read timeout.
+    /// Nothing connects until the first call.
     #[must_use]
     pub fn new(node: usize, addr: SocketAddr) -> Self {
         Self {
             node,
             addr,
             client: None,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
         }
+    }
+
+    /// Overrides the per-read inactivity timeout (`None` = block
+    /// forever, the pre-partition-tolerance behavior). Applies from the
+    /// next (re)connect.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self.client = None;
+        self
     }
 
     /// The address this link dials.
@@ -48,43 +75,87 @@ impl NodeLink {
         self.client = None;
     }
 
-    fn unavailable(&mut self, reason: impl std::fmt::Display) -> ClusterError {
+    fn unavailable(
+        &mut self,
+        kind: UnavailableKind,
+        reason: impl std::fmt::Display,
+    ) -> ClusterError {
+        // Always drop the connection: after a timeout the late reply
+        // may still arrive and would desync the next roundtrip.
         self.client = None;
         ClusterError::NodeUnavailable {
             node: self.node,
+            kind,
             reason: reason.to_string(),
         }
+    }
+
+    /// Collapses a client-side [`ServiceError`] into the right
+    /// unavailable kind: a reply timeout is the partition signature,
+    /// everything else transport death.
+    fn transport(&mut self, e: ServiceError) -> ClusterError {
+        let kind = match e {
+            ServiceError::ReplyTimeout { .. } => UnavailableKind::Timeout,
+            _ => UnavailableKind::Transport,
+        };
+        self.unavailable(kind, e)
     }
 
     fn client(&mut self) -> Result<&mut TcpClient, ClusterError> {
         if self.client.is_none() {
             match TcpClient::connect(self.addr) {
-                Ok(c) => self.client = Some(c),
-                Err(e) => return Err(self.unavailable(format_args!("connect: {e}"))),
+                Ok(mut c) => {
+                    if let Err(e) = c.set_read_timeout(self.read_timeout) {
+                        return Err(
+                            self.unavailable(UnavailableKind::Connect, format_args!("socket: {e}"))
+                        );
+                    }
+                    self.client = Some(c);
+                }
+                Err(e) => {
+                    return Err(
+                        self.unavailable(UnavailableKind::Connect, format_args!("connect: {e}"))
+                    )
+                }
             }
         }
         Ok(self.client.as_mut().expect("client just installed"))
     }
 
-    /// Forwards one prediction request.
+    /// Forwards one prediction request, stamped with the routing epoch
+    /// when the caller is a router (`epoch: Some`) — a fenced node
+    /// refuses stale epochs before training. Direct traffic passes
+    /// `None` and is never fenced out.
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Remote`] for the node's own structured errors;
+    /// [`ClusterError::Remote`] for the node's own structured errors
+    /// (including a fence rejection, code
+    /// [`ServiceError::FENCED_CODE`]);
     /// [`ClusterError::NodeUnavailable`] for transport-level death.
     pub fn serve(
         &mut self,
         request: Request,
         budget: Option<Duration>,
+        epoch: Option<u64>,
     ) -> Result<Response, ClusterError> {
         let node = self.node;
-        match self.client()?.serve(request, budget) {
+        let result = match epoch {
+            Some(e) => self.client()?.serve_routed(request, budget, e),
+            None => self.client()?.serve(request, budget),
+        };
+        match result {
             Ok(WireResponse::Response(resp)) => Ok(resp),
-            Ok(WireResponse::Error { code, message }) => {
-                Err(ClusterError::Remote { node, code, message })
-            }
-            Ok(other) => Err(self.unavailable(format_args!("mismatched reply {other:?}"))),
-            Err(e) => Err(self.unavailable(e)),
+            Ok(WireResponse::Error { code, message }) => Err(ClusterError::Remote {
+                node,
+                code,
+                message,
+            }),
+            Ok(other) => Err(self.unavailable(
+                UnavailableKind::Transport,
+                format_args!("mismatched reply {other:?}"),
+            )),
+            Err(e) => Err(self.transport(e)),
         }
     }
 
@@ -98,7 +169,53 @@ impl NodeLink {
     pub fn pull_snapshot(&mut self) -> Result<Vec<u8>, ClusterError> {
         match self.client()?.pull_snapshot() {
             Ok(bytes) => Ok(bytes),
-            Err(e) => Err(self.unavailable(e)),
+            Err(e) => Err(self.transport(e)),
+        }
+    }
+
+    /// Pins the routing epoch the node accepts forwards under. Routers
+    /// fence every node on each epoch flip; a node that misses the
+    /// broadcast (partitioned) keeps its old fence and rejects stale
+    /// *and* post-heal traffic until re-fenced.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn fence(&mut self, epoch: u64) -> Result<(), ClusterError> {
+        match self.client()?.fence(epoch) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.transport(e)),
+        }
+    }
+
+    /// Stores a warm replica of shard `shard` on this node (the R>1
+    /// placement push). Returns whether the push won the generation
+    /// race.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn replica_push(
+        &mut self,
+        shard: u64,
+        generation: u64,
+        bytes: Vec<u8>,
+    ) -> Result<bool, ClusterError> {
+        match self.client()?.replica_push(shard, generation, bytes) {
+            Ok(stored) => Ok(stored),
+            Err(e) => Err(self.transport(e)),
+        }
+    }
+
+    /// Fetches the newest replica this node holds for shard `shard`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`NodeLink::serve`].
+    pub fn replica_fetch(&mut self, shard: u64) -> Result<Option<(u64, Vec<u8>)>, ClusterError> {
+        match self.client()?.replica_fetch(shard) {
+            Ok(held) => Ok(held),
+            Err(e) => Err(self.transport(e)),
         }
     }
 
@@ -110,7 +227,7 @@ impl NodeLink {
     pub fn obs_stats(&mut self) -> Result<cap_obs::StatsSnapshot, ClusterError> {
         match self.client()?.obs_stats() {
             Ok(snap) => Ok(snap),
-            Err(e) => Err(self.unavailable(e)),
+            Err(e) => Err(self.transport(e)),
         }
     }
 
@@ -132,8 +249,11 @@ impl NodeLink {
     pub fn shutdown(&mut self, drain: Duration) -> Result<(), ClusterError> {
         let result = match self.client()?.shutdown(drain) {
             Ok(WireResponse::ShutdownAck) => Ok(()),
-            Ok(other) => Err(self.unavailable(format_args!("mismatched reply {other:?}"))),
-            Err(e) => Err(self.unavailable(e)),
+            Ok(other) => Err(self.unavailable(
+                UnavailableKind::Transport,
+                format_args!("mismatched reply {other:?}"),
+            )),
+            Err(e) => Err(self.transport(e)),
         };
         // The node is exiting either way; never reuse the connection.
         self.client = None;

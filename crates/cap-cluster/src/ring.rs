@@ -3,11 +3,18 @@
 //! IPs are placed on a 64-bit ring by a splitmix scramble; each node
 //! contributes [`RingConfig::vnodes`] virtual points so the keyspace
 //! splits evenly without coordination. Routing answers are stamped with
-//! the table's **epoch** — a counter bumped on every node promotion —
-//! so concurrent operations can tell pre-flip from post-flip decisions.
-//! The ring itself never changes shape during failover or migration:
-//! a replacement node takes over its predecessor's index, which is what
-//! makes "drain → ship → flip" a pure handoff with no key remapping.
+//! the table's **epoch** — a counter bumped on every node promotion or
+//! resize — so concurrent operations can tell pre-flip from post-flip
+//! decisions. The ring never changes shape during failover or
+//! migration: a replacement node takes over its predecessor's index,
+//! which is what makes "drain → ship → flip" a pure handoff with no key
+//! remapping.
+//!
+//! Resizing builds a **new** ring over a different member set. Point
+//! placement is a pure function of a member's stable id (never of the
+//! member count), so adding or removing a member moves only the keys
+//! that land on the added/removed points — the classic consistent-hash
+//! minimal-movement property, proven by test below.
 
 /// Tuning for ring construction.
 #[derive(Debug, Clone, Copy)]
@@ -39,17 +46,22 @@ fn scramble(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// A fixed consistent-hash ring over node indices `0..nodes`.
+/// A consistent-hash ring over a set of stable member ids.
+///
+/// [`HashRing::new`] builds the common dense case (`0..nodes`);
+/// [`HashRing::with_members`] takes any id set, which is what runtime
+/// resizing uses — a retired id simply drops out of the member list and
+/// only its points disappear.
 #[derive(Debug, Clone)]
 pub struct HashRing {
-    /// `(ring position, node index)`, sorted by position.
+    /// `(ring position, member id)`, sorted by position.
     points: Vec<(u64, usize)>,
-    nodes: usize,
+    members: Vec<usize>,
 }
 
 impl HashRing {
-    /// Builds the ring. Every instance built from the same `(nodes,
-    /// config)` routes identically.
+    /// Builds the ring over member ids `0..nodes`. Every instance built
+    /// from the same `(nodes, config)` routes identically.
     ///
     /// # Panics
     ///
@@ -57,37 +69,99 @@ impl HashRing {
     /// construction bug, not a runtime condition.
     #[must_use]
     pub fn new(nodes: usize, config: RingConfig) -> Self {
-        assert!(nodes >= 1, "a ring needs at least one node");
-        assert!(config.vnodes >= 1, "a node needs at least one point");
-        let mut points = Vec::with_capacity(nodes * config.vnodes);
-        for node in 0..nodes {
+        let members: Vec<usize> = (0..nodes).collect();
+        Self::with_members(&members, config)
+    }
+
+    /// Builds the ring over an explicit member-id set. Point placement
+    /// for an id is independent of every other id, so two rings sharing
+    /// an id place that id's points identically — the minimal-movement
+    /// guarantee resizing relies on.
+    ///
+    /// # Panics
+    ///
+    /// With zero members, zero vnodes, or a duplicate id.
+    #[must_use]
+    pub fn with_members(members: &[usize], config: RingConfig) -> Self {
+        assert!(!members.is_empty(), "a ring needs at least one member");
+        assert!(config.vnodes >= 1, "a member needs at least one point");
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate ring member id");
+        let mut points = Vec::with_capacity(members.len() * config.vnodes);
+        for &member in members {
             for v in 0..config.vnodes {
                 let pos = scramble(
                     config
                         .seed
-                        .wrapping_add((node as u64) << 32)
+                        .wrapping_add((member as u64) << 32)
                         .wrapping_add(v as u64),
                 );
-                points.push((pos, node));
+                points.push((pos, member));
             }
         }
         points.sort_unstable();
-        Self { points, nodes }
+        Self {
+            points,
+            members: sorted,
+        }
     }
 
-    /// Number of nodes the ring routes across.
+    /// Number of members the ring routes across.
     #[must_use]
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.members.len()
     }
 
-    /// The node owning `ip`: the first ring point at or after the IP's
-    /// scrambled position, wrapping at the top.
+    /// The member ids on the ring, ascending.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Whether `id` is on the ring.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// The member owning `ip`: the first ring point at or after the
+    /// IP's scrambled position, wrapping at the top.
     #[must_use]
     pub fn node_of(&self, ip: u64) -> usize {
         let pos = scramble(ip);
         let i = self.points.partition_point(|&(p, _)| p < pos);
         self.points[if i == self.points.len() { 0 } else { i }].1
+    }
+
+    /// Up to `k` distinct members following `of` in ring order — the
+    /// replica placement rule: a shard's warm replicas ship to its ring
+    /// successors, so replica ownership survives any single resize with
+    /// minimal reshuffling. Walks from `of`'s first point, collecting
+    /// other members in point order. Returns fewer than `k` when the
+    /// ring has fewer other members.
+    #[must_use]
+    pub fn successors(&self, of: usize, k: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(k.min(self.members.len().saturating_sub(1)));
+        if k == 0 || !self.contains(of) {
+            return out;
+        }
+        let start = self
+            .points
+            .iter()
+            .position(|&(_, m)| m == of)
+            .expect("member has at least one point");
+        for step in 1..=self.points.len() {
+            let (_, m) = self.points[(start + step) % self.points.len()];
+            if m != of && !out.contains(&m) {
+                out.push(m);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -125,6 +199,14 @@ impl RoutingTable {
     pub fn flip_epoch(&mut self) -> u64 {
         self.epoch += 1;
         self.epoch
+    }
+
+    /// Replaces the ring (a resize: member added or removed) and bumps
+    /// the epoch in the same step, so no routing decision can ever
+    /// carry a new-ring node under an old epoch or vice versa.
+    pub fn resize(&mut self, ring: HashRing) -> u64 {
+        self.ring = ring;
+        self.flip_epoch()
     }
 
     /// The underlying ring.
@@ -181,6 +263,76 @@ mod tests {
             .filter(|&ip| a.node_of(ip) != b.node_of(ip))
             .count();
         assert!(moved > 2_000, "only {moved} of 10000 keys moved");
+    }
+
+    #[test]
+    fn adding_a_member_moves_only_keys_it_wins() {
+        // The minimal-movement property resizing relies on: every key
+        // either stays where it was or moves to the *new* member.
+        let before = HashRing::new(4, RingConfig::default());
+        let after = HashRing::with_members(&[0, 1, 2, 3, 4], RingConfig::default());
+        let mut moved = 0usize;
+        for ip in (0..20_000u64).map(|i| 0x400 + i * 0x28) {
+            let (a, b) = (before.node_of(ip), after.node_of(ip));
+            if a != b {
+                assert_eq!(b, 4, "key {ip:#x} moved {a}→{b}, not to the new member");
+                moved += 1;
+            }
+        }
+        // The new member should win roughly a fifth of the keyspace.
+        assert!((1_000..=9_000).contains(&moved), "moved {moved} of 20000");
+    }
+
+    #[test]
+    fn removing_a_member_strands_only_its_keys() {
+        let before = HashRing::with_members(&[0, 1, 2, 3], RingConfig::default());
+        let after = HashRing::with_members(&[0, 1, 3], RingConfig::default());
+        for ip in (0..20_000u64).map(|i| 0x400 + i * 0x28) {
+            let (a, b) = (before.node_of(ip), after.node_of(ip));
+            if a != 2 {
+                assert_eq!(
+                    a, b,
+                    "key {ip:#x} moved {a}→{b} though member 2 owned neither"
+                );
+            } else {
+                assert_ne!(b, 2);
+            }
+        }
+        assert!(!after.contains(2));
+        assert_eq!(after.members(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn successors_are_distinct_ordered_and_stable() {
+        let ring = HashRing::new(5, RingConfig::default());
+        for node in 0..5 {
+            let succ = ring.successors(node, 2);
+            assert_eq!(succ.len(), 2, "node {node}");
+            assert!(!succ.contains(&node));
+            assert_ne!(succ[0], succ[1]);
+            assert_eq!(
+                succ,
+                HashRing::new(5, RingConfig::default()).successors(node, 2)
+            );
+        }
+        // Asking for more successors than exist returns all others.
+        let small = HashRing::new(2, RingConfig::default());
+        assert_eq!(small.successors(0, 3), vec![1]);
+        assert_eq!(small.successors(0, 0), Vec::<usize>::new());
+        // A member not on the ring has no successors.
+        assert_eq!(small.successors(7, 2), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn resize_bumps_the_epoch_with_the_new_ring() {
+        let mut table = RoutingTable::new(HashRing::new(2, RingConfig::default()));
+        assert_eq!(table.epoch(), 0);
+        let epoch = table.resize(HashRing::with_members(&[0, 1, 2], RingConfig::default()));
+        assert_eq!(epoch, 1);
+        assert_eq!(table.ring().nodes(), 3);
+        let routed: std::collections::BTreeSet<usize> =
+            (0..10_000u64).map(|ip| table.route(ip).0).collect();
+        assert_eq!(routed, [0, 1, 2].into_iter().collect());
     }
 
     #[test]

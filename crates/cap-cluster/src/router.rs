@@ -1,16 +1,16 @@
 //! The fleet front door: consistent-hash routing, breaker-guarded
-//! forwarding, replica shipping, failover promotion, and live
-//! migration.
+//! forwarding, replicated shipping, failover promotion, live migration,
+//! epoch fencing, and runtime ring resizing.
 //!
 //! # Accounting invariant
 //!
 //! Every request accepted by [`Router::call`] terminates in **exactly
 //! one** bucket: `answered`, `shed`, `failover_attributed`, or
-//! `other_error`. The chaos soak proves the identity
+//! `other_error`. The chaos soaks prove the identity
 //! `accepted == answered + shed + failover + other` holds across node
-//! kills, promotions, and a full rolling restart — no request is ever
-//! silently lost. The structure that makes it true is simple: `call`
-//! increments `accepted`, delegates to one fallible forward, and
+//! kills, promotions, resizes, and network partitions — no request is
+//! ever silently lost. The structure that makes it true is simple:
+//! `call` increments `accepted`, delegates to one fallible forward, and
 //! classifies its single outcome; there is no early return between.
 //!
 //! # Failover state machine (per node)
@@ -20,11 +20,38 @@
 //!   Up ───────────────────── Up      Up ──────────────────▶ (unavailable)
 //!   Up ──drain_node()──▶ Draining ──promote()──▶ Up   [epoch += 1]
 //!   (unavailable) ──promote(replica)──▶ Up           [epoch += 1]
+//!   any ──remove_node()──▶ Retired                   [epoch += 1, ring shrinks]
 //! ```
 //!
 //! "Unavailable" is not a stored state — it is the breaker's opinion,
 //! re-derived on every call, which is what lets a node that recovers on
 //! its own come back with no operator action (half-open probe → close).
+//! `Retired` is a tombstone: the slot keeps its index (indices are ring
+//! identities and are never reused) but owns no keys and takes no
+//! traffic.
+//!
+//! # Partitions vs. death, and epoch fencing
+//!
+//! A refused connect reads as "node dead"; a **read timeout** on an
+//! established link is the partition signature — the node may be alive
+//! and still training on the far side. The router cannot tell the
+//! difference from outside, so it makes the distinction *safe* instead:
+//! every forward is stamped with the routing epoch, every epoch flip
+//! re-fences the reachable fleet, and a node that missed the broadcast
+//! (because a partition hid it) refuses both stale and post-heal
+//! traffic until the router re-fences it on first contact. The upshot:
+//! promoting a replica while the old incumbent is alive behind a
+//! partition can never fork the shard — the incumbent's fence no longer
+//! matches any epoch the router will stamp, so it can't be trained
+//! again, and a healed stale node rejects writes instead of silently
+//! diverging.
+//!
+//! # Replication factor R>1
+//!
+//! Each ship stores the archive router-side **and** pushes it to the
+//! shard's R−1 ring successors under a monotonic generation, so a warm
+//! replica survives the loss of the router's copy and failover can
+//! promote from any surviving holder ([`Router::replica_any`]).
 //!
 //! # Drift bound
 //!
@@ -33,17 +60,21 @@
 //! ship; that counter **is** the prediction drift bound on promotion —
 //! exact, not estimated, because shipping holds the node's link lock,
 //! so no request can slip between "archive pulled" and "counter reset".
+//! The bound applies to the newest generation; promoting an older
+//! fetched generation reports an unknown (unbounded) drift rather than
+//! a false number.
 
-use crate::error::ClusterError;
+use crate::error::{ClusterError, UnavailableKind};
+use crate::names;
 use crate::node::NodeLink;
 use crate::ring::{HashRing, RingConfig, RoutingTable};
 use cap_obs::{Obs, StatsSnapshot};
-use cap_service::breaker::{BreakerConfig, CircuitBreaker};
+use cap_service::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use cap_service::error::ServiceError;
 use cap_service::service::{Request, Response};
-use crate::names;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Router tuning.
@@ -55,6 +86,14 @@ pub struct RouterConfig {
     pub breaker: BreakerConfig,
     /// Seed for breaker jitter streams; node `i` uses `seed + i`.
     pub seed: u64,
+    /// Replication factor R: every ship keeps the archive router-side
+    /// and pushes it to the shard's R−1 ring successors. `1` disables
+    /// cross-node replication (the pre-R>1 behavior).
+    pub replication: usize,
+    /// Per-read inactivity timeout on every node link (`None` = block
+    /// forever). Finite by default so a partitioned link surfaces as a
+    /// structured timeout instead of a wedged link mutex.
+    pub read_timeout: Option<Duration>,
     /// Router-side telemetry sink.
     pub obs: Obs,
 }
@@ -65,16 +104,20 @@ impl Default for RouterConfig {
             ring: RingConfig::default(),
             breaker: BreakerConfig::default(),
             seed: 0x0C1A_57E5,
+            replication: 2,
+            read_timeout: Some(crate::node::DEFAULT_READ_TIMEOUT),
             obs: Obs::off(),
         }
     }
 }
 
-/// Whether a node is taking traffic or being migrated away from.
+/// Whether a node is taking traffic, being migrated away from, or
+/// permanently removed from the ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeState {
     Up,
     Draining,
+    Retired,
 }
 
 struct Node {
@@ -86,6 +129,30 @@ struct Node {
     breaker: Mutex<CircuitBreaker>,
     replica: Mutex<Option<Vec<u8>>>,
     since_ship: AtomicU64,
+    /// Monotonic ship counter; replica pushes carry it so holders keep
+    /// only the newest archive (the generation check doubles as the
+    /// replica store's fence).
+    ship_generation: AtomicU64,
+}
+
+impl Node {
+    fn new(index: usize, addr: SocketAddr, config: &RouterConfig) -> Self {
+        Self {
+            link: Mutex::new(NodeLink::new(index, addr).with_read_timeout(config.read_timeout)),
+            state: Mutex::new(NodeState::Up),
+            breaker: Mutex::new(CircuitBreaker::new(
+                config.breaker,
+                config.seed.wrapping_add(index as u64),
+            )),
+            replica: Mutex::new(None),
+            since_ship: AtomicU64::new(0),
+            ship_generation: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> NodeState {
+        *self.state.lock().expect("state lock")
+    }
 }
 
 /// A point-in-time copy of the router's request accounting.
@@ -108,14 +175,16 @@ impl Accounting {
     /// one bucket.
     #[must_use]
     pub fn balances(&self) -> bool {
-        self.accepted
-            == self.answered + self.shed + self.failover_attributed + self.other_error
+        self.accepted == self.answered + self.shed + self.failover_attributed + self.other_error
     }
 }
 
 /// The cluster front door. Share via `Arc`; every method takes `&self`.
 pub struct Router {
-    nodes: Vec<Node>,
+    /// Slots are append-only: an index is a ring identity for the life
+    /// of the router (retired slots stay as tombstones), so replica
+    /// generations and successor lists never alias across resizes.
+    nodes: RwLock<Vec<Arc<Node>>>,
     table: Mutex<RoutingTable>,
     config: RouterConfig,
     accepted: AtomicU64,
@@ -128,7 +197,7 @@ pub struct Router {
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Router")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.node_count())
             .field("epoch", &self.epoch())
             .finish()
     }
@@ -139,28 +208,27 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::BadTopology`] on an empty fleet.
+    /// [`ClusterError::BadTopology`] on an empty fleet or a replication
+    /// factor of zero.
     pub fn new(addrs: &[SocketAddr], config: RouterConfig) -> Result<Self, ClusterError> {
         if addrs.is_empty() {
-            return Err(ClusterError::BadTopology("a fleet needs at least one node".into()));
+            return Err(ClusterError::BadTopology(
+                "a fleet needs at least one node".into(),
+            ));
+        }
+        if config.replication == 0 {
+            return Err(ClusterError::BadTopology(
+                "replication factor must be at least 1".into(),
+            ));
         }
         let nodes = addrs
             .iter()
             .enumerate()
-            .map(|(i, &addr)| Node {
-                link: Mutex::new(NodeLink::new(i, addr)),
-                state: Mutex::new(NodeState::Up),
-                breaker: Mutex::new(CircuitBreaker::new(
-                    config.breaker,
-                    config.seed.wrapping_add(i as u64),
-                )),
-                replica: Mutex::new(None),
-                since_ship: AtomicU64::new(0),
-            })
+            .map(|(i, &addr)| Arc::new(Node::new(i, addr, &config)))
             .collect();
         let table = RoutingTable::new(HashRing::new(addrs.len(), config.ring));
         Ok(Self {
-            nodes,
+            nodes: RwLock::new(nodes),
             table: Mutex::new(table),
             config,
             accepted: AtomicU64::new(0),
@@ -171,13 +239,19 @@ impl Router {
         })
     }
 
-    /// Fleet size.
+    /// Total slots ever created (including retired tombstones).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.read().expect("nodes lock").len()
     }
 
-    /// Current routing epoch (bumped by every promotion).
+    /// Slots currently on the ring (excludes retired tombstones).
+    #[must_use]
+    pub fn live_node_count(&self) -> usize {
+        self.live_members().len()
+    }
+
+    /// Current routing epoch (bumped by every promotion and resize).
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.table.lock().expect("table lock").epoch()
@@ -189,13 +263,43 @@ impl Router {
         self.table.lock().expect("table lock").route(ip)
     }
 
-    fn node(&self, index: usize) -> Result<&Node, ClusterError> {
-        self.nodes.get(index).ok_or_else(|| {
+    fn node(&self, index: usize) -> Result<Arc<Node>, ClusterError> {
+        let nodes = self.nodes.read().expect("nodes lock");
+        nodes.get(index).cloned().ok_or_else(|| {
             ClusterError::BadTopology(format!(
                 "node {index} out of range (fleet has {})",
-                self.nodes.len()
+                nodes.len()
             ))
         })
+    }
+
+    /// A snapshot of the slot table (cheap Arc clones; the read lock is
+    /// never held across I/O).
+    fn nodes_snapshot(&self) -> Vec<Arc<Node>> {
+        self.nodes.read().expect("nodes lock").clone()
+    }
+
+    fn live_members(&self) -> Vec<usize> {
+        self.nodes_snapshot()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state() != NodeState::Retired)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Publishes the router-side breaker opinion of `index` as a gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    fn publish_breaker(&self, index: usize, node: &Node, now: Instant) {
+        let state = node.breaker.lock().expect("breaker lock").state(now);
+        let value = match state {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        };
+        self.config
+            .obs
+            .gauge(&names::breaker_state_gauge(index), value);
     }
 
     /// Routes and forwards one request. This is the only traffic entry
@@ -216,8 +320,8 @@ impl Router {
         let ip = match request {
             Request::Observe { ip, .. } | Request::Predict { ip, .. } => ip,
         };
-        let (index, _epoch) = self.node_for_ip(ip);
-        let outcome = self.forward(index, request, budget);
+        let (index, epoch) = self.node_for_ip(ip);
+        let outcome = self.forward(index, epoch, request, budget);
         let (counter, name) = match &outcome {
             Ok(_) => (&self.answered, names::ANSWERED),
             Err(e) if e.is_shed() => (&self.shed, names::SHED),
@@ -226,12 +330,18 @@ impl Router {
         };
         counter.fetch_add(1, Ordering::Relaxed);
         self.config.obs.incr(name);
+        if let Err(e) = &outcome {
+            if e.is_partition_suspect() {
+                self.config.obs.incr(names::PARTITION_SUSPECTED);
+            }
+        }
         outcome
     }
 
     fn forward(
         &self,
         index: usize,
+        epoch: u64,
         request: Request,
         budget: Option<Duration>,
     ) -> Result<Response, ClusterError> {
@@ -241,20 +351,50 @@ impl Router {
         // can never interleave between them, so no request slips into a
         // node after its final migration ship.
         let mut link = node.link.lock().expect("link lock");
-        if *node.state.lock().expect("state lock") == NodeState::Draining {
-            return Err(ClusterError::Migrating { node: index });
+        match node.state() {
+            NodeState::Up => {}
+            NodeState::Draining => return Err(ClusterError::Migrating { node: index }),
+            NodeState::Retired => {
+                return Err(ClusterError::BadTopology(format!(
+                    "node {index} is retired"
+                )))
+            }
         }
         let now = Instant::now();
         {
             let mut breaker = node.breaker.lock().expect("breaker lock");
             if !breaker.call_permitted(now) {
+                let reason = format!("breaker {}", breaker.state(now).name());
+                drop(breaker);
+                self.publish_breaker(index, &node, now);
                 return Err(ClusterError::NodeUnavailable {
                     node: index,
-                    reason: format!("breaker {}", breaker.state(now).name()),
+                    kind: UnavailableKind::Breaker,
+                    reason,
                 });
             }
         }
-        let result = link.serve(request, budget);
+        let mut result = link.serve(request, budget, Some(epoch));
+        // A fence rejection means the node's pinned epoch disagrees
+        // with the one we stamped — either the frame was routed before
+        // a flip (stale frame) or the node missed a fence broadcast
+        // behind a partition (stale node). Re-fence it to the *current*
+        // epoch under the same held link lock, then surface the
+        // exactly-once-retryable error: the node rejected before
+        // training, so the caller's retry under the fresh epoch cannot
+        // double-train.
+        if let Err(ClusterError::Remote { code, .. }) = &result {
+            if *code == ServiceError::FENCED_CODE {
+                self.config.obs.incr(names::EPOCH_FENCED);
+                let current = self.epoch();
+                let _ = link.fence(current);
+                result = Err(ClusterError::EpochFenced { node: index });
+            }
+        }
+        // Outcome bookkeeping uses a fresh clock: a timed-out call
+        // finished *after* `now`, and a cooldown dated from before the
+        // call would already be half-spent (or expired) on trip.
+        let now = Instant::now();
         let mut breaker = node.breaker.lock().expect("breaker lock");
         match &result {
             Ok(_) => {
@@ -263,59 +403,106 @@ impl Router {
             }
             // A structured remote error is a *healthy* node saying no
             // (shed, deadline); only transport death charges the
-            // breaker.
+            // breaker. A fence rejection provably never trained, so it
+            // does not advance the drift counter.
+            Err(ClusterError::EpochFenced { .. }) => breaker.on_success(now),
             Err(ClusterError::Remote { .. }) => {
                 breaker.on_success(now);
                 node.since_ship.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => breaker.on_failure(now),
         }
+        drop(breaker);
+        self.publish_breaker(index, &node, now);
         result
     }
 
     /// Ships a fresh warm replica from every `Up` node: pulls a live
-    /// archive over `OP_SNAPSHOT_PULL`, stores it router-side, and
-    /// resets that node's drift counter. Returns per-node archive sizes
+    /// archive over `OP_SNAPSHOT_PULL`, stores it router-side, resets
+    /// that node's drift counter, and pushes the archive to the
+    /// shard's R−1 ring successors. Returns per-node archive sizes
     /// (or the per-node failure — one dead node never blocks the rest).
     pub fn ship_now(&self) -> Vec<Result<usize, ClusterError>> {
-        (0..self.nodes.len()).map(|i| self.ship_node(i)).collect()
+        (0..self.node_count()).map(|i| self.ship_node(i)).collect()
     }
 
     fn ship_node(&self, index: usize) -> Result<usize, ClusterError> {
         let node = self.node(index)?;
-        let mut link = node.link.lock().expect("link lock");
-        if *node.state.lock().expect("state lock") == NodeState::Draining {
-            return Err(ClusterError::Migrating { node: index });
-        }
-        let now = Instant::now();
-        match link.pull_snapshot() {
-            Ok(bytes) => {
-                node.breaker.lock().expect("breaker lock").on_success(now);
-                let len = bytes.len();
-                *node.replica.lock().expect("replica lock") = Some(bytes);
-                // Exact, not racy: the link lock blocks forwards for
-                // the duration of the pull, so every counted request is
-                // inside the archive we just stored.
-                node.since_ship.store(0, Ordering::Relaxed);
-                self.config.obs.incr(names::SHIP_COUNT);
-                self.config.obs.count(names::SHIP_BYTES, len as u64);
-                Ok(len)
+        let (bytes, generation) = {
+            let mut link = node.link.lock().expect("link lock");
+            match node.state() {
+                NodeState::Up => {}
+                NodeState::Draining => return Err(ClusterError::Migrating { node: index }),
+                NodeState::Retired => {
+                    return Err(ClusterError::BadTopology(format!(
+                        "node {index} is retired"
+                    )))
+                }
             }
-            Err(e) => {
-                node.breaker.lock().expect("breaker lock").on_failure(now);
-                Err(e)
+            let now = Instant::now();
+            match link.pull_snapshot() {
+                Ok(bytes) => {
+                    node.breaker.lock().expect("breaker lock").on_success(now);
+                    *node.replica.lock().expect("replica lock") = Some(bytes.clone());
+                    // Exact, not racy: the link lock blocks forwards for
+                    // the duration of the pull, so every counted request
+                    // is inside the archive we just stored.
+                    node.since_ship.store(0, Ordering::Relaxed);
+                    let generation = node.ship_generation.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.config.obs.incr(names::SHIP_COUNT);
+                    self.config.obs.count(names::SHIP_BYTES, bytes.len() as u64);
+                    (bytes, generation)
+                }
+                Err(e) => {
+                    node.breaker.lock().expect("breaker lock").on_failure(now);
+                    self.publish_breaker(index, &node, now);
+                    return Err(e);
+                }
+            }
+            // The victim's link lock is released here; successor pushes
+            // below take each successor's own lock one at a time, so
+            // two concurrent ships can never deadlock on each other.
+        };
+        let len = bytes.len();
+        for successor in self.successors_of(index) {
+            let Ok(target) = self.node(successor) else {
+                continue;
+            };
+            if target.state() != NodeState::Up {
+                continue;
+            }
+            let mut link = target.link.lock().expect("link lock");
+            match link.replica_push(index as u64, generation, bytes.clone()) {
+                Ok(_stored) => self.config.obs.incr(names::REPLICA_PUSHED),
+                Err(_) => self.config.obs.incr(names::REPLICA_PUSH_FAIL),
             }
         }
+        Ok(len)
+    }
+
+    /// The shard's replica holders under the current ring: its R−1
+    /// distinct ring successors.
+    fn successors_of(&self, index: usize) -> Vec<usize> {
+        if self.config.replication <= 1 {
+            return Vec::new();
+        }
+        self.table
+            .lock()
+            .expect("table lock")
+            .ring()
+            .successors(index, self.config.replication - 1)
     }
 
     /// Probes every node's health (one obs roundtrip each), feeding the
-    /// per-node breakers. Draining nodes are skipped (reported `Ok`).
+    /// per-node breakers. Draining and retired nodes are skipped
+    /// (reported `Ok`).
     pub fn probe_now(&self) -> Vec<Result<(), ClusterError>> {
-        self.nodes
+        self.nodes_snapshot()
             .iter()
-            .map(|node| {
+            .enumerate()
+            .map(|(index, node)| {
                 let mut link = node.link.lock().expect("link lock");
-                if *node.state.lock().expect("state lock") == NodeState::Draining {
+                if node.state() != NodeState::Up {
                     return Ok(());
                 }
                 let now = Instant::now();
@@ -323,23 +510,68 @@ impl Router {
                 let mut breaker = node.breaker.lock().expect("breaker lock");
                 match &result {
                     Ok(()) => breaker.on_success(now),
-                    Err(_) => {
+                    Err(e) => {
                         breaker.on_failure(now);
                         self.config.obs.incr(names::PROBE_FAIL);
+                        if e.is_partition_suspect() {
+                            self.config.obs.incr(names::PARTITION_SUSPECTED);
+                        }
                     }
                 }
+                drop(breaker);
+                drop(link);
+                self.publish_breaker(index, node, now);
                 result
             })
             .collect()
     }
 
-    /// The latest shipped replica for a node, with its exact drift (how
-    /// many requests the node answered since that archive was taken).
+    /// The latest router-held replica for a node, with its exact drift
+    /// (how many requests the node answered since that archive was
+    /// taken).
     #[must_use]
     pub fn replica(&self, index: usize) -> Option<(Vec<u8>, u64)> {
-        let node = self.nodes.get(index)?;
+        let node = self.node(index).ok()?;
         let bytes = node.replica.lock().expect("replica lock").clone()?;
         Some((bytes, node.since_ship.load(Ordering::Relaxed)))
+    }
+
+    /// Fetches the newest replica of shard `index` held by its ring
+    /// successors (the R>1 fallback when the router-side copy is
+    /// missing). Returns the archive and its exact drift bound when the
+    /// fetched generation is the newest ship (`None` drift for an older
+    /// generation — an honest "unbounded" beats a false number).
+    #[must_use]
+    pub fn replica_from_successors(&self, index: usize) -> Option<(Vec<u8>, Option<u64>)> {
+        let node = self.node(index).ok()?;
+        let mut best: Option<(u64, Vec<u8>)> = None;
+        for successor in self.successors_of(index) {
+            let Ok(holder) = self.node(successor) else {
+                continue;
+            };
+            if holder.state() != NodeState::Up {
+                continue;
+            }
+            let mut link = holder.link.lock().expect("link lock");
+            if let Ok(Some((generation, bytes))) = link.replica_fetch(index as u64) {
+                if best.as_ref().is_none_or(|(g, _)| generation > *g) {
+                    best = Some((generation, bytes));
+                }
+            }
+        }
+        let (generation, bytes) = best?;
+        let drift = (generation == node.ship_generation.load(Ordering::Relaxed))
+            .then(|| node.since_ship.load(Ordering::Relaxed));
+        Some((bytes, drift))
+    }
+
+    /// The best surviving replica for a node: the router-held copy
+    /// (exact drift) or, failing that, the newest successor-held copy.
+    #[must_use]
+    pub fn replica_any(&self, index: usize) -> Option<(Vec<u8>, Option<u64>)> {
+        self.replica(index)
+            .map(|(bytes, drift)| (bytes, Some(drift)))
+            .or_else(|| self.replica_from_successors(index))
     }
 
     /// Requests forwarded to `index` since its last ship — the
@@ -347,8 +579,7 @@ impl Router {
     /// would carry.
     #[must_use]
     pub fn drift(&self, index: usize) -> u64 {
-        self.nodes
-            .get(index)
+        self.node(index)
             .map_or(0, |n| n.since_ship.load(Ordering::Relaxed))
     }
 
@@ -372,6 +603,7 @@ impl Router {
         let bytes = link.pull_snapshot()?;
         *node.replica.lock().expect("replica lock") = Some(bytes.clone());
         node.since_ship.store(0, Ordering::Relaxed);
+        node.ship_generation.fetch_add(1, Ordering::Relaxed);
         Ok(bytes)
     }
 
@@ -389,21 +621,48 @@ impl Router {
             .shutdown(drain)
     }
 
+    /// Fences every `Up` node at `epoch`, best-effort. A node the
+    /// broadcast cannot reach (dead or partitioned) keeps its old fence
+    /// — which is the *mechanism*, not a gap: when it reappears, its
+    /// stale fence makes it reject routed writes until the router
+    /// re-fences it on first contact.
+    fn fence_fleet(&self, epoch: u64) {
+        for (index, node) in self.nodes_snapshot().iter().enumerate() {
+            if node.state() != NodeState::Up {
+                continue;
+            }
+            let mut link = node.link.lock().expect("link lock");
+            if link.fence(epoch).is_err() {
+                self.config.obs.incr(names::FENCE_FAIL);
+                self.config
+                    .obs
+                    .event(names::FENCE_FAIL, cap_obs::EventKind::Mark, index as u64);
+            }
+        }
+    }
+
     /// Installs a replacement for node `index` at `addr` and flips the
     /// routing epoch. With `expect_identical = Some(archive)` this is a
     /// **zero-drift proof**: the replacement's live state is pulled and
     /// byte-compared against `archive` (the differential twin) before
     /// any traffic resumes; a mismatch aborts the promotion with
     /// [`ClusterError::DriftDetected`] and leaves the node gated. With
-    /// `None` (failover from a stale replica) the measured drift is
+    /// `None` (failover from a surviving replica) the measured drift is
     /// whatever [`Router::drift`] reported at promotion time.
+    ///
+    /// The replacement is fenced at the new epoch *before* it goes
+    /// `Up`, and the rest of the reachable fleet is re-fenced right
+    /// after the flip — so a frame routed before the flip can never
+    /// train the replacement, and an old incumbent resurfacing after a
+    /// partition rejects writes instead of forking the shard.
     ///
     /// Returns the new epoch.
     ///
     /// # Errors
     ///
-    /// Out-of-range index, an unreachable replacement, or a failed
-    /// drift proof.
+    /// Out-of-range index, an unreachable replacement (the fence
+    /// roundtrip doubles as a reachability proof), or a failed drift
+    /// proof.
     pub fn promote(
         &self,
         index: usize,
@@ -411,49 +670,154 @@ impl Router {
         expect_identical: Option<&[u8]>,
     ) -> Result<u64, ClusterError> {
         let node = self.node(index)?;
-        let mut link = node.link.lock().expect("link lock");
-        link.retarget(addr);
-        if let Some(expected) = expect_identical {
-            let got = link.pull_snapshot()?;
-            if got != expected {
-                // Leave the node gated (Draining) — promoting a drifted
-                // twin silently would defeat the whole proof.
-                let first_diff = expected
-                    .iter()
-                    .zip(&got)
-                    .position(|(a, b)| a != b)
-                    .filter(|_| expected.len() == got.len());
-                return Err(ClusterError::DriftDetected {
-                    node: index,
-                    expected_len: expected.len(),
-                    got_len: got.len(),
-                    first_diff,
-                });
+        {
+            let mut link = node.link.lock().expect("link lock");
+            link.retarget(addr);
+            if let Some(expected) = expect_identical {
+                let got = link.pull_snapshot()?;
+                if got != expected {
+                    // Leave the node gated (Draining) — promoting a
+                    // drifted twin silently would defeat the whole
+                    // proof.
+                    let first_diff = expected
+                        .iter()
+                        .zip(&got)
+                        .position(|(a, b)| a != b)
+                        .filter(|_| expected.len() == got.len());
+                    return Err(ClusterError::DriftDetected {
+                        node: index,
+                        expected_len: expected.len(),
+                        got_len: got.len(),
+                        first_diff,
+                    });
+                }
+                *node.replica.lock().expect("replica lock") = Some(got);
             }
-            *node.replica.lock().expect("replica lock") = Some(got);
+            // Fence the replacement at the epoch it will serve under,
+            // while we still hold its link lock: a forward stamped with
+            // the pre-flip epoch that was blocked on this lock will now
+            // bounce off the fence instead of training the fresh node.
+            // (Under racing promotes the broadcast below re-fences to
+            // the final value; the window only yields retryable fence
+            // errors, never training.)
+            link.fence(self.epoch() + 1)?;
+            *node.breaker.lock().expect("breaker lock") = CircuitBreaker::new(
+                self.config.breaker,
+                self.config.seed.wrapping_add(index as u64),
+            );
+            node.since_ship.store(0, Ordering::Relaxed);
+            *node.state.lock().expect("state lock") = NodeState::Up;
         }
-        *node.breaker.lock().expect("breaker lock") = CircuitBreaker::new(
-            self.config.breaker,
-            self.config.seed.wrapping_add(index as u64),
-        );
-        node.since_ship.store(0, Ordering::Relaxed);
-        *node.state.lock().expect("state lock") = NodeState::Up;
+        if expect_identical.is_none() {
+            self.config.obs.incr(names::REPLICA_PROMOTIONS);
+        }
         let epoch = self.table.lock().expect("table lock").flip_epoch();
         self.config.obs.incr(names::EPOCH_FLIP);
+        self.publish_breaker(index, &node, Instant::now());
+        self.fence_fleet(epoch);
         Ok(epoch)
+    }
+
+    /// Grows the fleet: appends a new slot at `addr`, proves it
+    /// reachable (fencing it at the upcoming epoch), rebuilds the ring
+    /// with the new member, and re-fences the fleet. Keys the new
+    /// member wins start cold and retrain — the paper's
+    /// confidence-gated degradation makes that a accuracy dip, not an
+    /// outage; every unmoved key provably keeps its node (see the ring
+    /// minimal-movement tests).
+    ///
+    /// Returns `(new node index, new epoch)`.
+    ///
+    /// # Errors
+    ///
+    /// An unreachable new node (the slot is retired again and the ring
+    /// is untouched).
+    pub fn add_node(&self, addr: SocketAddr) -> Result<(usize, u64), ClusterError> {
+        let (index, node) = {
+            let mut nodes = self.nodes.write().expect("nodes lock");
+            let index = nodes.len();
+            let node = Arc::new(Node::new(index, addr, &self.config));
+            nodes.push(Arc::clone(&node));
+            (index, node)
+        };
+        // Reachability + pre-fence before the ring exposes any keys to
+        // the new member.
+        if let Err(e) = node.link.lock().expect("link lock").fence(self.epoch() + 1) {
+            *node.state.lock().expect("state lock") = NodeState::Retired;
+            return Err(e);
+        }
+        let members = self.live_members();
+        let epoch = self
+            .table
+            .lock()
+            .expect("table lock")
+            .resize(HashRing::with_members(&members, self.config.ring));
+        self.config.obs.incr(names::RING_RESIZE);
+        self.config.obs.incr(names::EPOCH_FLIP);
+        self.fence_fleet(epoch);
+        Ok((index, epoch))
+    }
+
+    /// Shrinks the fleet: gates node `index` and captures its final
+    /// archive via the [`Router::drain_node`] machinery (drift-free —
+    /// the gate means no request can land between the final pull and
+    /// removal), rebuilds the ring without it, and re-fences the
+    /// remaining fleet. A dead or partitioned node can still be removed
+    /// — the best surviving replica is returned instead of a fresh
+    /// pull, or `None` when no copy survives.
+    ///
+    /// The slot becomes a permanent tombstone; its keys move to ring
+    /// neighbors and retrain from the cold predictor.
+    ///
+    /// Returns `(final archive if any, new epoch)`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range index, an already-retired slot, or removing the
+    /// last live member.
+    pub fn remove_node(&self, index: usize) -> Result<(Option<Vec<u8>>, u64), ClusterError> {
+        let node = self.node(index)?;
+        if node.state() == NodeState::Retired {
+            return Err(ClusterError::BadTopology(format!(
+                "node {index} is already retired"
+            )));
+        }
+        let members = self.live_members();
+        if members.len() <= 1 {
+            return Err(ClusterError::BadTopology(
+                "cannot remove the last live member".into(),
+            ));
+        }
+        // Drift-free capture when the node is reachable; best surviving
+        // replica otherwise.
+        let archive = match self.drain_node(index) {
+            Ok(bytes) => Some(bytes),
+            Err(_) => self.replica_any(index).map(|(bytes, _)| bytes),
+        };
+        *node.state.lock().expect("state lock") = NodeState::Retired;
+        let members: Vec<usize> = members.into_iter().filter(|&m| m != index).collect();
+        let epoch = self
+            .table
+            .lock()
+            .expect("table lock")
+            .resize(HashRing::with_members(&members, self.config.ring));
+        self.config.obs.incr(names::RING_RESIZE);
+        self.config.obs.incr(names::EPOCH_FLIP);
+        self.fence_fleet(epoch);
+        Ok((archive, epoch))
     }
 
     /// Merges every reachable node's telemetry snapshot into one
     /// fleet-wide view. Returns the merged snapshot and how many nodes
-    /// reported (draining and unreachable nodes are skipped, never
-    /// fatal — a dashboard must work *during* an incident).
+    /// reported (draining, retired, and unreachable nodes are skipped,
+    /// never fatal — a dashboard must work *during* an incident).
     #[must_use]
     pub fn fleet_obs(&self) -> (StatsSnapshot, usize) {
         let mut merged = StatsSnapshot::default();
         let mut reporting = 0;
-        for node in &self.nodes {
+        for node in &self.nodes_snapshot() {
             let mut link = node.link.lock().expect("link lock");
-            if *node.state.lock().expect("state lock") == NodeState::Draining {
+            if node.state() != NodeState::Up {
                 continue;
             }
             if let Ok(snap) = link.obs_stats() {

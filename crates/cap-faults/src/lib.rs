@@ -19,7 +19,10 @@
 //!   2-bit), and
 //! * [`recovery`] — measurement of how many loads a faulted predictor
 //!   needs before its prediction rate returns within ε of a fault-free
-//!   twin.
+//!   twin, and
+//! * [`net`] — a seeded fault-injecting TCP proxy ([`net::ChaosProxy`])
+//!   for partitions, latency, resets, truncation, garbling, and
+//!   slow-loris against the fleet's wire protocol.
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod invariants;
+pub mod net;
 pub mod plan;
 pub mod recovery;
 pub mod service;
@@ -53,6 +57,9 @@ pub mod target;
 /// Commonly used items, for glob import in tests and examples.
 pub mod prelude {
     pub use crate::invariants::{check_invariants, InvariantViolation};
+    pub use crate::net::{
+        ChaosProxy, NetFault, NetFaultConfig, NetFaultPlan, NetFaultStats, PartitionMode,
+    };
     pub use crate::plan::{FaultKind, FaultPlan, InjectionReport};
     pub use crate::recovery::{measure_recovery, RecoveryConfig, RecoveryReport};
     pub use crate::service::{ServiceFault, ServiceFaultConfig, ServiceFaultPlan};

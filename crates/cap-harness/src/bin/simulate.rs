@@ -121,8 +121,8 @@ fn usage() -> ! {
     eprintln!("                [--shutdown <drain-ms>] [--json]");
     eprintln!("       simulate route --nodes <host:port,...> [--addr <host:port>]");
     eprintln!("                [--port-file <path>] [--ship-every-ms <n>] [--probe-every-ms <n>]");
-    eprintln!("                [--respawn --respawn-dir <dir>] [--workers <n>] [--queue <n>]");
-    eprintln!("                [--seed <s>]");
+    eprintln!("                [--respawn --respawn-dir <dir>] [--admin-file <path>]");
+    eprintln!("                [--workers <n>] [--queue <n>] [--seed <s>]");
     eprintln!("       simulate top --addr <host:port> | --cluster <host:port,...>");
     eprintln!("                [--events <n>] [--json]");
     exit(2);
@@ -600,12 +600,18 @@ fn cmd_top(mut args: Vec<String>) {
             })
         }
         (None, Some(list)) => {
+            // A dashboard must work *during* an incident: an
+            // unreachable (dead or partitioned) node is marked stale
+            // and skipped, never fatal to the merge. The read timeout
+            // is what keeps a black-holed node from hanging the view.
             let mut merged = cap_obs::StatsSnapshot::default();
             let mut reporting = 0usize;
             let mut polled = 0usize;
+            let mut stale: Vec<String> = Vec::new();
             for node in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                 polled += 1;
                 let snap = TcpClient::connect(node).and_then(|mut c| {
+                    c.set_read_timeout(Some(Duration::from_secs(2)))?;
                     c.obs_stats()
                         .map_err(|e| std::io::Error::other(e.to_string()))
                 });
@@ -614,14 +620,20 @@ fn cmd_top(mut args: Vec<String>) {
                         merged.merge(&snap);
                         reporting += 1;
                     }
-                    Err(e) => eprintln!("node {node} not reporting: {e}"),
+                    Err(e) => {
+                        eprintln!("node {node} stale: {e}");
+                        stale.push(node.to_owned());
+                    }
                 }
             }
-            if reporting == 0 {
-                eprintln!("no node of {polled} answered");
-                exit(1);
+            if stale.is_empty() {
+                eprintln!("fleet view: {reporting}/{polled} nodes reporting");
+            } else {
+                eprintln!(
+                    "fleet view: {reporting}/{polled} nodes reporting (stale: {})",
+                    stale.join(", ")
+                );
             }
-            eprintln!("fleet view: {reporting}/{polled} nodes reporting");
             merged
         }
         _ => {
@@ -649,6 +661,7 @@ fn router_stats_json(router: &Router) -> String {
         .bool("balances", a.balances())
         .u64("epoch", router.epoch())
         .u64("nodes", router.node_count() as u64)
+        .u64("live_nodes", router.live_node_count() as u64)
         .pretty()
 }
 
@@ -687,7 +700,10 @@ fn route_connection(
             Err(_) => return,
         };
         let response = match WireRequest::decode(&payload) {
-            Ok(WireRequest::Serve { request, budget }) => match router.call(request, budget) {
+            // Any client-stamped epoch is ignored: the router stamps
+            // its own current epoch on the node-facing hop.
+            Ok(WireRequest::Serve { request, budget, epoch: _ }) => match router.call(request, budget)
+            {
                 Ok(resp) => WireResponse::Response(resp),
                 Err(e) => WireResponse::Error {
                     code: e.code(),
@@ -702,6 +718,14 @@ fn route_connection(
             }
             Ok(WireRequest::SnapshotPull) => WireResponse::from_error(&ServiceError::Protocol(
                 "the router holds no predictor state; pull snapshots from a node".into(),
+            )),
+            Ok(
+                WireRequest::Fence { .. }
+                | WireRequest::ReplicaPush { .. }
+                | WireRequest::ReplicaFetch { .. },
+            ) => WireResponse::from_error(&ServiceError::Protocol(
+                "fence and replica frames are node-facing; the router front door refuses them"
+                    .into(),
             )),
             Ok(WireRequest::Shutdown { .. }) => {
                 stop.store(true, Ordering::Release);
@@ -753,17 +777,27 @@ fn respawn_node(
     if let Some(seed) = seed {
         cmd.arg("--seed").arg(seed.to_string());
     }
-    if let Some((replica, drift)) = router.replica(node) {
-        // Warm promotion: publish the replica as the newest checkpoint
-        // so the child's --resume restores it. The drift bound says how
-        // many answered requests the replacement has not seen.
+    if let Some((replica, drift)) = router.replica_any(node) {
+        // Warm promotion from the best surviving copy — the router's
+        // own replica, or the one the shard's ring successor holds
+        // (the R>1 payoff). Publish it as the newest checkpoint so the
+        // child's --resume restores it. The drift bound says how many
+        // answered requests the replacement has not seen; an older
+        // fetched generation reports it as unknown rather than lying.
         let seq = list_checkpoints(&node_dir)
             .ok()
             .and_then(|list| list.last().map(|(n, _)| n + 1))
             .unwrap_or(1);
         write_checkpoint(&node_dir, seq, &replica)?;
         cmd.arg("--resume");
-        eprintln!("promoting node {node} from replica (drift bound: {drift} requests)");
+        match drift {
+            Some(drift) => eprintln!(
+                "promoting node {node} from replica (drift bound: {drift} requests)"
+            ),
+            None => eprintln!(
+                "promoting node {node} from replica (drift bound: unknown, older generation)"
+            ),
+        }
     } else {
         eprintln!("no replica for node {node}; replacement starts cold");
     }
@@ -795,10 +829,53 @@ fn respawn_node(
     Ok(addr)
 }
 
+/// Applies one admin-file line to the live router: `add <host:port>`
+/// grows the ring, `remove <index>` shrinks it. Blank lines and `#`
+/// comments are skipped; anything else is reported and ignored.
+fn apply_admin_command(router: &Router, line: &str) {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (None, _) | (Some("#"), _) => {}
+        (Some("add"), Some(addr)) => {
+            match addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .ok_or_else(|| format!("cannot resolve '{addr}'"))
+                .and_then(|a| router.add_node(a).map_err(|e| e.to_string()))
+            {
+                Ok((index, epoch)) => eprintln!(
+                    "admin: node {index} added at {addr} (epoch {epoch}, {} live nodes)",
+                    router.live_node_count()
+                ),
+                Err(e) => eprintln!("admin: add {addr} failed: {e}"),
+            }
+        }
+        (Some("remove"), Some(index)) => {
+            match index
+                .parse::<usize>()
+                .map_err(|e| e.to_string())
+                .and_then(|i| router.remove_node(i).map(|r| (i, r)).map_err(|e| e.to_string()))
+            {
+                Ok((index, (_archive, epoch))) => eprintln!(
+                    "admin: node {index} removed (epoch {epoch}, {} live nodes)",
+                    router.live_node_count()
+                ),
+                Err(e) => eprintln!("admin: remove {index} failed: {e}"),
+            }
+        }
+        _ => {
+            if !line.starts_with('#') {
+                eprintln!("admin: unrecognized command '{line}'");
+            }
+        }
+    }
+}
+
 /// Hosts the cluster front door: consistent-hash routing across a
 /// fleet of `serve` nodes with background replica shipping, health
-/// probes, and (with `--respawn`) automatic promote-from-replica when a
-/// node goes dark.
+/// probes, (with `--respawn`) automatic promote-from-replica when a
+/// node goes dark, and (with `--admin-file`) runtime ring resizing.
 fn cmd_route(mut args: Vec<String>) {
     let nodes_arg = take_value(&mut args, "--nodes").unwrap_or_else(|| {
         eprintln!("route requires --nodes <host:port,host:port,...>");
@@ -815,6 +892,7 @@ fn cmd_route(mut args: Vec<String>) {
     );
     let respawn = take_flag(&mut args, "--respawn");
     let respawn_dir = take_value(&mut args, "--respawn-dir").map(PathBuf::from);
+    let admin_file = take_value(&mut args, "--admin-file").map(PathBuf::from);
     let workers = take_value(&mut args, "--workers").map_or(2, |v| parse_number("--workers", &v));
     let queue = take_value(&mut args, "--queue").map_or(64, |v| parse_number("--queue", &v));
     let seed = take_value(&mut args, "--seed").map(|v| parse_number("--seed", &v));
@@ -864,13 +942,31 @@ fn cmd_route(mut args: Vec<String>) {
                 let mut until_ship = ship_every;
                 let mut until_probe = probe_every;
                 let mut strikes = vec![0u32; router.node_count()];
+                let mut admin_seen = 0usize;
                 while !stop.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
                     until_probe = until_probe.saturating_sub(tick);
                     until_ship = until_ship.saturating_sub(tick);
+                    // Runtime resizing rides an append-only admin file:
+                    // each new line is `add <host:port>` or
+                    // `remove <index>`, applied in order.
+                    if let Some(path) = admin_file.as_deref() {
+                        if let Ok(text) = std::fs::read_to_string(path) {
+                            let lines: Vec<&str> = text.lines().collect();
+                            for line in lines.iter().skip(admin_seen) {
+                                apply_admin_command(&router, line.trim());
+                            }
+                            admin_seen = lines.len();
+                        }
+                    }
                     if until_probe == Duration::ZERO {
                         until_probe = probe_every;
-                        for (i, probed) in router.probe_now().into_iter().enumerate() {
+                        let probes = router.probe_now();
+                        if strikes.len() < probes.len() {
+                            // add_node grew the fleet since last probe.
+                            strikes.resize(probes.len(), 0);
+                        }
+                        for (i, probed) in probes.into_iter().enumerate() {
                             match probed {
                                 Ok(()) => strikes[i] = 0,
                                 Err(e) => {

@@ -35,8 +35,20 @@ fn populated_registry() -> Arc<Registry> {
     obs.count("pred.correct_predictions", 650);
     obs.count(cap_harness::names::CKPT_WRITTEN, 4);
 
+    obs.count(cap_cluster::names::PARTITION_SUSPECTED, 11);
+    obs.count(cap_cluster::names::REPLICA_PROMOTIONS, 1);
+    obs.count(cap_cluster::names::EPOCH_FENCED, 2);
+    obs.count(cap_cluster::names::REPLICA_PUSHED, 38);
+    obs.count(cap_cluster::names::REPLICA_PUSH_FAIL, 1);
+    obs.count(cap_cluster::names::RING_RESIZE, 1);
+    obs.count(cap_cluster::names::FENCE_FAIL, 1);
+
     obs.gauge("uarch.cache.live", 512);
     obs.gauge("debug.drift", -7);
+    // Per-node breaker state gauges: 0 = closed, 1 = open, 2 = half-open.
+    obs.gauge(&cap_cluster::names::breaker_state_gauge(0), 0);
+    obs.gauge(&cap_cluster::names::breaker_state_gauge(1), 1);
+    obs.gauge(&cap_cluster::names::breaker_state_gauge(2), 2);
 
     for latency in [3u64, 5, 9, 17, 33, 65, 129, 257, 1025, 4097] {
         obs.record(cap_service::names::LATENCY_BY_RUNG[0], latency);

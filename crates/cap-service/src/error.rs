@@ -63,6 +63,16 @@ pub enum ServiceError {
     BadSnapshot(String),
     /// A wire-protocol frame was malformed.
     Protocol(String),
+    /// A routed serve frame carried a stale routing epoch: this node is
+    /// fenced at `fence` and refuses to train under anything else. The
+    /// request was rejected *before* touching the backend, so a resend
+    /// under the current epoch is exactly-once safe.
+    Fenced {
+        /// The epoch this node is fenced at.
+        fence: u64,
+        /// The stale epoch the frame carried.
+        sent: u64,
+    },
 }
 
 impl ServiceError {
@@ -78,8 +88,13 @@ impl ServiceError {
             ServiceError::ReplyTimeout { .. } => 6,
             ServiceError::BadSnapshot(_) => 7,
             ServiceError::Protocol(_) => 8,
+            ServiceError::Fenced { .. } => 9,
         }
     }
+
+    /// Stable wire code of [`ServiceError::Fenced`], for callers
+    /// classifying structured errors that crossed the wire.
+    pub const FENCED_CODE: u8 = 9;
 
     /// True for errors a caller may simply retry after backing off
     /// (shed, deadline, reply-timeout, contained panic); false for
@@ -100,9 +115,13 @@ impl Classify for ServiceError {
             // `WorkerLost` is permanent from the caller's perspective:
             // the request may have partially trained the backend, so a
             // blind resend can double-count.
+            // `Fenced` is permanent *for the frame as sent*: the same
+            // stale epoch will bounce forever. The router re-routes
+            // under the current epoch instead of blind-resending.
             ServiceError::ShuttingDown
             | ServiceError::WorkerLost { .. }
-            | ServiceError::Protocol(_) => ErrorClass::Permanent,
+            | ServiceError::Protocol(_)
+            | ServiceError::Fenced { .. } => ErrorClass::Permanent,
             ServiceError::BadSnapshot(_) => ErrorClass::Corrupt,
         }
     }
@@ -129,6 +148,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::BadSnapshot(why) => write!(f, "bad service snapshot: {why}"),
             ServiceError::Protocol(why) => write!(f, "protocol error: {why}"),
+            ServiceError::Fenced { fence, sent } => {
+                write!(f, "stale routing epoch {sent}: node is fenced at epoch {fence}")
+            }
         }
     }
 }
@@ -155,6 +177,7 @@ mod tests {
             },
             ServiceError::BadSnapshot("x".into()),
             ServiceError::Protocol("y".into()),
+            ServiceError::Fenced { fence: 2, sent: 1 },
         ];
         let mut codes: Vec<u8> = all.iter().map(ServiceError::code).collect();
         codes.sort_unstable();
@@ -189,9 +212,11 @@ mod tests {
             ServiceError::ReplyTimeout { waited: Duration::from_secs(1) },
             ServiceError::BadSnapshot("x".into()),
             ServiceError::Protocol("y".into()),
+            ServiceError::Fenced { fence: 2, sent: 1 },
         ] {
             assert_eq!(e.is_retryable(), e.error_class().is_retryable(), "{e}");
         }
+        assert_eq!(ServiceError::Fenced { fence: 2, sent: 1 }.code(), ServiceError::FENCED_CODE);
     }
 
     #[test]

@@ -14,12 +14,13 @@
 use crate::error::ServiceError;
 use crate::service::{ServiceHandle, ServiceStats};
 use crate::wire::{
-    read_frame, read_frame_with_cap, write_frame, write_frame_with_cap, WireRequest, WireResponse,
-    MAX_REPLY_FRAME_LEN,
+    read_frame_with_cap, write_frame_with_cap, FrameReader, WireRequest, WireResponse,
+    MAX_FRAME_LEN, MAX_REPLY_FRAME_LEN,
 };
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -35,12 +36,26 @@ pub type ObsExporter = Arc<dyn Fn() -> Vec<u8> + Send + Sync>;
 /// shutdown flag while blocked on I/O.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Most peer-shard replicas one node will hold. Fleets are small (a
+/// handful of shards); the bound exists so a hostile peer cannot grow
+/// the store without limit.
+const REPLICA_STORE_MAX_SHARDS: usize = 64;
+
+/// Replicas of peer shards held by a fleet node, keyed by ring
+/// identity. Only the newest ship generation per shard is kept.
+type ReplicaStore = Arc<Mutex<BTreeMap<u64, (u64, Vec<u8>)>>>;
+
 /// A bound TCP server ready to serve one [`ServiceHandle`].
 pub struct TcpServer {
     listener: TcpListener,
     handle: ServiceHandle,
     render_stats: StatsRenderer,
     obs_export: Option<ObsExporter>,
+    request_cap: usize,
+    // Routing-epoch fence, stored as epoch+1 so 0 means "never fenced"
+    // (a fresh node accepts any epoch until its router fences it).
+    fence: Arc<AtomicU64>,
+    replicas: ReplicaStore,
 }
 
 impl std::fmt::Debug for TcpServer {
@@ -68,6 +83,9 @@ impl TcpServer {
             handle,
             render_stats,
             obs_export: None,
+            request_cap: MAX_FRAME_LEN,
+            fence: Arc::new(AtomicU64::new(0)),
+            replicas: Arc::new(Mutex::new(BTreeMap::new())),
         })
     }
 
@@ -77,6 +95,16 @@ impl TcpServer {
     #[must_use]
     pub fn with_obs_exporter(mut self, export: ObsExporter) -> Self {
         self.obs_export = Some(export);
+        self
+    }
+
+    /// Raises the per-request frame cap. Fleet nodes need this: a
+    /// replica push carries a whole warm-restart archive, which
+    /// outgrows the hostile-tight default of [`MAX_FRAME_LEN`]. Servers
+    /// facing untrusted peers keep the default.
+    #[must_use]
+    pub fn with_request_cap(mut self, cap: usize) -> Self {
+        self.request_cap = cap;
         self
     }
 
@@ -112,8 +140,24 @@ impl TcpServer {
                     let obs_export = self.obs_export.clone();
                     let stop = Arc::clone(&stop);
                     let drain = Arc::clone(&drain);
+                    let request_cap = self.request_cap;
+                    let fence = Arc::clone(&self.fence);
+                    let replicas = Arc::clone(&self.replicas);
                     conns.push(std::thread::spawn(move || {
-                        serve_connection(stream, &handle, &render, obs_export.as_ref(), &stop, &drain);
+                        let shared = ConnShared {
+                            request_cap,
+                            fence,
+                            replicas,
+                        };
+                        serve_connection(
+                            stream,
+                            &handle,
+                            &render,
+                            obs_export.as_ref(),
+                            &shared,
+                            &stop,
+                            &drain,
+                        );
                     }));
                     // Reap finished connection threads so a long-lived
                     // server does not accumulate handles.
@@ -134,11 +178,50 @@ impl TcpServer {
     }
 }
 
+/// Per-server state shared by every connection thread.
+struct ConnShared {
+    request_cap: usize,
+    fence: Arc<AtomicU64>,
+    replicas: ReplicaStore,
+}
+
+impl ConnShared {
+    /// The fence check run on every routed serve frame, *before* the
+    /// request touches the backend. Direct traffic (`epoch: None`)
+    /// always passes; routed traffic must match the fence exactly once
+    /// one is set.
+    fn check_fence(&self, epoch: Option<u64>) -> Result<(), ServiceError> {
+        let fence = self.fence.load(Ordering::Acquire);
+        match (fence, epoch) {
+            (0, _) | (_, None) => Ok(()),
+            (f, Some(sent)) if sent + 1 == f => Ok(()),
+            (f, Some(sent)) => Err(ServiceError::Fenced { fence: f - 1, sent }),
+        }
+    }
+
+    fn store_replica(&self, shard: u64, generation: u64, bytes: Vec<u8>) -> bool {
+        let mut store = self.replicas.lock().expect("replica store lock");
+        match store.get(&shard) {
+            Some((held, _)) if *held >= generation => false,
+            Some(_) => {
+                store.insert(shard, (generation, bytes));
+                true
+            }
+            None if store.len() >= REPLICA_STORE_MAX_SHARDS => false,
+            None => {
+                store.insert(shard, (generation, bytes));
+                true
+            }
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     handle: &ServiceHandle,
     render_stats: &StatsRenderer,
     obs_export: Option<&ObsExporter>,
+    shared: &ConnShared,
     stop: &AtomicBool,
     drain: &Mutex<Duration>,
 ) {
@@ -149,11 +232,16 @@ fn serve_connection(
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    // The resumable reader keeps partial progress across the read
+    // timeout used to poll the stop flag, so a frame trickling in
+    // slower than one poll interval (a slow or slow-loris peer) still
+    // assembles instead of desyncing the stream.
+    let mut reader = FrameReader::new(shared.request_cap);
     loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        let payload = match read_frame(&mut stream) {
+        let payload = match reader.read_from(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean disconnect
             Err(e)
@@ -165,7 +253,14 @@ fn serve_connection(
             Err(_) => return, // torn frame or dead socket
         };
         let response = match WireRequest::decode(&payload) {
-            Ok(WireRequest::Serve { request, budget }) => match handle.call(request, budget) {
+            Ok(WireRequest::Serve {
+                request,
+                budget,
+                epoch,
+            }) => match shared
+                .check_fence(epoch)
+                .and_then(|()| handle.call(request, budget))
+            {
                 Ok(resp) => WireResponse::Response(resp),
                 Err(err) => WireResponse::from_error(&err),
             },
@@ -181,6 +276,25 @@ fn serve_connection(
                 Ok(archive) => WireResponse::Snapshot(archive),
                 Err(err) => WireResponse::from_error(&err),
             },
+            Ok(WireRequest::Fence { epoch }) => {
+                shared.fence.store(epoch + 1, Ordering::Release);
+                WireResponse::FenceAck
+            }
+            Ok(WireRequest::ReplicaPush {
+                shard,
+                generation,
+                bytes,
+            }) => WireResponse::ReplicaAck {
+                stored: shared.store_replica(shard, generation, bytes),
+            },
+            Ok(WireRequest::ReplicaFetch { shard }) => WireResponse::Replica(
+                shared
+                    .replicas
+                    .lock()
+                    .expect("replica store lock")
+                    .get(&shard)
+                    .cloned(),
+            ),
             Ok(WireRequest::Shutdown { drain: budget }) => {
                 *drain.lock().expect("drain lock") = budget;
                 stop.store(true, Ordering::Release);
@@ -204,6 +318,7 @@ fn serve_connection(
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
+    read_timeout: Option<Duration>,
 }
 
 impl TcpClient {
@@ -215,16 +330,50 @@ impl TcpClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            read_timeout: None,
+        })
+    }
+
+    /// Bounds how long a reply read may sit idle before the call fails
+    /// with [`ServiceError::ReplyTimeout`]. This is an *inactivity*
+    /// timeout: a reply trickling in keeps resetting it. After a
+    /// timeout the stream may still carry the late reply, so the caller
+    /// must drop this client rather than reuse a desynced connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     fn roundtrip(&mut self, request: &WireRequest) -> Result<WireResponse, ServiceError> {
         let io_err = |e: io::Error| ServiceError::Protocol(format!("transport: {e}"));
-        write_frame(&mut self.stream, &request.encode()).map_err(io_err)?;
+        // Replica pushes carry whole archives, so they get the wide
+        // write cap; every other request stays small.
+        let write_cap = if matches!(request, WireRequest::ReplicaPush { .. }) {
+            MAX_REPLY_FRAME_LEN
+        } else {
+            crate::wire::MAX_FRAME_LEN
+        };
+        write_frame_with_cap(&mut self.stream, &request.encode(), write_cap).map_err(io_err)?;
         // Replies are read under the wide cap: snapshot-pull answers
         // carry whole archives. We chose this server; the asymmetric
         // trust is deliberate.
-        match read_frame_with_cap(&mut self.stream, MAX_REPLY_FRAME_LEN).map_err(io_err)? {
+        let reply = read_frame_with_cap(&mut self.stream, MAX_REPLY_FRAME_LEN).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                ServiceError::ReplyTimeout {
+                    waited: self.read_timeout.unwrap_or(Duration::ZERO),
+                }
+            } else {
+                io_err(e)
+            }
+        })?;
+        match reply {
             Some(payload) => WireResponse::decode(&payload),
             None => Err(ServiceError::Protocol(
                 "server closed the connection mid-request".into(),
@@ -232,19 +381,108 @@ impl TcpClient {
         }
     }
 
-    /// Sends one prediction request.
+    /// Sends one prediction request as direct (unrouted, never fenced
+    /// out) client traffic.
     ///
     /// # Errors
     ///
     /// Service-side errors come back with their original
     /// [`ServiceError::code`] inside [`WireResponse::Error`]; transport
-    /// failures surface as [`ServiceError::Protocol`].
+    /// failures surface as [`ServiceError::Protocol`]; an idle reply
+    /// read over the configured timeout as
+    /// [`ServiceError::ReplyTimeout`].
     pub fn serve(
         &mut self,
         request: crate::service::Request,
         budget: Option<Duration>,
     ) -> Result<WireResponse, ServiceError> {
-        self.roundtrip(&WireRequest::Serve { request, budget })
+        self.roundtrip(&WireRequest::Serve {
+            request,
+            budget,
+            epoch: None,
+        })
+    }
+
+    /// Sends one prediction request stamped with the routing epoch the
+    /// sender's routing table carried. A fenced server refuses stale
+    /// epochs with [`ServiceError::Fenced`] before any training.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn serve_routed(
+        &mut self,
+        request: crate::service::Request,
+        budget: Option<Duration>,
+        epoch: u64,
+    ) -> Result<WireResponse, ServiceError> {
+        self.roundtrip(&WireRequest::Serve {
+            request,
+            budget,
+            epoch: Some(epoch),
+        })
+    }
+
+    /// Pins the routing epoch the server accepts routed traffic under.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn fence(&mut self, epoch: u64) -> Result<(), ServiceError> {
+        match self.roundtrip(&WireRequest::Fence { epoch })? {
+            WireResponse::FenceAck => Ok(()),
+            WireResponse::Error { code, message } => Err(ServiceError::Protocol(format!(
+                "server error {code}: {message}"
+            ))),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response to fence: {other:?}"
+            ))),
+        }
+    }
+
+    /// Stores a warm replica of shard `shard` on the server. Returns
+    /// whether the push won (a push loses only to a generation at least
+    /// as new already held).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn replica_push(
+        &mut self,
+        shard: u64,
+        generation: u64,
+        bytes: Vec<u8>,
+    ) -> Result<bool, ServiceError> {
+        match self.roundtrip(&WireRequest::ReplicaPush {
+            shard,
+            generation,
+            bytes,
+        })? {
+            WireResponse::ReplicaAck { stored } => Ok(stored),
+            WireResponse::Error { code, message } => Err(ServiceError::Protocol(format!(
+                "server error {code}: {message}"
+            ))),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response to replica-push: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the newest stored replica for shard `shard`, if any.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpClient::serve`].
+    pub fn replica_fetch(&mut self, shard: u64) -> Result<Option<(u64, Vec<u8>)>, ServiceError> {
+        match self.roundtrip(&WireRequest::ReplicaFetch { shard })? {
+            WireResponse::Replica(held) => Ok(held),
+            WireResponse::Error { code, message } => Err(ServiceError::Protocol(format!(
+                "server error {code}: {message}"
+            ))),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected response to replica-fetch: {other:?}"
+            ))),
+        }
     }
 
     /// Fetches the server-rendered stats JSON.

@@ -15,9 +15,19 @@
 //! stats, `4` shutdown, `5` obs-stats (the binary
 //! [`cap_obs::StatsSnapshot`] frame), `6` snapshot-pull (a live
 //! warm-restart archive of the whole service — the cluster layer's
-//! replica-shipping primitive). Response status: `0` ok (payload
-//! follows), otherwise a [`ServiceError::code`] with a human-readable
-//! message.
+//! replica-shipping primitive), `7` fence (pin the routing epoch this
+//! node will accept serve traffic under), `8` replica-push (store a
+//! peer shard's warm replica), `9` replica-fetch (hand a stored replica
+//! back). Response status: `0` ok (payload follows), otherwise a
+//! [`ServiceError::code`] with a human-readable message.
+//!
+//! Serve frames additionally carry an optional **routing epoch**. A
+//! router stamps every forwarded request with the epoch of the routing
+//! table it used; a fenced node refuses epochs other than its fence
+//! with [`ServiceError::Fenced`] *before* any training happens, so a
+//! node that was partitioned across a promotion can never be mutated by
+//! stale traffic once the partition heals. Direct clients send no epoch
+//! and are never fenced out.
 
 use crate::error::ServiceError;
 use crate::ladder::Rung;
@@ -28,7 +38,9 @@ use std::time::Duration;
 
 /// Protocol revision spoken by this build. Bump on any frame-layout
 /// change; decoders refuse other versions with a structured error.
-pub const WIRE_VERSION: u8 = 1;
+/// Version 2 added the routing epoch on serve frames and the
+/// fence/replica opcodes.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on one *request* frame's payload (1 MiB — every
 /// request is a few dozen bytes; the cap exists purely to bound what a
@@ -50,6 +62,9 @@ const OP_STATS: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
 const OP_OBS: u8 = 5;
 const OP_SNAPSHOT_PULL: u8 = 6;
+const OP_FENCE: u8 = 7;
+const OP_REPLICA_PUSH: u8 = 8;
+const OP_REPLICA_FETCH: u8 = 9;
 
 const STATUS_OK: u8 = 0;
 
@@ -63,6 +78,10 @@ pub enum WireRequest {
         request: Request,
         /// Deadline budget (`None` = no deadline).
         budget: Option<Duration>,
+        /// Routing epoch stamped by a router (`None` = direct client
+        /// traffic, never fenced out). A fenced server refuses other
+        /// epochs with [`ServiceError::Fenced`] before training.
+        epoch: Option<u64>,
     },
     /// Fetch the stats document (rendered server-side as JSON).
     Stats,
@@ -72,6 +91,29 @@ pub enum WireRequest {
     /// Fetch a live warm-restart snapshot of the whole service without
     /// stopping it (the cluster layer ships these to warm replicas).
     SnapshotPull,
+    /// Pin the routing epoch this server accepts serve traffic under.
+    /// Routers fence every node they promote or re-route around so
+    /// stale traffic from before an epoch flip bounces off.
+    Fence {
+        /// The routing epoch to accept from now on.
+        epoch: u64,
+    },
+    /// Store a warm replica of a peer shard on this node (the R>1
+    /// replication primitive — each shard ships to its ring
+    /// successors).
+    ReplicaPush {
+        /// Ring identity of the shard this replica belongs to.
+        shard: u64,
+        /// Monotonic ship generation; stores keep only the newest.
+        generation: u64,
+        /// The warm-restart archive, opaque at this layer.
+        bytes: Vec<u8>,
+    },
+    /// Fetch the stored replica (if any) for a peer shard.
+    ReplicaFetch {
+        /// Ring identity of the shard to look up.
+        shard: u64,
+    },
     /// Drain under this budget, snapshot, and exit.
     Shutdown {
         /// Drain budget granted to in-flight requests.
@@ -94,6 +136,19 @@ pub enum WireResponse {
     /// [`WireRequest::SnapshotPull`]. Opaque bytes at this layer for
     /// the same reason as `ObsStats`.
     Snapshot(Vec<u8>),
+    /// Acknowledges a [`WireRequest::Fence`]; the server now refuses
+    /// serve traffic under any other epoch.
+    FenceAck,
+    /// Acknowledges a [`WireRequest::ReplicaPush`]. `stored` is false
+    /// when the push lost to a newer generation already held.
+    ReplicaAck {
+        /// Whether the pushed replica is now the one held.
+        stored: bool,
+    },
+    /// Answers a [`WireRequest::ReplicaFetch`]: the newest stored
+    /// generation and archive, or `None` when this node holds no
+    /// replica for that shard.
+    Replica(Option<(u64, Vec<u8>)>),
     /// Acknowledges a shutdown request; the connection closes after.
     ShutdownAck,
     /// Structured failure: a [`ServiceError::code`] plus its message.
@@ -139,9 +194,11 @@ impl WireRequest {
                         actual,
                     },
                 budget,
+                epoch,
             } => {
                 w.put_u8(OP_OBSERVE);
                 w.put_u32(budget_ms(*budget));
+                w.put_opt_u64(*epoch);
                 w.put_u64(*ip);
                 w.put_i32(*offset);
                 w.put_u64(*ghr);
@@ -150,9 +207,11 @@ impl WireRequest {
             WireRequest::Serve {
                 request: Request::Predict { ip, offset, ghr },
                 budget,
+                epoch,
             } => {
                 w.put_u8(OP_PREDICT);
                 w.put_u32(budget_ms(*budget));
+                w.put_opt_u64(*epoch);
                 w.put_u64(*ip);
                 w.put_i32(*offset);
                 w.put_u64(*ghr);
@@ -160,6 +219,25 @@ impl WireRequest {
             WireRequest::Stats => w.put_u8(OP_STATS),
             WireRequest::ObsStats => w.put_u8(OP_OBS),
             WireRequest::SnapshotPull => w.put_u8(OP_SNAPSHOT_PULL),
+            WireRequest::Fence { epoch } => {
+                w.put_u8(OP_FENCE);
+                w.put_u64(*epoch);
+            }
+            WireRequest::ReplicaPush {
+                shard,
+                generation,
+                bytes,
+            } => {
+                w.put_u8(OP_REPLICA_PUSH);
+                w.put_u64(*shard);
+                w.put_u64(*generation);
+                w.put_len(bytes.len());
+                w.put_raw(bytes);
+            }
+            WireRequest::ReplicaFetch { shard } => {
+                w.put_u8(OP_REPLICA_FETCH);
+                w.put_u64(*shard);
+            }
             WireRequest::Shutdown { drain } => {
                 w.put_u8(OP_SHUTDOWN);
                 w.put_u32(u32::try_from(drain.as_millis()).unwrap_or(u32::MAX));
@@ -182,6 +260,7 @@ impl WireRequest {
         let decoded = match op {
             OP_OBSERVE => {
                 let budget = parse_budget(r.take_u32("budget").map_err(|e| proto(&e))?);
+                let epoch = r.take_opt_u64("epoch").map_err(|e| proto(&e))?;
                 WireRequest::Serve {
                     request: Request::Observe {
                         ip: r.take_u64("ip").map_err(|e| proto(&e))?,
@@ -190,10 +269,12 @@ impl WireRequest {
                         actual: r.take_u64("actual").map_err(|e| proto(&e))?,
                     },
                     budget,
+                    epoch,
                 }
             }
             OP_PREDICT => {
                 let budget = parse_budget(r.take_u32("budget").map_err(|e| proto(&e))?);
+                let epoch = r.take_opt_u64("epoch").map_err(|e| proto(&e))?;
                 WireRequest::Serve {
                     request: Request::Predict {
                         ip: r.take_u64("ip").map_err(|e| proto(&e))?,
@@ -201,11 +282,29 @@ impl WireRequest {
                         ghr: r.take_u64("ghr").map_err(|e| proto(&e))?,
                     },
                     budget,
+                    epoch,
                 }
             }
             OP_STATS => WireRequest::Stats,
             OP_OBS => WireRequest::ObsStats,
             OP_SNAPSHOT_PULL => WireRequest::SnapshotPull,
+            OP_FENCE => WireRequest::Fence {
+                epoch: r.take_u64("fence epoch").map_err(|e| proto(&e))?,
+            },
+            OP_REPLICA_PUSH => {
+                let shard = r.take_u64("replica shard").map_err(|e| proto(&e))?;
+                let generation = r.take_u64("replica generation").map_err(|e| proto(&e))?;
+                let len = r.take_len(1, "replica archive").map_err(|e| proto(&e))?;
+                let bytes = r.take_raw(len, "replica archive").map_err(|e| proto(&e))?;
+                WireRequest::ReplicaPush {
+                    shard,
+                    generation,
+                    bytes: bytes.to_vec(),
+                }
+            }
+            OP_REPLICA_FETCH => WireRequest::ReplicaFetch {
+                shard: r.take_u64("replica shard").map_err(|e| proto(&e))?,
+            },
             OP_SHUTDOWN => WireRequest::Shutdown {
                 drain: Duration::from_millis(u64::from(
                     r.take_u32("drain").map_err(|e| proto(&e))?,
@@ -290,6 +389,28 @@ impl WireResponse {
                 w.put_len(bytes.len());
                 w.put_raw(bytes);
             }
+            WireResponse::FenceAck => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_FENCE);
+            }
+            WireResponse::ReplicaAck { stored } => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_REPLICA_PUSH);
+                w.put_bool(*stored);
+            }
+            WireResponse::Replica(held) => {
+                w.put_u8(STATUS_OK);
+                w.put_u8(OP_REPLICA_FETCH);
+                match held {
+                    Some((generation, bytes)) => {
+                        w.put_bool(true);
+                        w.put_u64(*generation);
+                        w.put_len(bytes.len());
+                        w.put_raw(bytes);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
             WireResponse::ShutdownAck => {
                 w.put_u8(STATUS_OK);
                 w.put_u8(OP_SHUTDOWN);
@@ -335,6 +456,20 @@ impl WireResponse {
                     let len = r.take_len(1, "snapshot archive").map_err(|e| proto(&e))?;
                     let bytes = r.take_raw(len, "snapshot archive").map_err(|e| proto(&e))?;
                     WireResponse::Snapshot(bytes.to_vec())
+                }
+                OP_FENCE => WireResponse::FenceAck,
+                OP_REPLICA_PUSH => WireResponse::ReplicaAck {
+                    stored: r.take_bool("replica stored").map_err(|e| proto(&e))?,
+                },
+                OP_REPLICA_FETCH => {
+                    if r.take_bool("replica present").map_err(|e| proto(&e))? {
+                        let generation = r.take_u64("replica generation").map_err(|e| proto(&e))?;
+                        let len = r.take_len(1, "replica archive").map_err(|e| proto(&e))?;
+                        let bytes = r.take_raw(len, "replica archive").map_err(|e| proto(&e))?;
+                        WireResponse::Replica(Some((generation, bytes.to_vec())))
+                    } else {
+                        WireResponse::Replica(None)
+                    }
                 }
                 OP_SHUTDOWN => WireResponse::ShutdownAck,
                 other => {
@@ -436,6 +571,88 @@ pub fn read_frame_with_cap(r: &mut impl Read, cap: usize) -> std::io::Result<Opt
     Ok(Some(payload))
 }
 
+/// A resumable frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] loses any partial progress when the underlying read
+/// times out mid-frame, which desyncs the stream against a slow (or
+/// deliberately slow-loris) peer. `FrameReader` keeps the partially
+/// filled length prefix and payload across `WouldBlock`/`TimedOut`
+/// errors, so a server polling its shutdown flag on a 50ms timeout can
+/// resume a frame that trickles in over many poll intervals.
+#[derive(Debug)]
+pub struct FrameReader {
+    cap: usize,
+    len_bytes: [u8; 4],
+    len_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader refusing announced lengths over `cap`.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            len_bytes: [0; 4],
+            len_filled: 0,
+            payload: Vec::new(),
+            payload_filled: 0,
+        }
+    }
+
+    /// True when no bytes of the next frame have arrived yet (a clean
+    /// EOF here is a peer hanging up between messages, not a torn
+    /// frame).
+    #[must_use]
+    pub fn at_boundary(&self) -> bool {
+        self.len_filled == 0
+    }
+
+    /// Reads as much of the next frame as `r` will give. Returns
+    /// `Ok(Some(payload))` when a frame completes, `Ok(None)` on a
+    /// clean EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock`/`TimedOut` errors are safe to retry — partial
+    /// progress is kept. Any other error (including `UnexpectedEof`
+    /// mid-frame and an announced length over the cap) is fatal to the
+    /// stream.
+    pub fn read_from(&mut self, r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+        while self.len_filled < 4 {
+            let n = r.read(&mut self.len_bytes[self.len_filled..])?;
+            if n == 0 {
+                if self.len_filled == 0 {
+                    return Ok(None); // clean EOF between frames
+                }
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.len_filled += n;
+            if self.len_filled == 4 {
+                let len = u32::from_le_bytes(self.len_bytes) as usize;
+                if len > self.cap {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("peer announced frame of {len} bytes, cap {}", self.cap),
+                    ));
+                }
+                self.payload = vec![0u8; len];
+                self.payload_filled = 0;
+            }
+        }
+        while self.payload_filled < self.payload.len() {
+            let n = r.read(&mut self.payload[self.payload_filled..])?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.payload_filled += n;
+        }
+        self.len_filled = 0;
+        Ok(Some(std::mem::take(&mut self.payload)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +677,7 @@ mod tests {
                 actual: 0xDEAD_BEEF,
             },
             budget: Some(Duration::from_millis(250)),
+            epoch: Some(3),
         });
         roundtrip_request(&WireRequest::Serve {
             request: Request::Predict {
@@ -468,10 +686,18 @@ mod tests {
                 ghr: 0,
             },
             budget: None,
+            epoch: None,
         });
         roundtrip_request(&WireRequest::Stats);
         roundtrip_request(&WireRequest::ObsStats);
         roundtrip_request(&WireRequest::SnapshotPull);
+        roundtrip_request(&WireRequest::Fence { epoch: u64::MAX });
+        roundtrip_request(&WireRequest::ReplicaPush {
+            shard: 2,
+            generation: 17,
+            bytes: vec![0xCA, 0x9A, 0x00],
+        });
+        roundtrip_request(&WireRequest::ReplicaFetch { shard: 0 });
         roundtrip_request(&WireRequest::Shutdown {
             drain: Duration::from_millis(500),
         });
@@ -495,6 +721,11 @@ mod tests {
             cap_obs::StatsSnapshot::default().encode(),
         ));
         roundtrip_response(&WireResponse::Snapshot(vec![0xCA, 0x9A, 0x00, 0x01]));
+        roundtrip_response(&WireResponse::FenceAck);
+        roundtrip_response(&WireResponse::ReplicaAck { stored: true });
+        roundtrip_response(&WireResponse::ReplicaAck { stored: false });
+        roundtrip_response(&WireResponse::Replica(Some((9, vec![1, 2, 3]))));
+        roundtrip_response(&WireResponse::Replica(None));
         roundtrip_response(&WireResponse::ShutdownAck);
         roundtrip_response(&WireResponse::from_error(&ServiceError::Shed {
             capacity: 64,
@@ -512,6 +743,7 @@ mod tests {
                 ghr: 0,
             },
             budget: Some(Duration::ZERO),
+            epoch: None,
         };
         match WireRequest::decode(&req.encode()).unwrap() {
             WireRequest::Serve { budget, .. } => assert_eq!(budget, None),
@@ -532,6 +764,7 @@ mod tests {
                 ghr: 0,
             },
             budget: None,
+            epoch: None,
         }
         .encode();
         assert!(matches!(
@@ -633,5 +866,82 @@ mod tests {
             read_frame(&mut torn).unwrap_err().kind(),
             std::io::ErrorKind::UnexpectedEof
         );
+    }
+
+    /// A reader that yields `chunk` bytes then a WouldBlock, repeating —
+    /// models a socket read timeout splitting a frame.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        // A frame trickling in one byte per read timeout must still
+        // assemble — `read_frame` would desync here, losing its
+        // partial progress on the WouldBlock.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slow-loris").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut src = Trickle {
+            data: wire,
+            pos: 0,
+            chunk: 1,
+            ready: false,
+        };
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        while frames.len() < 2 {
+            match reader.read_from(&mut src) {
+                Ok(Some(p)) => frames.push(p),
+                Ok(None) => panic!("unexpected EOF"),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(frames, vec![b"slow-loris".to_vec(), b"second".to_vec()]);
+        assert!(reader.at_boundary());
+    }
+
+    #[test]
+    fn frame_reader_flags_torn_frames_and_oversize() {
+        // EOF mid-payload is torn, not clean.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut reader = FrameReader::new(MAX_FRAME_LEN);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(
+            reader.read_from(&mut cursor).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        // An announced length over the cap is refused before allocating.
+        let mut reader = FrameReader::new(16);
+        let mut evil = std::io::Cursor::new(1024u32.to_le_bytes().to_vec());
+        assert_eq!(
+            reader.read_from(&mut evil).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // Clean EOF at a boundary is still Ok(None).
+        let mut reader = FrameReader::new(16);
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(reader.read_from(&mut empty).unwrap().is_none());
+        assert!(reader.at_boundary());
     }
 }

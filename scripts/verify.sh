@@ -2,7 +2,7 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service|obs|cluster|bench]
+# Usage: scripts/verify.sh [all|service|obs|cluster|netchaos|bench]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
@@ -12,6 +12,12 @@
 #   cluster  just the fleet gate: router crate tests, the multi-process
 #            chaos soak (seeded kills + rolling restart vs control),
 #            and a scripted 3-node kill-and-promote smoke
+#   netchaos just the partition-tolerance gate: chaos-proxy crate
+#            tests, the two-phase partition soak (exact accounting
+#            under injected network faults, then post-heal bit-identity
+#            vs an unpartitioned control; CAP_SOAK_QUICK keeps it under
+#            a minute), and a scripted runtime ring-resize smoke driven
+#            through `route --admin-file`
 #   bench    just the perf-baseline gate: the packed-vs-legacy
 #            differential, then the baseline bench emitting
 #            BENCH_<git-short-sha>.json and diffing it against the
@@ -22,8 +28,8 @@ cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service|obs|cluster|bench) ;;
-    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|bench]" >&2; exit 2 ;;
+    all|service|obs|cluster|netchaos|bench) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|netchaos|bench]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -345,6 +351,151 @@ cluster_gate() {
     echo "cluster smoke: kill survived, replica promoted, ledger balanced"
 }
 
+# The partition-tolerance gate: the network fault model's contracts.
+#   1. Chaos-proxy crate tests — seeded fault plans are deterministic,
+#      replayable, and order-independent.
+#   2. Partition + fencing router tests — black-hole partitions read as
+#      timeouts and trip the breaker, latency above the deadline is the
+#      partition signature, mid-stream resets during a snapshot pull
+#      never corrupt the held replica, and runtime resizes fence stale
+#      epochs.
+#   3. The two-phase partition soak — thousands of requests through
+#      fault-injecting proxies with exact accounting (every request
+#      answered, shed, or attributed to failover; none lost or
+#      double-trained), then a partitioned fleet healing to
+#      bit-identical state vs an unpartitioned control. CAP_SOAK_QUICK
+#      keeps the gate under a minute; unset it for the full-size soak.
+#   4. A scripted runtime-resize smoke — a live fleet grows and shrinks
+#      through `route --admin-file` while traffic flows, and the ledger
+#      still balances.
+netchaos_gate() {
+    step "netchaos: chaos-proxy fault-plan tests (deterministic, seeded)"
+    cargo test -q --offline --release -p cap-faults net::
+
+    step "netchaos: partition + fencing router tests"
+    cargo test -q --offline --release -p cap-cluster --test router
+
+    step "netchaos: two-phase partition soak (quick mode)"
+    CAP_SOAK_QUICK=1 cargo test -q --offline --release -p cap-harness \
+        --test partition_soak
+
+    step "netchaos: scripted runtime ring resize under live traffic"
+    local dir="$SMOKE_DIR/netchaos"
+    mkdir -p "$dir"
+    "${SIMULATE[@]}" gen --out "$dir/trace.txt" --loads 6000
+
+    local pids=() addrs=() i
+    for i in 1 2 3; do
+        rm -f "$dir/port$i"
+        "${SIMULATE[@]}" serve --addr 127.0.0.1:0 --port-file "$dir/port$i" \
+            --workers 2 --snapshot-dir "$dir/node$i" > "$dir/serve$i.log" 2>&1 &
+        pids+=($!)
+    done
+    for i in 1 2 3; do
+        for _ in $(seq 1 100); do [ -s "$dir/port$i" ] && break; sleep 0.1; done
+        [ -s "$dir/port$i" ] || {
+            echo "ERROR: node $i never published its port" >&2
+            cat "$dir/serve$i.log" >&2
+            exit 1
+        }
+        addrs+=("127.0.0.1:$(cat "$dir/port$i")")
+    done
+
+    rm -f "$dir/rport"
+    : > "$dir/admin"
+    "${SIMULATE[@]}" route --nodes "$(IFS=,; echo "${addrs[*]}")" \
+        --port-file "$dir/rport" --admin-file "$dir/admin" \
+        --ship-every-ms 200 --probe-every-ms 100 > "$dir/route.log" 2>&1 &
+    local route_pid=$!
+    for _ in $(seq 1 100); do [ -s "$dir/rport" ] && break; sleep 0.1; done
+    [ -s "$dir/rport" ] || {
+        echo "ERROR: router never published its port" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    local raddr="127.0.0.1:$(cat "$dir/rport")"
+
+    "${SIMULATE[@]}" client --addr "$raddr" --trace "$dir/trace.txt" \
+        --take 2000 --json > "$dir/replay1.json"
+    grep -q '"sent": 2000' "$dir/replay1.json" || {
+        echo "ERROR: pre-resize replay did not send all 2000 loads" >&2
+        exit 1
+    }
+
+    # Grow: bring up a fourth node, then hand it to the live router via
+    # the admin file.
+    rm -f "$dir/port4"
+    "${SIMULATE[@]}" serve --addr 127.0.0.1:0 --port-file "$dir/port4" \
+        --workers 2 --snapshot-dir "$dir/node4" > "$dir/serve4.log" 2>&1 &
+    pids+=($!)
+    for _ in $(seq 1 100); do [ -s "$dir/port4" ] && break; sleep 0.1; done
+    [ -s "$dir/port4" ] || {
+        echo "ERROR: node 4 never published its port" >&2
+        cat "$dir/serve4.log" >&2
+        exit 1
+    }
+    addrs+=("127.0.0.1:$(cat "$dir/port4")")
+    echo "add ${addrs[3]}" >> "$dir/admin"
+    for _ in $(seq 1 100); do
+        grep -q 'admin: node 3 added' "$dir/route.log" && break
+        sleep 0.1
+    done
+    grep -q 'admin: node 3 added' "$dir/route.log" || {
+        echo "ERROR: admin add never applied" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+
+    # Shrink: retire node 1 from the ring while traffic continues.
+    echo "remove 1" >> "$dir/admin"
+    for _ in $(seq 1 100); do
+        grep -q 'admin: node 1 removed' "$dir/route.log" && break
+        sleep 0.1
+    done
+    grep -q 'admin: node 1 removed' "$dir/route.log" || {
+        echo "ERROR: admin remove never applied" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+
+    "${SIMULATE[@]}" client --addr "$raddr" --trace "$dir/trace.txt" \
+        --take 2000 --connect-retries 8 --stats > "$dir/after.json"
+    grep -q '"balances": true' "$dir/after.json" || {
+        echo "ERROR: router accounting does not balance after the resize" >&2
+        cat "$dir/after.json" >&2
+        exit 1
+    }
+    grep -q '"epoch": 2' "$dir/after.json" || {
+        echo "ERROR: add+remove did not flip the epoch twice" >&2
+        cat "$dir/after.json" >&2
+        exit 1
+    }
+    grep -q '"live_nodes": 3' "$dir/after.json" || {
+        echo "ERROR: fleet should hold 3 live members after add+remove" >&2
+        cat "$dir/after.json" >&2
+        exit 1
+    }
+
+    "${SIMULATE[@]}" client --addr "$raddr" --shutdown 500
+    wait "$route_pid" || {
+        echo "ERROR: router exited nonzero on shutdown" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    grep -q 'balanced: true' "$dir/route.log" || {
+        echo "ERROR: final router ledger did not balance" >&2
+        cat "$dir/route.log" >&2
+        exit 1
+    }
+    # Retire every node still running (including the removed-but-alive
+    # node 1 and the late-added node 4).
+    for a in "${addrs[@]}"; do
+        "${SIMULATE[@]}" client --addr "$a" --shutdown 300 || true
+    done
+    wait "${pids[@]}" 2>/dev/null || true
+    echo "netchaos smoke: fleet grew and shrank live, ledger balanced"
+}
+
 # The perf-baseline gate: prove the packed hot path still predicts
 # bit-identically to the legacy structs, then price it. The baseline
 # bench writes BENCH_<git-short-sha>.json at the repo root (tracked, so
@@ -443,6 +594,9 @@ if [ "$GATE" = "all" ] || [ "$GATE" = "obs" ]; then
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "cluster" ]; then
     cluster_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "netchaos" ]; then
+    netchaos_gate
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "bench" ]; then
     bench_gate
