@@ -23,6 +23,10 @@ use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
 use cap_predictor::packed::PackedHybridPredictor;
 use cap_predictor::types::{AddressPredictor, LoadContext};
 use cap_service::prelude::*;
+use cap_snapshot::{
+    encode_journal_header, encode_journal_record, JournalReplay, SectionReader, SectionWriter,
+};
+use cap_trace::io::{event_line, parse_event_line};
 use cap_trace::suites::catalog;
 use cap_trace::TraceEvent;
 use std::hint::black_box;
@@ -146,6 +150,67 @@ fn bench_predict(c: &mut Criterion, loads: &[(LoadContext, u64)]) {
     });
 
     group.finish();
+}
+
+/// Records per timed iteration of the journal codec benches.
+const JOURNAL_RECORDS: usize = 4_096;
+
+/// Prices the delta journal's codec, disk-free: append (render the
+/// event line, wrap it in a CRC frame) and replay (frame walk, CRC
+/// check, parse back to an event) per record. The storage gate tracks
+/// these because the journal sits on the supervisor's per-event path.
+fn bench_journal(c: &mut Criterion) -> usize {
+    let trace = catalog()[0].generate(JOURNAL_RECORDS);
+    let events: Vec<TraceEvent> = trace.iter().take(JOURNAL_RECORDS).copied().collect();
+    let encode_one = |i: u64, event: &TraceEvent| {
+        let mut w = SectionWriter::new();
+        w.put_u64(i * 40);
+        w.put_u64(i);
+        w.put_u64(i);
+        let line = event_line(event);
+        w.put_len(line.len());
+        w.put_raw(line.as_bytes());
+        encode_journal_record(&w.into_bytes())
+    };
+    let mut journal = encode_journal_header(0);
+    for (i, event) in events.iter().enumerate() {
+        journal.extend_from_slice(&encode_one(i as u64 + 1, event));
+    }
+
+    let mut group = c.benchmark_group("baseline-journal");
+    group.sample_size(20);
+
+    group.bench_function("journal_append", |b| {
+        b.iter(|| {
+            let mut bytes = encode_journal_header(0);
+            for (i, event) in events.iter().enumerate() {
+                bytes.extend_from_slice(&encode_one(i as u64 + 1, event));
+            }
+            black_box(bytes.len())
+        });
+    });
+
+    group.bench_function("journal_replay", |b| {
+        b.iter(|| {
+            let replay = JournalReplay::parse(&journal).expect("pristine journal parses");
+            let mut replayed = 0u64;
+            for payload in &replay.records {
+                let mut r = SectionReader::new(payload, "journal");
+                let _ = r.take_u64("byte offset").expect("offset");
+                let line = r.take_u64("line").expect("line");
+                let _ = r.take_u64("events").expect("events");
+                let n = r.take_len(1, "line length").expect("len");
+                let raw = r.take_raw(n, "line").expect("raw");
+                let text = std::str::from_utf8(raw).expect("utf8");
+                black_box(parse_event_line(text, line as usize).expect("parses"));
+                replayed += 1;
+            }
+            replayed
+        });
+    });
+
+    group.finish();
+    events.len()
 }
 
 /// Prices every ladder rung on the packed backend: a single-worker
@@ -302,6 +367,7 @@ fn main() {
 
     let loads = workload();
     bench_predict(&mut criterion, &loads);
+    let journal_records = bench_journal(&mut criterion);
     let tails = bench_service(&mut criterion);
     let [direct, routed] = bench_cluster(&mut criterion);
     criterion.summary();
@@ -311,6 +377,8 @@ fn main() {
     let packed_ns = ns_per_op(&criterion, "baseline/single_predict_packed", ops);
     let batch_ns = ns_per_op(&criterion, "baseline/batch_predict_packed", ops);
     let batch_tp = if batch_ns > 0.0 { 1e9 / batch_ns } else { 0.0 };
+    let journal_append_ns = ns_per_op(&criterion, "baseline-journal/journal_append", journal_records);
+    let journal_replay_ns = ns_per_op(&criterion, "baseline-journal/journal_replay", journal_records);
 
     let rung_lines: Vec<String> = tails
         .iter()
@@ -323,7 +391,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"cluster_direct_p50_ns\": {},\n  \"cluster_direct_p99_ns\": {},\n  \"cluster_router_p50_ns\": {},\n  \"cluster_router_p99_ns\": {},\n  \"service\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"journal_append_ns_per_record\": {journal_append_ns:.2},\n  \"journal_replay_ns_per_record\": {journal_replay_ns:.2},\n  \"cluster_direct_p50_ns\": {},\n  \"cluster_direct_p99_ns\": {},\n  \"cluster_router_p50_ns\": {},\n  \"cluster_router_p99_ns\": {},\n  \"service\": {{\n{}\n  }}\n}}\n",
         direct.0.as_nanos(),
         direct.1.as_nanos(),
         routed.0.as_nanos(),

@@ -22,7 +22,12 @@
 //!   twin, and
 //! * [`net`] — a seeded fault-injecting TCP proxy ([`net::ChaosProxy`])
 //!   for partitions, latency, resets, truncation, garbling, and
-//!   slow-loris against the fleet's wire protocol.
+//!   slow-loris against the fleet's wire protocol, and
+//! * [`fs`] — an injectable virtual filesystem ([`fs::Vfs`]) with a
+//!   passthrough [`fs::RealVfs`] and a seeded [`fs::ChaosVfs`] (short
+//!   writes, ENOSPC, EIO-on-fsync, fsync lies, rename failures, read
+//!   bitrot, dir-listing omission, and simulated crash-points) for the
+//!   checkpoint/journal durability layer.
 //!
 //! ## Quick start
 //!
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fs;
 pub mod invariants;
 pub mod net;
 pub mod plan;
@@ -56,6 +62,7 @@ pub mod target;
 
 /// Commonly used items, for glob import in tests and examples.
 pub mod prelude {
+    pub use crate::fs::{ChaosVfs, FsFaultConfig, FsFaultKind, FsFaultStats, RealVfs, Vfs};
     pub use crate::invariants::{check_invariants, InvariantViolation};
     pub use crate::net::{
         ChaosProxy, NetFault, NetFaultConfig, NetFaultPlan, NetFaultStats, PartitionMode,

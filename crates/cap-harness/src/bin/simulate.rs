@@ -59,7 +59,11 @@
 //! with connect retry/backoff (`--connect-retries`).
 
 use cap_cluster::prelude::{Router, RouterConfig};
-use cap_harness::checkpoint::{list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint};
+use cap_faults::fs::RealVfs;
+use cap_harness::checkpoint::{
+    list_checkpoints, recover_latest_with, rotate_checkpoints_with, write_checkpoint,
+    write_checkpoint_with,
+};
 use cap_harness::json::JsonObject;
 use cap_harness::supervisor::{
     run, with_retry, PredictorKind, Resume, RetryPolicy, RunOutcome, SupervisorConfig,
@@ -111,8 +115,8 @@ fn usage() -> ! {
     eprintln!("usage: simulate gen --out <path> [--suite <i>] [--loads <n>]");
     eprintln!("       simulate run --trace <path> [--predictor stride|cap|hybrid]");
     eprintln!("                [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--keep <k>]");
-    eprintln!("                [--resume auto|<path>] [--kill-after <n>] [--chaos-every <n>]");
-    eprintln!("                [--seed <s>] [--json]");
+    eprintln!("                [--journal-every <n>] [--resume auto|<path>]");
+    eprintln!("                [--kill-after <n>] [--chaos-every <n>] [--seed <s>] [--json]");
     eprintln!("       simulate serve [--addr <host:port>] [--port-file <path>]");
     eprintln!("                [--workers <n>] [--queue <n>] [--snapshot-dir <dir>] [--resume]");
     eprintln!("                [--keep <k>] [--seed <s>] [--pin hybrid|stride-only|bypass]");
@@ -170,6 +174,8 @@ fn outcome_json(kind: PredictorKind, outcome: &RunOutcome) -> String {
         .u64("prediction_rate_bits", s.prediction_rate().to_bits())
         .u64("accuracy_bits", s.accuracy().to_bits())
         .u64("checkpoints_written", outcome.checkpoints_written)
+        .u64("journal_appended", outcome.journal_appended)
+        .u64("journal_replayed", outcome.journal_replayed)
         .u64("faults_applied", outcome.faults_applied)
         .opt_string("resumed_from", resumed.as_deref())
         .u64("recovery_removed", outcome.recovery_removed.len() as u64)
@@ -245,6 +251,9 @@ fn cmd_run(mut args: Vec<String>) {
     if let Some(v) = take_value(&mut args, "--keep") {
         config.keep = parse_number("--keep", &v) as usize;
     }
+    if let Some(v) = take_value(&mut args, "--journal-every") {
+        config.journal_flush_every = parse_number("--journal-every", &v);
+    }
     if let Some(v) = take_value(&mut args, "--kill-after") {
         config.kill_after = Some(parse_number("--kill-after", &v));
     }
@@ -267,6 +276,10 @@ fn cmd_run(mut args: Vec<String>) {
     }
     if config.checkpoint_every > 0 && config.checkpoint_dir.is_none() {
         eprintln!("--checkpoint-every needs --checkpoint-dir");
+        exit(2);
+    }
+    if config.journal_flush_every > 0 && config.checkpoint_dir.is_none() {
+        eprintln!("--journal-every needs --checkpoint-dir");
         exit(2);
     }
 
@@ -364,7 +377,7 @@ fn cmd_serve(mut args: Vec<String>) {
     // it discards). A dead service is never the answer.
     let recovered = if resume {
         let dir = snapshot_dir.as_deref().expect("checked above");
-        match recover_latest(dir) {
+        match recover_latest_with(&RealVfs, dir) {
             Ok(recovery) => {
                 for path in &recovery.removed {
                     eprintln!("swept invalid snapshot {}", path.display());
@@ -422,9 +435,17 @@ fn cmd_serve(mut args: Vec<String>) {
             .ok()
             .and_then(|list| list.last().map(|(n, _)| n + 1))
             .unwrap_or(1);
-        match write_checkpoint(dir, seq, &report.snapshot) {
+        match write_checkpoint_with(&RealVfs, dir, seq, &report.snapshot, &registry.obs()) {
             Ok(path) => {
-                let _ = rotate_checkpoints(dir, keep);
+                let rotation = rotate_checkpoints_with(&RealVfs, dir, keep, &registry.obs());
+                match rotation {
+                    Ok(r) => {
+                        if let Some(e) = r.first_error {
+                            eprintln!("snapshot rotation incomplete: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("snapshot rotation failed: {e}"),
+                }
                 eprintln!("snapshot published to {}", path.display());
             }
             Err(e) => {

@@ -48,6 +48,23 @@ pub mod names {
     /// Extra attempts spent in transient-I/O retry loops (first tries
     /// are free; only re-tries count).
     pub const RETRY_ATTEMPTS: &str = "harness.retry.attempts";
+    /// Directory fsyncs that failed after a checkpoint publish or a
+    /// rotation delete. Non-fatal (not every filesystem can sync a
+    /// directory) but each one is a durability gap: the rename/delete may
+    /// not survive a crash.
+    pub const CKPT_DIR_SYNC_FAILED: &str = "harness.ckpt.dir_sync_failed";
+    /// Rotations whose per-file deletes hit at least one error (retention
+    /// continued best-effort across the remaining files).
+    pub const CKPT_ROTATE_FAILED: &str = "harness.ckpt.rotate_failed";
+    /// Delta-journal records appended by this process.
+    pub const JOURNAL_APPENDED: &str = "harness.journal.appended";
+    /// Delta-journal flushes (append + fsync batches) by this process.
+    pub const JOURNAL_FLUSHES: &str = "harness.journal.flushes";
+    /// Delta-journal records replayed on resume.
+    pub const JOURNAL_REPLAYED: &str = "harness.journal.replayed";
+    /// Journals found with a torn tail on resume (the valid prefix was
+    /// replayed; the tail was dropped and the file rewritten clean).
+    pub const JOURNAL_TORN_TAILS: &str = "harness.journal.torn_tails";
 }
 
 pub use experiments::ExperimentReport;

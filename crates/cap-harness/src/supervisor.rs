@@ -8,15 +8,30 @@
 //! trace — so a run killed at an arbitrary event and resumed from its
 //! latest checkpoint finishes with **bit-identical** final metrics.
 //!
+//! Between checkpoints the supervisor can append a **delta journal**
+//! (`journal_flush_every` > 0): every applied event is framed as a CRC'd
+//! record (see [`cap_snapshot::journal`]) and fsync'd every
+//! `journal_flush_every` events, shrinking the recovery loss bound from
+//! the checkpoint interval to the flush interval. On resume the journal
+//! of the chosen checkpoint is replayed through the same per-event step
+//! function as the live loop — including the chaos stream, which draws
+//! from the checkpointed PRNG — so a journal-replayed run stays
+//! bit-identical to an uninterrupted twin.
+//!
 //! The supervisor also owns the operational concerns around that loop:
 //! retry-with-backoff on transient trace I/O ([`with_retry`]), optional
 //! chaos injection into the live predictor (`chaos_every`, drawing from
 //! the checkpointed PRNG so even chaotic runs resume deterministically),
 //! and a `kill_after` self-destruct used by the differential
-//! kill-and-resume tests.
+//! kill-and-resume tests. Every durability-layer disk touch goes
+//! through the [`Vfs`] in [`SupervisorConfig::vfs`], so the storage
+//! chaos suite can intercept each one.
 
-use crate::checkpoint::{recover_latest, rotate_checkpoints, write_checkpoint};
+use crate::checkpoint::{
+    journal_file_name, recover_latest_with, rotate_checkpoints_with, write_checkpoint_with,
+};
 use crate::names;
+use cap_faults::fs::{RealVfs, Vfs};
 use cap_faults::plan::FaultPlan;
 use cap_faults::target::FaultTarget;
 use cap_predictor::cap::{CapConfig, CapPredictor};
@@ -29,16 +44,19 @@ use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
 use cap_obs::{Classify, ErrorClass, Obs};
 use cap_rand::{rngs::StdRng, SeedableRng};
 use cap_snapshot::{
-    crc32, Restorable, SectionReader, SectionWriter, Snapshot, SnapshotArchive, SnapshotBuilder,
-    SnapshotError,
+    crc32, encode_journal_header, encode_journal_record,
+    journal::{JOURNAL_HEADER_LEN, JOURNAL_RECORD_OVERHEAD},
+    JournalReplay, Restorable, SectionReader, SectionWriter, Snapshot, SnapshotArchive,
+    SnapshotBuilder, SnapshotError,
 };
 use cap_trace::cursor::{CursorPos, TraceCursor};
-use cap_trace::io::ParseTraceError;
+use cap_trace::io::{event_line, parse_event_line, ParseTraceError};
 use cap_trace::TraceEvent;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which predictor the supervisor drives.
@@ -387,6 +405,10 @@ pub struct SupervisorConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Publish a checkpoint every this many trace events (0 = never).
     pub checkpoint_every: u64,
+    /// Append-and-fsync the delta journal every this many trace events
+    /// (0 = no journal). Requires a checkpoint directory; shrinks the
+    /// recovery loss bound from `checkpoint_every` to this interval.
+    pub journal_flush_every: u64,
     /// How many checkpoints to retain after rotation.
     pub keep: usize,
     /// Resume mode.
@@ -407,6 +429,13 @@ pub struct SupervisorConfig {
     /// carries. Defaults to off ([`Obs::off`]), which costs one branch
     /// per record site.
     pub obs: Obs,
+    /// The filesystem every checkpoint/journal disk touch goes through.
+    /// Defaults to the passthrough [`RealVfs`]; the storage chaos suite
+    /// passes a [`cap_faults::fs::ChaosVfs`] to intercept each
+    /// operation. Trace *reads* are not routed here — the trace is the
+    /// run's immutable input, not state this layer is responsible for
+    /// keeping durable.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl SupervisorConfig {
@@ -419,12 +448,14 @@ impl SupervisorConfig {
             seed: 0x0CA9_5EED,
             checkpoint_dir: None,
             checkpoint_every: 0,
+            journal_flush_every: 0,
             keep: 3,
             resume: Resume::No,
             kill_after: None,
             chaos_every: 0,
             retry: RetryPolicy::default(),
             obs: Obs::off(),
+            vfs: Arc::new(RealVfs),
         }
     }
 }
@@ -444,6 +475,13 @@ pub struct RunOutcome {
     pub recovery_removed: Vec<PathBuf>,
     /// Faults chaos injection actually applied.
     pub faults_applied: u64,
+    /// Delta-journal records this process appended *and* flushed (records
+    /// still buffered at a kill are lost by design — that is the loss
+    /// bound).
+    pub journal_appended: u64,
+    /// Delta-journal records replayed on resume to advance past the
+    /// resumed checkpoint.
+    pub journal_replayed: u64,
     /// True when the run stopped at `kill_after` rather than end of trace.
     pub killed: bool,
 }
@@ -679,7 +717,7 @@ fn initial_state(
                     "resume=auto needs a checkpoint directory".to_owned(),
                 ));
             };
-            let recovery = recover_latest(dir)?;
+            let recovery = recover_latest_with(config.vfs.as_ref(), dir)?;
             match recovery.chosen {
                 Some((path, bytes)) => {
                     let state = decode_checkpoint_timed(&bytes, config, identity)?;
@@ -690,12 +728,206 @@ fn initial_state(
         }
         Resume::From(path) => {
             let bytes = with_retry_observed(&config.obs, &config.retry, |_| true, || {
-                std::fs::read(path)
+                config.vfs.read(path)
             })?;
             let state = decode_checkpoint_timed(&bytes, config, identity)?;
             Ok((state, Some(path.clone()), Vec::new()))
         }
     }
+}
+
+/// Applies one trace event to the live state — predictor step, control
+/// update, stats, and the chaos tick. The **only** per-event step
+/// function: the live loop and journal replay both route through it, so
+/// a replayed event perturbs predictor tables, statistics, the RNG, and
+/// the fault stream exactly as the original application did.
+fn apply_event(
+    state: &mut RunState,
+    event: &TraceEvent,
+    events: u64,
+    config: &SupervisorConfig,
+    chaos_plan: &FaultPlan,
+    faults_applied: &mut u64,
+) {
+    match event {
+        TraceEvent::Load(load) => {
+            let ctx = LoadContext {
+                ip: load.ip,
+                offset: load.offset,
+                ghr: state.control.ghr,
+                path: state.control.path,
+                pending: 0,
+            };
+            let pred = state.predictor.predict(&ctx);
+            state.predictor.update(&ctx, load.addr, &pred);
+            state.stats.record_with(&pred, load.addr, &config.obs);
+        }
+        TraceEvent::Branch(b) => state.control.on_branch(b.ip, b.taken, b.kind),
+        TraceEvent::Store(_) | TraceEvent::Op(_) => {}
+    }
+
+    // Chaos strictly before checkpointing: the checkpoint then captures
+    // the post-fault state and the advanced RNG, so resume replays the
+    // remainder of the run exactly.
+    if config.chaos_every > 0 && events.is_multiple_of(config.chaos_every) {
+        let report = chaos_plan.inject_with(state.predictor.as_fault_target(), &mut state.rng);
+        *faults_applied += report.applied as u64;
+    }
+}
+
+const SEC_JOURNAL: &str = "journal";
+
+/// One journal record: the cursor position *after* the event, plus the
+/// event as its canonical trace line.
+fn encode_journal_event(pos: CursorPos, event: &TraceEvent) -> Vec<u8> {
+    let mut w = SectionWriter::new();
+    w.put_u64(pos.byte_offset);
+    w.put_u64(pos.line);
+    w.put_u64(pos.events);
+    let line = event_line(event);
+    w.put_len(line.len());
+    w.put_raw(line.as_bytes());
+    encode_journal_record(&w.into_bytes())
+}
+
+fn decode_journal_event(payload: &[u8]) -> Result<(CursorPos, TraceEvent), SupervisorError> {
+    let mut r = SectionReader::new(payload, SEC_JOURNAL);
+    let pos = CursorPos {
+        byte_offset: r.take_u64("journal byte offset")?,
+        line: r.take_u64("journal line number")?,
+        events: r.take_u64("journal event count")?,
+    };
+    let n = r.take_len(1, "journal event line length")?;
+    let raw = r.take_raw(n, "journal event line")?;
+    let text =
+        std::str::from_utf8(raw).map_err(|_| r.bad_value("journal event line is not UTF-8"))?;
+    r.finish()?;
+    let event = parse_event_line(text, pos.line as usize)?;
+    Ok((pos, event))
+}
+
+/// Creates (or truncates) the journal for checkpoint `base`: header
+/// only, synced, with the new directory entry made durable.
+fn init_journal(vfs: &dyn Vfs, dir: &Path, base: u64, obs: &Obs) -> io::Result<()> {
+    vfs.create_dir_all(dir)?;
+    let path = dir.join(journal_file_name(base));
+    vfs.write_file(&path, &encode_journal_header(base))?;
+    vfs.sync_file(&path)?;
+    crate::checkpoint::sync_dir_observed(vfs, dir, obs);
+    Ok(())
+}
+
+/// The supervisor's append side of the delta journal: records buffer in
+/// memory and hit the disk (append + fsync) at each flush — the
+/// recovery loss bound is exactly what this buffer holds when the
+/// process dies.
+struct JournalWriter {
+    base: u64,
+    pending: Vec<u8>,
+    pending_records: u64,
+    appended: u64,
+}
+
+impl JournalWriter {
+    fn new(base: u64) -> Self {
+        Self {
+            base,
+            pending: Vec::new(),
+            pending_records: 0,
+            appended: 0,
+        }
+    }
+
+    fn buffer(&mut self, pos: CursorPos, event: &TraceEvent) {
+        self.pending.extend_from_slice(&encode_journal_event(pos, event));
+        self.pending_records += 1;
+    }
+
+    fn flush(&mut self, vfs: &dyn Vfs, dir: &Path, obs: &Obs) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let path = dir.join(journal_file_name(self.base));
+        vfs.append_file(&path, &self.pending)?;
+        vfs.sync_file(&path)?;
+        self.appended += self.pending_records;
+        obs.count(names::JOURNAL_APPENDED, self.pending_records);
+        obs.incr(names::JOURNAL_FLUSHES);
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// A fresh checkpoint at `base` supersedes everything buffered:
+    /// drop it and start the next journal file.
+    fn restart(&mut self, vfs: &dyn Vfs, dir: &Path, base: u64, obs: &Obs) -> io::Result<()> {
+        self.pending.clear();
+        self.pending_records = 0;
+        self.base = base;
+        init_journal(vfs, dir, base, obs)
+    }
+}
+
+/// Replays the delta journal of checkpoint `base` (if present) through
+/// [`apply_event`], advancing `state` to the last journaled position,
+/// and leaves a clean journal file behind — torn tails truncated,
+/// missing or unusable files re-initialised — ready for appends.
+fn replay_journal(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    base: u64,
+    state: &mut RunState,
+    config: &SupervisorConfig,
+    chaos_plan: &FaultPlan,
+    faults_applied: &mut u64,
+) -> Result<u64, SupervisorError> {
+    let path = dir.join(journal_file_name(base));
+    let bytes = match vfs.read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            init_journal(vfs, dir, base, &config.obs)?;
+            return Ok(0);
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let replay = match JournalReplay::parse(&bytes) {
+        Ok(r) if r.base_events == base => r,
+        // A damaged header, or a base contradicting the file name:
+        // nothing in the file can be trusted. Start it over — the
+        // checkpoint itself is intact, so this only widens the loss
+        // window back to the checkpoint interval for this one resume.
+        Ok(_) | Err(_) => {
+            config.obs.incr(names::JOURNAL_TORN_TAILS);
+            init_journal(vfs, dir, base, &config.obs)?;
+            return Ok(0);
+        }
+    };
+    let mut replayed = 0u64;
+    let mut clean_len = JOURNAL_HEADER_LEN;
+    for payload in &replay.records {
+        match decode_journal_event(payload) {
+            Ok((pos, event)) => {
+                apply_event(state, &event, pos.events, config, chaos_plan, faults_applied);
+                state.pos = pos;
+                replayed += 1;
+                clean_len += JOURNAL_RECORD_OVERHEAD + payload.len();
+            }
+            // A CRC-valid frame whose payload doesn't decode ends the
+            // trusted prefix exactly like a CRC failure would.
+            Err(_) => break,
+        }
+    }
+    if replay.torn.is_some() || clean_len < replay.valid_len {
+        // Truncate to the replayed prefix so appends resume on a clean
+        // record boundary.
+        config.obs.incr(names::JOURNAL_TORN_TAILS);
+        vfs.write_file(&path, &bytes[..clean_len])?;
+        vfs.sync_file(&path)?;
+    }
+    if replayed > 0 {
+        config.obs.count(names::JOURNAL_REPLAYED, replayed);
+    }
+    Ok(replayed)
 }
 
 /// Drives one supervised, checkpointed, resumable run to completion (or
@@ -704,16 +936,20 @@ fn initial_state(
 /// # Errors
 ///
 /// [`SupervisorError`] on unreadable traces, malformed trace lines,
-/// undecodable or mismatched checkpoints, or exhausted I/O retries.
+/// undecodable or mismatched checkpoints, exhausted I/O retries, or a
+/// failed journal flush.
 pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
+    let vfs = config.vfs.as_ref();
+    let journaling = config.journal_flush_every > 0;
+    if journaling && config.checkpoint_dir.is_none() {
+        return Err(SupervisorError::Mismatch(
+            "journal_flush_every needs a checkpoint directory".to_owned(),
+        ));
+    }
     let identity = with_retry_observed(&config.obs, &config.retry, |_| true, || {
         trace_identity(&config.trace)
     })?;
     let (mut state, resumed_from, recovery_removed) = initial_state(config, identity)?;
-
-    let mut cursor = with_retry_observed(&config.obs, &config.retry, |_| true, || {
-        TraceCursor::open_at(&config.trace, state.pos)
-    })?;
 
     // One planned fault per chaos tick, drawn from the checkpointed RNG so
     // a resumed chaotic run replays the exact fault stream of an
@@ -721,6 +957,32 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
     let chaos_plan = FaultPlan::new(config.seed, 1);
     let mut checkpoints_written = 0u64;
     let mut faults_applied = 0u64;
+    let mut journal_replayed = 0u64;
+
+    // The journal applies on top of the state's checkpoint — which is
+    // exactly where the cursor stands right now (0 for a fresh run).
+    let mut journal = JournalWriter::new(state.pos.events);
+    if journaling {
+        let dir = config.checkpoint_dir.as_deref().expect("checked above");
+        if matches!(config.resume, Resume::No) {
+            // A fresh run must not inherit a previous run's journal.
+            init_journal(vfs, dir, journal.base, &config.obs)?;
+        } else {
+            journal_replayed = replay_journal(
+                vfs,
+                dir,
+                journal.base,
+                &mut state,
+                config,
+                &chaos_plan,
+                &mut faults_applied,
+            )?;
+        }
+    }
+
+    let mut cursor = with_retry_observed(&config.obs, &config.retry, |_| true, || {
+        TraceCursor::open_at(&config.trace, state.pos)
+    })?;
 
     loop {
         let next = with_retry_observed(
@@ -731,36 +993,21 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
         )?;
         let Some(event) = next else { break };
 
-        match event {
-            TraceEvent::Load(load) => {
-                let ctx = LoadContext {
-                    ip: load.ip,
-                    offset: load.offset,
-                    ghr: state.control.ghr,
-                    path: state.control.path,
-                    pending: 0,
-                };
-                let pred = state.predictor.predict(&ctx);
-                state.predictor.update(&ctx, load.addr, &pred);
-                state.stats.record_with(&pred, load.addr, &config.obs);
+        let pos = cursor.position();
+        let events = pos.events;
+        apply_event(&mut state, &event, events, config, &chaos_plan, &mut faults_applied);
+
+        if journaling {
+            journal.buffer(pos, &event);
+            if events % config.journal_flush_every == 0 {
+                let dir = config.checkpoint_dir.as_deref().expect("checked above");
+                journal.flush(vfs, dir, &config.obs)?;
             }
-            TraceEvent::Branch(b) => state.control.on_branch(b.ip, b.taken, b.kind),
-            TraceEvent::Store(_) | TraceEvent::Op(_) => {}
-        }
-
-        let events = cursor.position().events;
-
-        // Chaos strictly before checkpointing: the checkpoint then captures
-        // the post-fault state and the advanced RNG, so resume replays the
-        // remainder of the run exactly.
-        if config.chaos_every > 0 && events % config.chaos_every == 0 {
-            let report = chaos_plan.inject_with(state.predictor.as_fault_target(), &mut state.rng);
-            faults_applied += report.applied as u64;
         }
 
         if config.checkpoint_every > 0 && events % config.checkpoint_every == 0 {
             if let Some(dir) = &config.checkpoint_dir {
-                state.pos = cursor.position();
+                state.pos = pos;
                 let t0 = config.obs.enabled().then(std::time::Instant::now);
                 let bytes = encode_checkpoint(config, identity, &state);
                 if let Some(t0) = t0 {
@@ -769,11 +1016,25 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
                         .record(names::CKPT_ENCODE_US, t0.elapsed().as_micros() as u64);
                 }
                 with_retry_observed(&config.obs, &config.retry, |_| true, || {
-                    write_checkpoint(dir, events, &bytes)
+                    write_checkpoint_with(vfs, dir, events, &bytes, &config.obs)
                 })?;
-                rotate_checkpoints(dir, config.keep)?;
+                let rotation = rotate_checkpoints_with(vfs, dir, config.keep, &config.obs)?;
+                if let Some(e) = &rotation.first_error {
+                    config.obs.incr(names::CKPT_ROTATE_FAILED);
+                    if config.obs.enabled() {
+                        eprintln!(
+                            "{{\"event\":\"{}\",\"removed\":{},\"error\":{:?}}}",
+                            names::CKPT_ROTATE_FAILED,
+                            rotation.removed.len(),
+                            e.to_string()
+                        );
+                    }
+                }
                 checkpoints_written += 1;
                 config.obs.incr(names::CKPT_WRITTEN);
+                if journaling {
+                    journal.restart(vfs, dir, events, &config.obs)?;
+                }
             }
         }
 
@@ -785,9 +1046,18 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
                 resumed_from,
                 recovery_removed,
                 faults_applied,
+                journal_appended: journal.appended,
+                journal_replayed,
                 killed: true,
             });
         }
+    }
+
+    // A clean exit owes the journal its tail: flush what's buffered so a
+    // later resume (against a grown trace, say) starts loss-free.
+    if journaling {
+        let dir = config.checkpoint_dir.as_deref().expect("checked above");
+        journal.flush(vfs, dir, &config.obs)?;
     }
 
     Ok(RunOutcome {
@@ -797,6 +1067,8 @@ pub fn run(config: &SupervisorConfig) -> Result<RunOutcome, SupervisorError> {
         resumed_from,
         recovery_removed,
         faults_applied,
+        journal_appended: journal.appended,
+        journal_replayed,
         killed: false,
     })
 }

@@ -3,12 +3,16 @@
 //! leftover `.tmp` files, zero-length checkpoints, torn writes — picking
 //! the newest *valid* checkpoint and sweeping the wreckage up.
 
+use cap_faults::fs::{ChaosVfs, FsFaultConfig, Vfs};
 use cap_harness::checkpoint::{
-    checkpoint_file_name, list_checkpoints, recover_latest, rotate_checkpoints, write_checkpoint,
+    checkpoint_file_name, journal_file_name, list_checkpoints, list_checkpoints_with,
+    recover_latest, recover_latest_with, rotate_checkpoints, rotate_checkpoints_with,
+    write_checkpoint, write_checkpoint_with,
 };
-use cap_snapshot::SnapshotBuilder;
+use cap_obs::Obs;
+use cap_snapshot::{encode_journal_header, SnapshotBuilder};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cap-checkpoint-{tag}-{}", std::process::id()));
@@ -44,7 +48,7 @@ fn rotation_keeps_exactly_the_newest_k() {
         write_checkpoint(&dir, events, &valid_archive(events)).expect("writes");
     }
     let removed = rotate_checkpoints(&dir, 2).expect("rotates");
-    assert_eq!(removed.len(), 3);
+    assert_eq!(removed.removed.len(), 3);
     let remaining: Vec<u64> = list_checkpoints(&dir)
         .unwrap()
         .into_iter()
@@ -53,7 +57,7 @@ fn rotation_keeps_exactly_the_newest_k() {
     assert_eq!(remaining, vec![400, 500]);
 
     // keep = 0 still preserves the newest.
-    rotate_checkpoints(&dir, 0).expect("rotates");
+    let _ = rotate_checkpoints(&dir, 0).expect("rotates");
     let remaining: Vec<u64> = list_checkpoints(&dir)
         .unwrap()
         .into_iter()
@@ -130,12 +134,12 @@ fn rotation_at_the_keep_one_boundary() {
     let dir = temp_dir("keep-one");
 
     // Rotating an empty directory with keep = 1 is a no-op, not an error.
-    assert!(rotate_checkpoints(&dir, 1).expect("empty rotates").is_empty());
+    assert!(rotate_checkpoints(&dir, 1).expect("empty rotates").removed.is_empty());
 
     // A single checkpoint at keep = 1 sits exactly on the boundary:
     // nothing may be removed.
     write_checkpoint(&dir, 100, &valid_archive(100)).expect("writes");
-    assert!(rotate_checkpoints(&dir, 1).expect("rotates").is_empty());
+    assert!(rotate_checkpoints(&dir, 1).expect("rotates").removed.is_empty());
     assert_eq!(list_checkpoints(&dir).unwrap().len(), 1);
 
     // Each additional write followed by keep = 1 rotation removes exactly
@@ -143,7 +147,7 @@ fn rotation_at_the_keep_one_boundary() {
     for events in [200u64, 300, 400] {
         write_checkpoint(&dir, events, &valid_archive(events)).expect("writes");
         let removed = rotate_checkpoints(&dir, 1).expect("rotates");
-        assert_eq!(removed.len(), 1, "exactly the displaced checkpoint goes");
+        assert_eq!(removed.removed.len(), 1, "exactly the displaced checkpoint goes");
         let remaining: Vec<u64> = list_checkpoints(&dir)
             .unwrap()
             .into_iter()
@@ -212,13 +216,113 @@ fn all_corrupt_checkpoints_yield_a_cold_service_not_an_error() {
 }
 
 #[test]
+fn tmp_orphan_numerically_newest_is_swept_never_chosen() {
+    let dir = temp_dir("tmp-newest");
+    write_checkpoint(&dir, 100, &valid_archive(100)).expect("writes");
+    write_checkpoint(&dir, 200, &valid_archive(200)).expect("writes");
+    // The orphan parses as event 900 — newer than every published
+    // checkpoint — and even holds a perfectly valid archive. It was
+    // never renamed into place, so it must be swept, not trusted: an
+    // interrupted publish is not a publish.
+    let orphan = dir.join(format!("{}.tmp", checkpoint_file_name(900)));
+    fs::write(&orphan, valid_archive(900)).expect("tmp orphan");
+
+    let recovery = recover_latest(&dir).expect("recovers");
+    let (chosen, bytes) = recovery.chosen.expect("published checkpoint wins");
+    assert_eq!(chosen.file_name().unwrap(), checkpoint_file_name(200).as_str());
+    assert_eq!(bytes, valid_archive(200));
+    assert!(recovery.removed.contains(&orphan));
+    assert!(!orphan.exists());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_mid_rotation_leaves_a_recoverable_directory() {
+    let vfs = ChaosVfs::new(11, FsFaultConfig::off());
+    let dir = Path::new("/v/mid-rotation");
+    let obs = Obs::off();
+    for events in [100u64, 200, 300, 400, 500] {
+        write_checkpoint_with(&vfs, dir, events, &valid_archive(events), &obs).expect("writes");
+    }
+
+    // keep = 2 wants 100, 200, 300 gone. Crash right after the second
+    // removal — before the directory sync that would make any removal
+    // durable — so the reboot resurrects every file: retention is
+    // un-done, but nothing is half-deleted and nothing valid is lost.
+    let c = vfs.op_count();
+    vfs.set_crash_after(c + 3); // +1 list, +2 remove(100), +3 remove(200)
+    let _ = rotate_checkpoints_with(&vfs, dir, 2, &obs);
+    vfs.reboot();
+
+    let recovery = recover_latest_with(&vfs, dir).expect("recovers after the crash");
+    let (chosen, bytes) = recovery.chosen.expect("newest checkpoint survived");
+    assert_eq!(chosen.file_name().unwrap(), checkpoint_file_name(500).as_str());
+    assert_eq!(bytes, valid_archive(500));
+
+    // The next rotation finishes what the crashed one started.
+    let rotation = rotate_checkpoints_with(&vfs, dir, 2, &obs).expect("rotates");
+    assert!(rotation.first_error.is_none());
+    let remaining: Vec<u64> = list_checkpoints_with(&vfs, dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![400, 500]);
+}
+
+#[test]
+fn sticky_undeletable_checkpoint_does_not_abort_rotation() {
+    let vfs = ChaosVfs::new(12, FsFaultConfig::off());
+    let dir = Path::new("/v/sticky");
+    let obs = Obs::off();
+    for events in [100u64, 200, 300] {
+        write_checkpoint_with(&vfs, dir, events, &valid_archive(events), &obs).expect("writes");
+    }
+    // A journal based on checkpoint 100: prunable only once its base is
+    // actually gone.
+    let journal = dir.join(journal_file_name(100));
+    vfs.write_file(&journal, &encode_journal_header(100)).expect("journal");
+    vfs.sync_file(&journal).expect("sync");
+    vfs.sync_dir(dir).expect("sync dir");
+
+    let sticky = dir.join(checkpoint_file_name(100));
+    vfs.deny_remove(&sticky);
+    let rotation = rotate_checkpoints_with(&vfs, dir, 1, &obs).expect("listing still works");
+    // Best-effort: the failure is reported, the *other* excess file
+    // still went, and the journal stays because its base survived.
+    assert!(rotation.first_error.is_some());
+    assert_eq!(rotation.removed, vec![dir.join(checkpoint_file_name(200))]);
+    assert!(rotation.removed_journals.is_empty());
+    let remaining: Vec<u64> = list_checkpoints_with(&vfs, dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![100, 300]);
+
+    // Once the denial lifts, the next rotation sweeps the stragglers —
+    // the sticky checkpoint and the journal whose base then vanishes.
+    vfs.allow_remove(&sticky);
+    let rotation = rotate_checkpoints_with(&vfs, dir, 1, &obs).expect("rotates");
+    assert!(rotation.first_error.is_none());
+    assert_eq!(rotation.removed, vec![sticky]);
+    assert_eq!(rotation.removed_journals, vec![journal]);
+    let remaining: Vec<u64> = list_checkpoints_with(&vfs, dir)
+        .unwrap()
+        .into_iter()
+        .map(|(e, _)| e)
+        .collect();
+    assert_eq!(remaining, vec![300]);
+}
+
+#[test]
 fn foreign_files_are_never_touched() {
     let dir = temp_dir("foreign");
     fs::write(dir.join("notes.txt"), b"keep me").expect("write");
     fs::write(dir.join("ckpt-12.capsnap"), b"wrong digit count").expect("write");
     write_checkpoint(&dir, 7, &valid_archive(7)).expect("writes");
 
-    rotate_checkpoints(&dir, 1).expect("rotates");
+    let _ = rotate_checkpoints(&dir, 1).expect("rotates");
     let recovery = recover_latest(&dir).expect("recovers");
     assert!(recovery.chosen.is_some());
     assert!(dir.join("notes.txt").exists());

@@ -18,17 +18,27 @@
 //!    overflow, invariant violation). The `cap-faults` chaos suite feeds
 //!    thousands of mutated snapshots through these paths to hold the line.
 //!
+//! Between full snapshots, the [`journal`] module frames CRC'd
+//! append-only delta records (`journal-*.capj`) whose replay is
+//! torn-tail-tolerant — the price of an append-only file that must
+//! survive crashes mid-append.
+//!
 //! File I/O, checkpoint rotation, and crash-consistent atomic writes live
 //! in `cap-harness`; this crate is pure bytes.
 
 mod archive;
 mod crc;
 mod error;
+pub mod journal;
 mod wire;
 
 pub use archive::{SnapshotArchive, SnapshotBuilder, FORMAT_VERSION, MAGIC, MAX_NAME_LEN};
 pub use crc::crc32;
 pub use error::SnapshotError;
+pub use journal::{
+    encode_journal_header, encode_journal_record, JournalReplay, TornReason, TornTail,
+    JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use wire::{Restorable, SectionReader, SectionWriter, Snapshot};
 
 use cap_rand::rngs::StdRng;

@@ -113,47 +113,54 @@ fn kind_char(k: BranchKind) -> char {
 pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
     writeln!(w, "# cap-trace v1: {} events", trace.len())?;
     for event in trace.iter() {
-        match event {
-            TraceEvent::Load(l) => writeln!(
-                w,
-                "L {:x} {:x} {} {} {:x} {} {}",
-                l.ip,
-                l.addr,
-                l.offset,
-                l.size,
-                l.value,
-                reg_str(l.dst),
-                reg_str(l.addr_src)
-            )?,
-            TraceEvent::Store(s) => writeln!(
-                w,
-                "S {:x} {:x} {} {} {}",
-                s.ip,
-                s.addr,
-                s.size,
-                reg_str(s.data_src),
-                reg_str(s.addr_src)
-            )?,
-            TraceEvent::Branch(b) => writeln!(
-                w,
-                "B {:x} {} {:x} {}",
-                b.ip,
-                u8::from(b.taken),
-                b.target,
-                kind_char(b.kind)
-            )?,
-            TraceEvent::Op(o) => writeln!(
-                w,
-                "O {:x} {} {} {} {}",
-                o.ip,
-                lat_char(o.latency),
-                reg_str(o.dst),
-                reg_str(o.srcs[0]),
-                reg_str(o.srcs[1])
-            )?,
-        }
+        writeln!(w, "{}", event_line(event))?;
     }
     Ok(())
+}
+
+/// Renders one event as its canonical trace line (no trailing newline).
+///
+/// This is the inverse of [`parse_event_line`] and round-trips exactly:
+/// `parse_event_line(&event_line(e)) == e` for every event. The delta
+/// journal in `cap-harness` leans on that — journaled events are stored
+/// as these lines and re-parsed at replay.
+#[must_use]
+pub fn event_line(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::Load(l) => format!(
+            "L {:x} {:x} {} {} {:x} {} {}",
+            l.ip,
+            l.addr,
+            l.offset,
+            l.size,
+            l.value,
+            reg_str(l.dst),
+            reg_str(l.addr_src)
+        ),
+        TraceEvent::Store(s) => format!(
+            "S {:x} {:x} {} {} {}",
+            s.ip,
+            s.addr,
+            s.size,
+            reg_str(s.data_src),
+            reg_str(s.addr_src)
+        ),
+        TraceEvent::Branch(b) => format!(
+            "B {:x} {} {:x} {}",
+            b.ip,
+            u8::from(b.taken),
+            b.target,
+            kind_char(b.kind)
+        ),
+        TraceEvent::Op(o) => format!(
+            "O {:x} {} {} {} {}",
+            o.ip,
+            lat_char(o.latency),
+            reg_str(o.dst),
+            reg_str(o.srcs[0]),
+            reg_str(o.srcs[1])
+        ),
+    }
 }
 
 struct LineParser<'a> {
@@ -199,10 +206,16 @@ impl<'a> LineParser<'a> {
 }
 
 /// Parses one non-blank, non-comment line into an event. Shared by the
-/// strict and lenient readers; every failure mode is a structured
+/// strict and lenient readers and by delta-journal replay in
+/// `cap-harness`; every failure mode is a structured
 /// [`ParseTraceError::Malformed`] carrying `line_no` — this function never
 /// panics, whatever the input bytes were.
-pub(crate) fn parse_event_line(trimmed: &str, line_no: usize) -> Result<TraceEvent, ParseTraceError> {
+///
+/// # Errors
+///
+/// [`ParseTraceError::Malformed`] for any line that is not a canonical
+/// event rendering.
+pub fn parse_event_line(trimmed: &str, line_no: usize) -> Result<TraceEvent, ParseTraceError> {
     let mut fields = trimmed.split_whitespace();
     let Some(tag) = fields.next() else {
         // Unreachable through the public readers (blank lines are skipped
@@ -515,6 +528,16 @@ mod tests {
         // The offset points at the damaged bytes in the original stream.
         let start = parsed.skips[1].byte_offset as usize;
         assert!(text[start..].starts_with("L zz"));
+    }
+
+    #[test]
+    fn event_line_roundtrips_every_event() {
+        let trace = catalog()[0].generate(2_000);
+        for (i, event) in trace.iter().enumerate() {
+            let line = event_line(event);
+            let back = parse_event_line(&line, i + 1).expect("canonical line parses");
+            assert_eq!(&back, event, "event {i}: '{line}'");
+        }
     }
 
     #[test]

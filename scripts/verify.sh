@@ -2,7 +2,7 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service|obs|cluster|netchaos|bench]
+# Usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
@@ -18,6 +18,12 @@
 #            vs an unpartitioned control; CAP_SOAK_QUICK keeps it under
 #            a minute), and a scripted runtime ring-resize smoke driven
 #            through `route --admin-file`
+#   storage  just the storage-fault gate: ChaosVfs crate tests, the
+#            journal codec tests, the crash-point matrix (crash after
+#            every VFS op of a checkpoint+journal cycle, including
+#            under lying fsyncs, resume bit-identical), a scripted
+#            kill -9 → journal-replay → bit-identity smoke, and the
+#            no-direct-std::fs grep over the checkpoint/journal paths
 #   bench    just the perf-baseline gate: the packed-vs-legacy
 #            differential, then the baseline bench emitting
 #            BENCH_<git-short-sha>.json and diffing it against the
@@ -28,8 +34,8 @@ cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service|obs|cluster|netchaos|bench) ;;
-    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|netchaos|bench]" >&2; exit 2 ;;
+    all|service|obs|cluster|netchaos|storage|bench) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -496,6 +502,81 @@ netchaos_gate() {
     echo "netchaos smoke: fleet grew and shrank live, ledger balanced"
 }
 
+# The storage-fault gate: the durability layer's contracts.
+#   1. ChaosVfs crate tests — the injectable filesystem's fault kinds,
+#      volatile/durable split, and crash semantics are themselves
+#      tested.
+#   2. Journal codec tests — CRC framing, torn tails at every cut
+#      point, bit flips in any record byte.
+#   3. The crash-point matrix — one checkpoint+journal+rotation cycle
+#      is op-counted, then crashed after *every* operation index and
+#      resumed, bit-identical to an uninterrupted control, including
+#      when 50% or 100% of fsyncs lie.
+#   4. A scripted kill -9 smoke through the real binary: the resumed
+#      run must report journal replay and match the uninterrupted
+#      reference metrics exactly.
+#   5. A grep proving the checkpoint and journal code paths never
+#      touch std::fs directly — every disk operation goes through the
+#      Vfs seam, or the matrix proves nothing.
+storage_gate() {
+    step "storage: ChaosVfs fault-injection + crash-semantics tests"
+    cargo test -q --offline --release -p cap-faults fs::
+
+    step "storage: journal codec tests (CRC framing, torn tails)"
+    cargo test -q --offline -p cap-snapshot journal
+
+    step "storage: crash-point matrix + checkpoint-debris tests"
+    cargo test -q --offline --release -p cap-harness --test storage_chaos
+    cargo test -q --offline --release -p cap-harness --test checkpoint
+
+    step "storage: scripted kill -9 → journal replay → bit-identity smoke"
+    local dir="$SMOKE_DIR/storage"
+    mkdir -p "$dir"
+    "${SIMULATE[@]}" gen --out "$dir/trace.txt" --loads 8000
+    "${SIMULATE[@]}" run --trace "$dir/trace.txt" --json \
+        > "$dir/reference.json"
+    local killed=0
+    "${SIMULATE[@]}" run --trace "$dir/trace.txt" \
+        --checkpoint-dir "$dir/ckpts" --checkpoint-every 2000 \
+        --journal-every 128 --kill-after 7000 || killed=$?
+    if [ "$killed" -ne 137 ]; then
+        echo "ERROR: --kill-after must exit 137, got $killed" >&2
+        exit 1
+    fi
+    ls "$dir/ckpts"/journal-*.capj >/dev/null || {
+        echo "ERROR: journaled run left no journal on disk" >&2
+        exit 1
+    }
+    "${SIMULATE[@]}" run --trace "$dir/trace.txt" \
+        --checkpoint-dir "$dir/ckpts" --checkpoint-every 2000 \
+        --journal-every 128 --resume auto --json > "$dir/resumed.json"
+    grep -q '"journal_replayed": 0' "$dir/resumed.json" && {
+        echo "ERROR: resume did not replay the delta journal" >&2
+        cat "$dir/resumed.json" >&2
+        exit 1
+    }
+    local key ref res
+    for key in loads predictions correct_predictions prediction_rate_bits; do
+        ref=$(grep "\"$key\"" "$dir/reference.json")
+        res=$(grep "\"$key\"" "$dir/resumed.json")
+        if [ "$ref" != "$res" ]; then
+            echo "ERROR: journal replay diverged on $key: '$ref' vs '$res'" >&2
+            exit 1
+        fi
+    done
+    echo "journal smoke: replayed the delta journal, bit-identical metrics"
+
+    step "storage: checkpoint/journal code paths never touch std::fs directly"
+    if grep -n 'std::fs\|File::' \
+        crates/cap-harness/src/checkpoint.rs \
+        crates/cap-snapshot/src/journal.rs \
+        | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//'; then
+        echo "ERROR: a checkpoint/journal code path bypasses the Vfs seam" >&2
+        exit 1
+    fi
+    echo "vfs-seam grep: clean"
+}
+
 # The perf-baseline gate: prove the packed hot path still predicts
 # bit-identically to the legacy structs, then price it. The baseline
 # bench writes BENCH_<git-short-sha>.json at the repo root (tracked, so
@@ -525,7 +606,8 @@ bench_gate() {
         }
         local key
         for key in single_predict_legacy_ns single_predict_packed_ns \
-            batch_predict_loads_per_sec cluster_direct_p50_ns \
+            batch_predict_loads_per_sec journal_append_ns_per_record \
+            journal_replay_ns_per_record cluster_direct_p50_ns \
             cluster_direct_p99_ns cluster_router_p50_ns \
             cluster_router_p99_ns p50_ns p99_ns; do
             grep -q "\"$key\"" "$out" || {
@@ -597,6 +679,9 @@ if [ "$GATE" = "all" ] || [ "$GATE" = "cluster" ]; then
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "netchaos" ]; then
     netchaos_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "storage" ]; then
+    storage_gate
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "bench" ]; then
     bench_gate
