@@ -152,6 +152,37 @@ fn bench_predict(c: &mut Criterion, loads: &[(LoadContext, u64)]) {
     group.finish();
 }
 
+/// Passes per timed sample of the per-backend catalog bench — smaller
+/// than [`REPS`] because seven backends share the group and only a
+/// coarse per-row number is tracked, not a regression-gated delta.
+const BACKEND_REPS: usize = 2;
+
+/// Times one scalar predict pass over warm tables for every backend in
+/// [`BACKEND_REGISTRY`] — registry-driven, so a new backend gets its
+/// tracked `BENCH_*.json` row the moment its row lands.
+fn bench_backends(c: &mut Criterion, loads: &[(LoadContext, u64)]) {
+    let ctxs: Vec<LoadContext> = loads.iter().map(|(ctx, _)| *ctx).collect();
+    let mut group = c.benchmark_group("baseline-backends");
+    group.sample_size(10);
+    for d in BACKEND_REGISTRY {
+        let mut p = (d.build)();
+        for (ctx, addr) in loads {
+            let pred = p.predict(ctx);
+            p.update(ctx, *addr, &pred);
+        }
+        group.bench_function(&format!("single_predict_{}", d.name), |b| {
+            b.iter(|| {
+                for _ in 0..BACKEND_REPS {
+                    for ctx in &ctxs {
+                        black_box(p.predict(ctx));
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Records per timed iteration of the journal codec benches.
 const JOURNAL_RECORDS: usize = 4_096;
 
@@ -367,6 +398,7 @@ fn main() {
 
     let loads = workload();
     bench_predict(&mut criterion, &loads);
+    bench_backends(&mut criterion, &loads);
     let journal_records = bench_journal(&mut criterion);
     let tails = bench_service(&mut criterion);
     let [direct, routed] = bench_cluster(&mut criterion);
@@ -380,6 +412,19 @@ fn main() {
     let journal_append_ns = ns_per_op(&criterion, "baseline-journal/journal_append", journal_records);
     let journal_replay_ns = ns_per_op(&criterion, "baseline-journal/journal_replay", journal_records);
 
+    let backend_ops = loads.len() * BACKEND_REPS;
+    let backend_lines: Vec<String> = BACKEND_REGISTRY
+        .iter()
+        .map(|d| {
+            let ns = ns_per_op(
+                &criterion,
+                &format!("baseline-backends/single_predict_{}", d.name),
+                backend_ops,
+            );
+            format!("  \"backend_{}_ns\": {ns:.2},", d.name.replace('-', "_"))
+        })
+        .collect();
+
     let rung_lines: Vec<String> = tails
         .iter()
         .map(|(name, p50, p99)| {
@@ -390,8 +435,9 @@ fn main() {
             )
         })
         .collect();
+    let backend_rows = backend_lines.join("\n");
     let json = format!(
-        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n  \"journal_append_ns_per_record\": {journal_append_ns:.2},\n  \"journal_replay_ns_per_record\": {journal_replay_ns:.2},\n  \"cluster_direct_p50_ns\": {},\n  \"cluster_direct_p99_ns\": {},\n  \"cluster_router_p50_ns\": {},\n  \"cluster_router_p99_ns\": {},\n  \"service\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"cap-bench-baseline-v1\",\n  \"quick\": {quick},\n  \"loads\": {LOADS},\n  \"single_predict_legacy_ns\": {legacy_ns:.2},\n  \"single_predict_packed_ns\": {packed_ns:.2},\n  \"batch_predict_ns_per_load\": {batch_ns:.2},\n  \"batch_predict_loads_per_sec\": {batch_tp:.0},\n{backend_rows}\n  \"journal_append_ns_per_record\": {journal_append_ns:.2},\n  \"journal_replay_ns_per_record\": {journal_replay_ns:.2},\n  \"cluster_direct_p50_ns\": {},\n  \"cluster_direct_p99_ns\": {},\n  \"cluster_router_p50_ns\": {},\n  \"cluster_router_p99_ns\": {},\n  \"service\": {{\n{}\n  }}\n}}\n",
         direct.0.as_nanos(),
         direct.1.as_nanos(),
         routed.0.as_nanos(),

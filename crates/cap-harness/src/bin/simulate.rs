@@ -120,6 +120,8 @@ fn usage() -> ! {
     eprintln!("       simulate serve [--addr <host:port>] [--port-file <path>]");
     eprintln!("                [--workers <n>] [--queue <n>] [--snapshot-dir <dir>] [--resume]");
     eprintln!("                [--keep <k>] [--seed <s>] [--pin hybrid|stride-only|bypass]");
+    eprintln!("                [--backend <name>] [--fallback <name>]");
+    eprintln!("       simulate backends        (list registered backend names)");
     eprintln!("       simulate client --addr <host:port> [--trace <path>] [--take <n>]");
     eprintln!("                [--budget-ms <n>] [--connect-retries <n>] [--stats]");
     eprintln!("                [--shutdown <drain-ms>] [--json]");
@@ -337,6 +339,27 @@ fn parse_rung(v: &str) -> Rung {
         })
 }
 
+/// Resolves a backend name through the registry; the error already
+/// lists every registered name.
+fn parse_backend(flag: &str, v: &str) -> BackendKind {
+    BackendKind::parse(v).unwrap_or_else(|e| {
+        eprintln!("{flag}: {e}");
+        exit(2);
+    })
+}
+
+/// Prints the registered backend names, one per line (scriptable:
+/// `verify.sh backends` iterates this).
+fn cmd_backends(args: Vec<String>) {
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {}", args.join(" "));
+        usage();
+    }
+    for d in BACKEND_REGISTRY {
+        println!("{}", d.name);
+    }
+}
+
 /// Hosts the prediction service over TCP until a client's shutdown
 /// frame, then drains, snapshots, and exits.
 fn cmd_serve(mut args: Vec<String>) {
@@ -357,6 +380,12 @@ fn cmd_serve(mut args: Vec<String>) {
         config.seed = parse_number("--seed", &v);
     }
     config.pin_rung = take_value(&mut args, "--pin").map(|v| parse_rung(&v));
+    if let Some(v) = take_value(&mut args, "--backend") {
+        config.primary = parse_backend("--backend", &v);
+    }
+    if let Some(v) = take_value(&mut args, "--fallback") {
+        config.fallback = parse_backend("--fallback", &v);
+    }
     if !args.is_empty() {
         eprintln!("unrecognized arguments: {}", args.join(" "));
         usage();
@@ -1096,6 +1125,7 @@ fn main() {
         "gen" => cmd_gen(args),
         "run" => cmd_run(args),
         "serve" => cmd_serve(args),
+        "backends" => cmd_backends(args),
         "client" => cmd_client(args),
         "route" => cmd_route(args),
         "top" => cmd_top(args),

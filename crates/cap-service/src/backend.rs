@@ -1,12 +1,17 @@
-//! Prediction backends as shareable trait objects.
+//! Prediction backends as shareable trait objects, dispatched through
+//! one static registry.
 //!
 //! A worker holds its backends as `Box<dyn SharedPredictor>` — the
 //! dyn-compatibility contract [`cap_predictor::types::SharedPredictor`]
 //! guarantees — so the primary/fallback pair is data, not a hardcoded
-//! enum: a service can serve hybrid-over-stride (the paper's ladder) or
-//! cap-over-stride without any new dispatch code. Restore paths decode
-//! through [`BackendKind`] tags because `Restorable` is a constructor
-//! and cannot ride on the trait object.
+//! enum. Every per-kind fact (CLI name, snapshot tag, constructor,
+//! snapshot decoder) lives in exactly one row of [`BACKEND_REGISTRY`];
+//! the [`BackendKind`] methods are thin lookups over it, which is why
+//! registering a new backend is a one-row edit and why nothing outside
+//! this module is allowed to `match` on `BackendKind` (enforced by
+//! `scripts/verify.sh backends`). Restore paths decode through
+//! [`BackendKind`] tags because `Restorable` is a constructor and
+//! cannot ride on the trait object.
 
 use cap_predictor::cap::{CapConfig, CapPredictor};
 use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
@@ -14,7 +19,11 @@ use cap_predictor::load_buffer::LoadBufferConfig;
 use cap_predictor::packed::PackedHybridPredictor;
 use cap_predictor::stride::{StrideParams, StridePredictor};
 use cap_predictor::types::SharedPredictor;
-use cap_snapshot::{SectionReader, Restorable, SnapshotError};
+use cap_snapshot::{Restorable, SectionReader, SnapshotError};
+use cap_uarch::cache_level::{CacheLevelConfig, CacheLevelPredictor};
+use cap_uarch::ldbp::{LdbpConfig, LdbpPredictor};
+use cap_uarch::pcax::{PcaxConfig, PcaxPredictor};
+use std::fmt;
 
 /// Which concrete predictor a backend slot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,69 +38,219 @@ pub enum BackendKind {
     /// identical to [`BackendKind::Hybrid`], with a batch predict fast
     /// path and no allocation on the predict path.
     PackedHybrid,
+    /// Stride addresses + per-PC cache-level prediction against the
+    /// `cap-uarch` hierarchy model (Jalili & Erez).
+    CacheLevel,
+    /// Hybrid addresses + GHR-correlated early branch resolution
+    /// (Sridhar et al., LDBP).
+    Ldbp,
+    /// Stride addresses + PC-indexed translation assist pre-warming a
+    /// modeled TLB (Murthy & Sohi, PCAX).
+    Pcax,
+}
+
+/// One registered backend: everything the service stack needs to know
+/// about a kind, in one row. Adding a backend means adding one row to
+/// [`BACKEND_REGISTRY`] (plus the enum variant it names).
+pub struct BackendDescriptor {
+    /// The kind this row describes.
+    pub kind: BackendKind,
+    /// Short lowercase name (breaker stats, CLI, wire errors).
+    pub name: &'static str,
+    /// Snapshot tag (stable across releases — never reuse a value).
+    pub tag: u8,
+    /// Builds a fresh paper-default instance.
+    pub build: fn() -> Box<dyn SharedPredictor>,
+    /// Decodes an instance from a snapshot section.
+    pub restore: fn(&mut SectionReader<'_>) -> Result<Box<dyn SharedPredictor>, SnapshotError>,
+}
+
+impl fmt::Debug for BackendDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendDescriptor")
+            .field("kind", &self.kind)
+            .field("name", &self.name)
+            .field("tag", &self.tag)
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_hybrid() -> Box<dyn SharedPredictor> {
+    Box::new(HybridPredictor::new(HybridConfig::paper_default()))
+}
+
+fn build_cap() -> Box<dyn SharedPredictor> {
+    Box::new(CapPredictor::new(CapConfig::paper_default()))
+}
+
+fn build_stride() -> Box<dyn SharedPredictor> {
+    Box::new(StridePredictor::new(
+        LoadBufferConfig::paper_default(),
+        StrideParams::paper_default(),
+    ))
+}
+
+fn build_packed_hybrid() -> Box<dyn SharedPredictor> {
+    Box::new(PackedHybridPredictor::new(HybridConfig::paper_default()))
+}
+
+fn build_cache_level() -> Box<dyn SharedPredictor> {
+    Box::new(CacheLevelPredictor::new(CacheLevelConfig::paper_default()))
+}
+
+fn build_ldbp() -> Box<dyn SharedPredictor> {
+    Box::new(LdbpPredictor::new(LdbpConfig::paper_default()))
+}
+
+fn build_pcax() -> Box<dyn SharedPredictor> {
+    Box::new(PcaxPredictor::new(PcaxConfig::paper_default()))
+}
+
+fn restore_boxed<P: SharedPredictor + Restorable + 'static>(
+    r: &mut SectionReader<'_>,
+) -> Result<Box<dyn SharedPredictor>, SnapshotError> {
+    Ok(Box::new(P::read_state(r)?))
+}
+
+/// The single dispatch table for every selectable backend.
+pub static BACKEND_REGISTRY: &[BackendDescriptor] = &[
+    BackendDescriptor {
+        kind: BackendKind::Hybrid,
+        name: "hybrid",
+        tag: 0,
+        build: build_hybrid,
+        restore: restore_boxed::<HybridPredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::Cap,
+        name: "cap",
+        tag: 1,
+        build: build_cap,
+        restore: restore_boxed::<CapPredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::Stride,
+        name: "stride",
+        tag: 2,
+        build: build_stride,
+        restore: restore_boxed::<StridePredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::PackedHybrid,
+        name: "packed-hybrid",
+        tag: 3,
+        build: build_packed_hybrid,
+        restore: restore_boxed::<PackedHybridPredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::CacheLevel,
+        name: "cache-level",
+        tag: 4,
+        build: build_cache_level,
+        restore: restore_boxed::<CacheLevelPredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::Ldbp,
+        name: "ldbp",
+        tag: 5,
+        build: build_ldbp,
+        restore: restore_boxed::<LdbpPredictor>,
+    },
+    BackendDescriptor {
+        kind: BackendKind::Pcax,
+        name: "pcax",
+        tag: 6,
+        build: build_pcax,
+        restore: restore_boxed::<PcaxPredictor>,
+    },
+];
+
+/// A backend name that matched nothing in [`BACKEND_REGISTRY`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendParseError {
+    input: String,
+}
+
+impl BackendParseError {
+    /// The rejected input.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for BackendParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend '{}' (valid backends: {})",
+            self.input,
+            registered_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for BackendParseError {}
+
+/// Every registered backend name, in registry order.
+#[must_use]
+pub fn registered_names() -> Vec<&'static str> {
+    BACKEND_REGISTRY.iter().map(|d| d.name).collect()
 }
 
 impl BackendKind {
+    /// This kind's registry row.
+    #[must_use]
+    pub fn descriptor(self) -> &'static BackendDescriptor {
+        BACKEND_REGISTRY
+            .iter()
+            .find(|d| d.kind == self)
+            .expect("every BackendKind variant has a registry row")
+    }
+
     /// Short lowercase name (breaker stats, CLI).
     #[must_use]
     pub fn name(self) -> &'static str {
-        match self {
-            BackendKind::Hybrid => "hybrid",
-            BackendKind::Cap => "cap",
-            BackendKind::Stride => "stride",
-            BackendKind::PackedHybrid => "packed-hybrid",
-        }
+        self.descriptor().name
+    }
+
+    /// Parses a CLI/wire name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendParseError`] listing the registered names
+    /// when `s` matches none of them.
+    pub fn parse(s: &str) -> Result<Self, BackendParseError> {
+        BACKEND_REGISTRY
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(s))
+            .map(|d| d.kind)
+            .ok_or_else(|| BackendParseError { input: s.to_owned() })
     }
 
     /// Parses a CLI/wire name.
+    #[deprecated(since = "0.2.0", note = "use BackendKind::parse, which reports valid names")]
     #[must_use]
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "hybrid" => Some(BackendKind::Hybrid),
-            "cap" => Some(BackendKind::Cap),
-            "stride" => Some(BackendKind::Stride),
-            "packed-hybrid" => Some(BackendKind::PackedHybrid),
-            _ => None,
-        }
+    pub fn parse_opt(s: &str) -> Option<Self> {
+        Self::parse(s).ok()
     }
 
     /// Snapshot tag.
     #[must_use]
     pub fn tag(self) -> u8 {
-        match self {
-            BackendKind::Hybrid => 0,
-            BackendKind::Cap => 1,
-            BackendKind::Stride => 2,
-            BackendKind::PackedHybrid => 3,
-        }
+        self.descriptor().tag
     }
 
     /// Inverse of [`BackendKind::tag`].
     #[must_use]
     pub fn from_tag(tag: u8) -> Option<Self> {
-        match tag {
-            0 => Some(BackendKind::Hybrid),
-            1 => Some(BackendKind::Cap),
-            2 => Some(BackendKind::Stride),
-            3 => Some(BackendKind::PackedHybrid),
-            _ => None,
-        }
+        BACKEND_REGISTRY.iter().find(|d| d.tag == tag).map(|d| d.kind)
     }
 
     /// A fresh paper-default backend of this kind.
     #[must_use]
     pub fn build(self) -> Box<dyn SharedPredictor> {
-        match self {
-            BackendKind::Hybrid => Box::new(HybridPredictor::new(HybridConfig::paper_default())),
-            BackendKind::Cap => Box::new(CapPredictor::new(CapConfig::paper_default())),
-            BackendKind::Stride => Box::new(StridePredictor::new(
-                LoadBufferConfig::paper_default(),
-                StrideParams::paper_default(),
-            )),
-            BackendKind::PackedHybrid => Box::new(PackedHybridPredictor::new(
-                HybridConfig::paper_default(),
-            )),
-        }
+        (self.descriptor().build)()
     }
 
     /// Decodes a backend of this kind from a snapshot section.
@@ -103,12 +262,7 @@ impl BackendKind {
         self,
         r: &mut SectionReader<'_>,
     ) -> Result<Box<dyn SharedPredictor>, SnapshotError> {
-        Ok(match self {
-            BackendKind::Hybrid => Box::new(HybridPredictor::read_state(r)?),
-            BackendKind::Cap => Box::new(CapPredictor::read_state(r)?),
-            BackendKind::Stride => Box::new(StridePredictor::read_state(r)?),
-            BackendKind::PackedHybrid => Box::new(PackedHybridPredictor::read_state(r)?),
-        })
+        (self.descriptor().restore)(r)
     }
 }
 
@@ -119,28 +273,65 @@ mod tests {
     use cap_snapshot::SectionWriter;
 
     #[test]
-    fn names_and_tags_roundtrip() {
-        for kind in [
-            BackendKind::Hybrid,
-            BackendKind::Cap,
-            BackendKind::Stride,
-            BackendKind::PackedHybrid,
-        ] {
-            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
-            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+    fn registry_has_no_collisions() {
+        for (i, a) in BACKEND_REGISTRY.iter().enumerate() {
+            for b in &BACKEND_REGISTRY[i + 1..] {
+                assert_ne!(a.kind, b.kind, "duplicate kind row: {:?}", a.kind);
+                assert_ne!(
+                    a.tag, b.tag,
+                    "tag {} claimed by both {} and {}",
+                    a.tag, a.name, b.name
+                );
+                assert!(
+                    !a.name.eq_ignore_ascii_case(b.name),
+                    "name '{}' collides with '{}' (parsing is case-insensitive)",
+                    a.name,
+                    b.name
+                );
+            }
         }
-        assert_eq!(BackendKind::parse("nope"), None);
-        assert_eq!(BackendKind::from_tag(7), None);
+    }
+
+    #[test]
+    fn every_registered_backend_roundtrips_name_and_tag() {
+        assert!(!BACKEND_REGISTRY.is_empty());
+        for d in BACKEND_REGISTRY {
+            let kind = d.kind;
+            assert_eq!(BackendKind::parse(kind.name()), Ok(kind));
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(kind.descriptor().name, d.name);
+            // Case-insensitive: the uppercase spelling parses too.
+            assert_eq!(
+                BackendKind::parse(&kind.name().to_ascii_uppercase()),
+                Ok(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_failure_lists_registered_names() {
+        let err = BackendKind::parse("nope").expect_err("unknown name");
+        assert_eq!(err.input(), "nope");
+        let msg = err.to_string();
+        for d in BACKEND_REGISTRY {
+            assert!(msg.contains(d.name), "error message must list '{}'", d.name);
+        }
+        assert_eq!(BackendKind::from_tag(200), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shim_still_parses() {
+        assert_eq!(BackendKind::parse_opt("hybrid"), Some(BackendKind::Hybrid));
+        assert_eq!(BackendKind::parse_opt("nope"), None);
     }
 
     #[test]
     fn build_snapshot_restore_preserves_behavior() {
-        for kind in [
-            BackendKind::Hybrid,
-            BackendKind::Cap,
-            BackendKind::Stride,
-            BackendKind::PackedHybrid,
-        ] {
+        // Registry-driven: a new backend is covered the moment its row
+        // lands, and can never be forgotten here.
+        for d in BACKEND_REGISTRY {
+            let kind = d.kind;
             let mut original = kind.build();
             // Train a short stride pattern so there is state to carry.
             for i in 0..64u64 {

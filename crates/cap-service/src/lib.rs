@@ -113,7 +113,9 @@ pub mod names {
 
 /// Commonly used items, for glob import in binaries and tests.
 pub mod prelude {
-    pub use crate::backend::BackendKind;
+    pub use crate::backend::{
+        registered_names, BackendDescriptor, BackendKind, BackendParseError, BACKEND_REGISTRY,
+    };
     pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
     pub use crate::error::ServiceError;
     pub use crate::ladder::{Ladder, LadderConfig, LadderInputs, Rung};

@@ -1277,20 +1277,26 @@ fn decode_service_snapshot(
     let primary_tag = meta.take_u8("primary backend tag").map_err(|e| bad(&e))?;
     let fallback_tag = meta.take_u8("fallback backend tag").map_err(|e| bad(&e))?;
     meta.finish().map_err(|e| bad(&e))?;
-    let (primary, fallback) = match (
-        BackendKind::from_tag(primary_tag),
-        BackendKind::from_tag(fallback_tag),
-    ) {
-        (Some(p), Some(f)) if p == config.primary && f == config.fallback => (p, f),
-        _ => {
-            return Err(ServiceError::BadSnapshot(format!(
-                "snapshot backends (tags {primary_tag}/{fallback_tag}) do not match \
-                 config ({}/{})",
-                config.primary.name(),
-                config.fallback.name()
-            )))
-        }
+    let kind_for_tag = |tag: u8, what: &str| {
+        BackendKind::from_tag(tag).ok_or_else(|| {
+            ServiceError::BadSnapshot(format!(
+                "snapshot {what} backend tag {tag} is not registered \
+                 (registered backends: {})",
+                crate::backend::registered_names().join(", ")
+            ))
+        })
     };
+    let primary = kind_for_tag(primary_tag, "primary")?;
+    let fallback = kind_for_tag(fallback_tag, "fallback")?;
+    if primary != config.primary || fallback != config.fallback {
+        return Err(ServiceError::BadSnapshot(format!(
+            "snapshot backends ({}/{}) do not match config ({}/{})",
+            primary.name(),
+            fallback.name(),
+            config.primary.name(),
+            config.fallback.name()
+        )));
+    }
 
     let mut states = Vec::with_capacity(workers);
     for i in 0..workers {

@@ -1,0 +1,280 @@
+//! The `cache-level` backend: per-PC cache-level prediction layered on
+//! the enhanced stride address predictor.
+//!
+//! Jalili & Erez ("Reducing Load Latency with Cache Level Prediction")
+//! observe that most loads hit the same hierarchy level they hit last
+//! time the same PC executed, so a small PC-indexed table of saturating
+//! level predictions lets the core schedule a load's consumers against
+//! the *predicted* latency instead of always assuming an L1 hit. This
+//! backend grafts that idea onto the CAP substrate: addresses come from
+//! the paper's enhanced stride component, the ground-truth level comes
+//! from running every committed address through the
+//! [`MemoryHierarchy`] model, and the per-PC table tracks which of
+//! L1 / L2 / memory the load actually hit. Accuracy is exported via the
+//! `backend.cache_level.*` counters.
+
+use crate::hierarchy::MemoryHierarchy;
+use crate::names;
+use cap_obs::Obs;
+use cap_predictor::load_buffer::{LoadBuffer, LoadBufferConfig};
+use cap_predictor::stride::{StrideParams, StridePredictor};
+use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+/// Hierarchy levels the table can predict.
+pub const LEVEL_L1: u8 = 0;
+/// The L2 level.
+pub const LEVEL_L2: u8 = 1;
+/// Main memory.
+pub const LEVEL_MEMORY: u8 = 2;
+
+const LEVEL_MASK: u8 = 0b11;
+const CONF_SHIFT: u8 = 2;
+const CONF_MAX: u8 = 3;
+
+/// Configuration of the cache-level backend.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheLevelConfig {
+    /// Load-buffer geometry of the inner stride predictor.
+    pub lb: LoadBufferConfig,
+    /// Stride-component parameters.
+    pub stride: StrideParams,
+    /// Entries in the PC-indexed level table (power of two).
+    pub table_entries: usize,
+}
+
+impl CacheLevelConfig {
+    /// Paper-default stride predictor plus a 1K-entry level table over
+    /// the paper's 32 KB L1 / 1 MB L2 hierarchy.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            lb: LoadBufferConfig::paper_default(),
+            stride: StrideParams::paper_default(),
+            table_entries: 1024,
+        }
+    }
+}
+
+/// Stride address prediction + per-PC cache-level prediction.
+#[derive(Debug)]
+pub struct CacheLevelPredictor {
+    stride: StridePredictor,
+    hier: MemoryHierarchy,
+    /// Per-PC packed entries: level in bits 0–1, confidence in bits 2–3.
+    levels: Vec<u8>,
+    level_hits: u64,
+    level_misses: u64,
+    obs: Obs,
+}
+
+impl CacheLevelPredictor {
+    /// Builds the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a non-zero power of two.
+    #[must_use]
+    pub fn new(config: CacheLevelConfig) -> Self {
+        assert!(
+            config.table_entries.is_power_of_two(),
+            "level table entries must be a power of two"
+        );
+        Self {
+            stride: StridePredictor::new(config.lb, config.stride),
+            hier: MemoryHierarchy::paper_default(),
+            levels: vec![0; config.table_entries],
+            level_hits: 0,
+            level_misses: 0,
+            obs: Obs::off(),
+        }
+    }
+
+    fn index(&self, ip: u64) -> usize {
+        ((ip >> 2) ^ (ip >> 12)) as usize & (self.levels.len() - 1)
+    }
+
+    /// The level the table currently predicts for `ip`.
+    #[must_use]
+    pub fn predicted_level(&self, ip: u64) -> u8 {
+        self.levels[self.index(ip)] & LEVEL_MASK
+    }
+
+    /// Correct level predictions so far.
+    #[must_use]
+    pub fn level_hits(&self) -> u64 {
+        self.level_hits
+    }
+
+    /// Wrong level predictions so far.
+    #[must_use]
+    pub fn level_misses(&self) -> u64 {
+        self.level_misses
+    }
+
+    /// The hierarchy model producing ground-truth levels.
+    #[must_use]
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hier
+    }
+
+    /// The packed per-PC level table (level bits 0–1, confidence 2–3).
+    #[must_use]
+    pub fn level_table(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Inner load buffer (fault-injection surface).
+    #[must_use]
+    pub fn load_buffer(&self) -> &LoadBuffer {
+        self.stride.load_buffer()
+    }
+
+    /// Mutable inner load buffer (fault-injection surface).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        self.stride.load_buffer_mut()
+    }
+
+    fn train_level(&mut self, ip: u64, actual_level: u8) {
+        let idx = self.index(ip);
+        let entry = self.levels[idx];
+        let (level, conf) = (entry & LEVEL_MASK, entry >> CONF_SHIFT);
+        if level == actual_level {
+            self.level_hits += 1;
+            self.obs.incr(names::CLP_LEVEL_HIT);
+            self.levels[idx] = level | (conf.saturating_add(1).min(CONF_MAX) << CONF_SHIFT);
+        } else {
+            self.level_misses += 1;
+            self.obs.incr(names::CLP_LEVEL_MISS);
+            self.levels[idx] = if conf == 0 {
+                // Confidence exhausted: adopt the observed level.
+                actual_level
+            } else {
+                level | ((conf - 1) << CONF_SHIFT)
+            };
+        }
+    }
+}
+
+impl AddressPredictor for CacheLevelPredictor {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        self.stride.predict(ctx)
+    }
+
+    fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
+        self.stride.update(ctx, actual, pred);
+        let latency = self.hier.access(actual);
+        let lat = *self.hier.latency();
+        let actual_level = if latency == lat.l1 {
+            LEVEL_L1
+        } else if latency == lat.l2 {
+            LEVEL_L2
+        } else {
+            LEVEL_MEMORY
+        };
+        self.train_level(ctx.ip, actual_level);
+    }
+
+    fn name(&self) -> &'static str {
+        "cache-level"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.stride.set_obs(obs.clone());
+        self.hier.set_obs(obs.clone());
+        self.obs = obs;
+    }
+}
+
+impl Snapshot for CacheLevelPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.stride.write_state(w);
+        self.hier.write_state(w);
+        w.put_len(self.levels.len());
+        w.put_raw(&self.levels);
+        w.put_u64(self.level_hits);
+        w.put_u64(self.level_misses);
+    }
+}
+
+impl Restorable for CacheLevelPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let stride = StridePredictor::read_state(r)?;
+        let hier = MemoryHierarchy::read_state(r)?;
+        let n = r.take_len(1, "level table entries")?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(r.bad_value(format!("level table entries {n} not a power of two")));
+        }
+        let levels = r.take_raw(n, "level table")?.to_vec();
+        for (i, &e) in levels.iter().enumerate() {
+            if e >> (2 * CONF_SHIFT) != 0 || (e & LEVEL_MASK) > LEVEL_MEMORY {
+                return Err(r.bad_value(format!("level table entry {i} malformed: {e:#04x}")));
+            }
+        }
+        Ok(Self {
+            stride,
+            hier,
+            levels,
+            level_hits: r.take_u64("level hits")?,
+            level_misses: r.take_u64("level misses")?,
+            obs: Obs::off(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut CacheLevelPredictor, ip: u64, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            let ctx = LoadContext::new(ip, 8, 0);
+            let pred = p.predict(&ctx);
+            p.update(&ctx, a, &pred);
+        }
+    }
+
+    #[test]
+    fn learns_l1_resident_loads() {
+        let mut p = CacheLevelPredictor::new(CacheLevelConfig::paper_default());
+        // The same small working set over and over: after the cold miss
+        // everything is an L1 hit, and the table should converge on L1.
+        drive(&mut p, 0x400, (0..40).map(|i| 0x1000 + (i % 4) * 8));
+        assert_eq!(p.predicted_level(0x400), LEVEL_L1);
+        assert!(p.level_hits() > p.level_misses());
+    }
+
+    #[test]
+    fn memory_streaming_converges_on_memory_level() {
+        let mut p = CacheLevelPredictor::new(CacheLevelConfig::paper_default());
+        // Stride through 2 MB-spaced lines: every access leaves both
+        // caches cold, so ground truth is always memory.
+        drive(&mut p, 0x500, (0..32).map(|i| i * 0x20_0000));
+        assert_eq!(p.predicted_level(0x500), LEVEL_MEMORY);
+    }
+
+    #[test]
+    fn address_stream_still_comes_from_stride() {
+        let mut p = CacheLevelPredictor::new(CacheLevelConfig::paper_default());
+        drive(&mut p, 0x600, (0..32).map(|i| 0x9000 + i * 8));
+        let ctx = LoadContext::new(0x600, 8, 0);
+        let pred = p.predict(&ctx);
+        assert_eq!(pred.addr, Some(0x9000 + 32 * 8));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_behavior() {
+        let mut p = CacheLevelPredictor::new(CacheLevelConfig::paper_default());
+        drive(&mut p, 0x400, (0..40).map(|i| 0x1000 + (i % 4) * 8));
+        let mut w = SectionWriter::new();
+        p.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes, "cache-level");
+        let mut back = CacheLevelPredictor::read_state(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.predicted_level(0x400), p.predicted_level(0x400));
+        assert_eq!(back.level_hits(), p.level_hits());
+        let ctx = LoadContext::new(0x400, 8, 0);
+        assert_eq!(back.predict(&ctx).addr, p.predict(&ctx).addr);
+    }
+}

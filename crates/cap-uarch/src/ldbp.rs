@@ -1,0 +1,273 @@
+//! The `ldbp` backend: load-driven early branch resolution fused with
+//! the CAP hybrid address predictor.
+//!
+//! Sridhar et al.'s Load-Driven Branch Predictor (LDBP) observes that
+//! many hard-to-predict branches just compare a recently loaded value,
+//! so a confident load-address prediction lets the branch be computed
+//! ahead of fetch instead of guessed. This backend models that fusion
+//! on the CAP substrate: addresses come from the paper's full hybrid
+//! (CAP + stride + selector), and a (PC ⊕ GHR)-indexed confidence
+//! table — the GHR rides along in every [`LoadContext`] — tracks how
+//! often a confident address prediction for this branch context turned
+//! out correct. When the table is confident and the hybrid speculates,
+//! the dependent branch is claimed *early-resolved*; the claim is then
+//! scored against the committed address, exporting
+//! `backend.ldbp.early_resolved` vs `backend.ldbp.early_mispredict`.
+
+use crate::names;
+use cap_obs::Obs;
+use cap_predictor::hybrid::{HybridConfig, HybridPredictor};
+use cap_predictor::load_buffer::LoadBuffer;
+use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+const CONF_MAX: u8 = 3;
+
+/// Configuration of the LDBP backend.
+#[derive(Debug, Clone, Copy)]
+pub struct LdbpConfig {
+    /// The inner hybrid address predictor.
+    pub hybrid: HybridConfig,
+    /// Entries in the (PC ⊕ GHR)-indexed branch-confidence table
+    /// (power of two).
+    pub table_entries: usize,
+    /// Confidence (0–3) required before a branch is claimed early.
+    pub conf_threshold: u8,
+}
+
+impl LdbpConfig {
+    /// Paper-default hybrid plus a 2K-entry branch-confidence table
+    /// that claims a branch after two confirming contexts.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            hybrid: HybridConfig::paper_default(),
+            table_entries: 2048,
+            conf_threshold: 2,
+        }
+    }
+}
+
+/// Hybrid address prediction + GHR-correlated early branch resolution.
+#[derive(Debug)]
+pub struct LdbpPredictor {
+    hybrid: HybridPredictor,
+    /// 2-bit confidence per (PC ⊕ GHR) branch context.
+    conf: Vec<u8>,
+    threshold: u8,
+    early_resolved: u64,
+    early_mispredicted: u64,
+    obs: Obs,
+}
+
+impl LdbpPredictor {
+    /// Builds the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_entries` is not a non-zero power of two or the
+    /// threshold exceeds the 2-bit counter range.
+    #[must_use]
+    pub fn new(config: LdbpConfig) -> Self {
+        assert!(
+            config.table_entries.is_power_of_two(),
+            "branch table entries must be a power of two"
+        );
+        assert!(
+            (1..=CONF_MAX).contains(&config.conf_threshold),
+            "confidence threshold must be in 1..=3"
+        );
+        Self {
+            hybrid: HybridPredictor::new(config.hybrid),
+            conf: vec![0; config.table_entries],
+            threshold: config.conf_threshold,
+            early_resolved: 0,
+            early_mispredicted: 0,
+            obs: Obs::off(),
+        }
+    }
+
+    fn index(&self, ctx: &LoadContext) -> usize {
+        let ghr = ctx.ghr;
+        ((ctx.ip >> 2) ^ ghr ^ (ghr << 5)) as usize & (self.conf.len() - 1)
+    }
+
+    /// Whether this context would claim its dependent branch early.
+    fn claims(&self, ctx: &LoadContext, pred: &Prediction) -> bool {
+        pred.speculate && self.conf[self.index(ctx)] >= self.threshold
+    }
+
+    /// Branches resolved early and confirmed correct.
+    #[must_use]
+    pub fn branches_resolved_early(&self) -> u64 {
+        self.early_resolved
+    }
+
+    /// Branches claimed early on a wrong address (pipeline flush).
+    #[must_use]
+    pub fn branches_early_mispredicted(&self) -> u64 {
+        self.early_mispredicted
+    }
+
+    /// The branch-confidence table (2-bit entries).
+    #[must_use]
+    pub fn branch_table(&self) -> &[u8] {
+        &self.conf
+    }
+
+    /// The inner hybrid predictor.
+    #[must_use]
+    pub fn hybrid(&self) -> &HybridPredictor {
+        &self.hybrid
+    }
+
+    /// The inner hybrid predictor, mutably (fault-injection surface).
+    pub fn hybrid_mut(&mut self) -> &mut HybridPredictor {
+        &mut self.hybrid
+    }
+
+    /// Inner load buffer (fault-injection surface).
+    #[must_use]
+    pub fn load_buffer(&self) -> &LoadBuffer {
+        self.hybrid.load_buffer()
+    }
+
+    /// Mutable inner load buffer (fault-injection surface).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        self.hybrid.load_buffer_mut()
+    }
+}
+
+impl AddressPredictor for LdbpPredictor {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        self.hybrid.predict(ctx)
+    }
+
+    fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
+        // Score the claim with the table as it stood at predict time:
+        // update is the only mutator, so the entry is unchanged since.
+        let claimed = self.claims(ctx, pred);
+        let correct = pred.is_correct(actual);
+        if claimed {
+            if correct {
+                self.early_resolved += 1;
+                self.obs.incr(names::LDBP_EARLY_RESOLVED);
+            } else {
+                self.early_mispredicted += 1;
+                self.obs.incr(names::LDBP_EARLY_MISPREDICT);
+            }
+        }
+        let idx = self.index(ctx);
+        self.conf[idx] = if correct {
+            self.conf[idx].saturating_add(1).min(CONF_MAX)
+        } else {
+            self.conf[idx].saturating_sub(1)
+        };
+        self.hybrid.update(ctx, actual, pred);
+    }
+
+    fn name(&self) -> &'static str {
+        "ldbp"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.hybrid.set_obs(obs.clone());
+        self.obs = obs;
+    }
+}
+
+impl Snapshot for LdbpPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.hybrid.write_state(w);
+        w.put_len(self.conf.len());
+        w.put_raw(&self.conf);
+        w.put_u8(self.threshold);
+        w.put_u64(self.early_resolved);
+        w.put_u64(self.early_mispredicted);
+    }
+}
+
+impl Restorable for LdbpPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let hybrid = HybridPredictor::read_state(r)?;
+        let n = r.take_len(1, "branch table entries")?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(r.bad_value(format!("branch table entries {n} not a power of two")));
+        }
+        let conf = r.take_raw(n, "branch table")?.to_vec();
+        if let Some((i, &e)) = conf.iter().enumerate().find(|&(_, &e)| e > CONF_MAX) {
+            return Err(r.bad_value(format!("branch confidence {i} out of range: {e}")));
+        }
+        let threshold = r.take_u8("branch confidence threshold")?;
+        if !(1..=CONF_MAX).contains(&threshold) {
+            return Err(r.bad_value(format!("branch threshold {threshold} out of range")));
+        }
+        Ok(Self {
+            hybrid,
+            conf,
+            threshold,
+            early_resolved: r.take_u64("branches early resolved")?,
+            early_mispredicted: r.take_u64("branches early mispredicted")?,
+            obs: Obs::off(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut LdbpPredictor, ip: u64, ghr: u64, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            let ctx = LoadContext::new(ip, 8, ghr);
+            let pred = p.predict(&ctx);
+            p.update(&ctx, a, &pred);
+        }
+    }
+
+    #[test]
+    fn steady_stride_claims_and_resolves_branches_early() {
+        let mut p = LdbpPredictor::new(LdbpConfig::paper_default());
+        drive(&mut p, 0x400, 0b1011, (0..64).map(|i| 0x9000 + i * 8));
+        assert!(
+            p.branches_resolved_early() > 0,
+            "a steady stream in one branch context must resolve early"
+        );
+        assert_eq!(p.branches_early_mispredicted(), 0);
+    }
+
+    #[test]
+    fn broken_stream_demotes_confidence() {
+        let mut p = LdbpPredictor::new(LdbpConfig::paper_default());
+        drive(&mut p, 0x400, 0b1011, (0..64).map(|i| 0x9000 + i * 8));
+        // Tear the pattern apart in the same context: claims made while
+        // confidence drains score as early mispredicts.
+        drive(&mut p, 0x400, 0b1011, (0..8).map(|i| 0xdead_0000 + i * 0x777));
+        assert!(p.branches_early_mispredicted() > 0);
+    }
+
+    #[test]
+    fn contexts_are_ghr_correlated() {
+        let mut p = LdbpPredictor::new(LdbpConfig::paper_default());
+        drive(&mut p, 0x400, 0b0001, (0..64).map(|i| 0x9000 + i * 8));
+        let trained = p.conf[p.index(&LoadContext::new(0x400, 8, 0b0001))];
+        let other = p.conf[p.index(&LoadContext::new(0x400, 8, 0b1110))];
+        assert_eq!(trained, CONF_MAX);
+        assert_eq!(other, 0, "a different GHR maps to a different context");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_counts_and_behavior() {
+        let mut p = LdbpPredictor::new(LdbpConfig::paper_default());
+        drive(&mut p, 0x400, 0b1011, (0..64).map(|i| 0x9000 + i * 8));
+        let mut w = SectionWriter::new();
+        p.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes, "ldbp");
+        let mut back = LdbpPredictor::read_state(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.branches_resolved_early(), p.branches_resolved_early());
+        let ctx = LoadContext::new(0x400, 8, 0b1011);
+        assert_eq!(back.predict(&ctx).addr, p.predict(&ctx).addr);
+    }
+}

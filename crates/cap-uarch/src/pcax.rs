@@ -1,0 +1,196 @@
+//! The `pcax` backend: PC-indexed translation assist driven by the
+//! predicted address stream.
+//!
+//! Murthy & Sohi's PCAX scheme indexes the translation machinery by
+//! load PC so address translation can start before the effective
+//! address is computed. This backend models the assist on the CAP
+//! substrate: the enhanced stride component produces a predicted base
+//! address per PC, and every such prediction pre-warms the modeled
+//! [`Tlb`] ([`Tlb::prewarm`]) so the demand translation at commit time
+//! finds the entry resident. Assist effectiveness is exported through
+//! `backend.pcax.assist` plus the `uarch.tlb.*` counters (in
+//! particular `uarch.tlb.prewarm_hit`, demand hits served by a
+//! still-warm speculative install).
+
+use crate::names;
+use crate::tlb::{Tlb, TlbConfig};
+use cap_obs::Obs;
+use cap_predictor::load_buffer::{LoadBuffer, LoadBufferConfig};
+use cap_predictor::stride::{StrideParams, StridePredictor};
+use cap_predictor::types::{AddressPredictor, LoadContext, Prediction};
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+/// Configuration of the PCAX backend.
+#[derive(Debug, Clone, Copy)]
+pub struct PcaxConfig {
+    /// Load-buffer geometry of the inner stride predictor.
+    pub lb: LoadBufferConfig,
+    /// Stride-component parameters.
+    pub stride: StrideParams,
+    /// Geometry of the modeled TLB the assist pre-warms.
+    pub tlb: TlbConfig,
+}
+
+impl PcaxConfig {
+    /// Paper-default stride predictor over a 64-entry, 4-way DTLB.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            lb: LoadBufferConfig::paper_default(),
+            stride: StrideParams::paper_default(),
+            tlb: TlbConfig::paper_default(),
+        }
+    }
+}
+
+/// Stride address prediction + TLB pre-warming translation assist.
+#[derive(Debug)]
+pub struct PcaxPredictor {
+    stride: StridePredictor,
+    tlb: Tlb,
+    assists: u64,
+    obs: Obs,
+}
+
+impl PcaxPredictor {
+    /// Builds the backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TLB geometry is inconsistent.
+    #[must_use]
+    pub fn new(config: PcaxConfig) -> Self {
+        Self {
+            stride: StridePredictor::new(config.lb, config.stride),
+            tlb: Tlb::new(config.tlb),
+            assists: 0,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Speculative TLB installs issued off predicted addresses.
+    #[must_use]
+    pub fn assists(&self) -> u64 {
+        self.assists
+    }
+
+    /// The modeled TLB.
+    #[must_use]
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// Inner load buffer (fault-injection surface).
+    #[must_use]
+    pub fn load_buffer(&self) -> &LoadBuffer {
+        self.stride.load_buffer()
+    }
+
+    /// Mutable inner load buffer (fault-injection surface).
+    pub fn load_buffer_mut(&mut self) -> &mut LoadBuffer {
+        self.stride.load_buffer_mut()
+    }
+}
+
+impl AddressPredictor for PcaxPredictor {
+    fn predict(&mut self, ctx: &LoadContext) -> Prediction {
+        let pred = self.stride.predict(ctx);
+        // Any predicted address is worth a translation pre-warm: the
+        // install is harmless when wrong (it only shifts LRU order) and
+        // hides the TLB-miss latency when right.
+        if let Some(addr) = pred.addr {
+            if self.tlb.prewarm(addr) {
+                self.assists += 1;
+                self.obs.incr(names::PCAX_ASSIST);
+            }
+        }
+        pred
+    }
+
+    fn update(&mut self, ctx: &LoadContext, actual: u64, pred: &Prediction) {
+        self.stride.update(ctx, actual, pred);
+        self.tlb.access(actual);
+    }
+
+    fn name(&self) -> &'static str {
+        "pcax"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.stride.set_obs(obs.clone());
+        self.tlb.set_obs(obs.clone());
+        self.obs = obs;
+    }
+}
+
+impl Snapshot for PcaxPredictor {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.stride.write_state(w);
+        self.tlb.write_state(w);
+        w.put_u64(self.assists);
+    }
+}
+
+impl Restorable for PcaxPredictor {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            stride: StridePredictor::read_state(r)?,
+            tlb: Tlb::read_state(r)?,
+            assists: r.take_u64("pcax assists")?,
+            obs: Obs::off(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut PcaxPredictor, ip: u64, addrs: impl IntoIterator<Item = u64>) {
+        for a in addrs {
+            let ctx = LoadContext::new(ip, 8, 0);
+            let pred = p.predict(&ctx);
+            p.update(&ctx, a, &pred);
+        }
+    }
+
+    #[test]
+    fn page_crossing_stride_prewarms_ahead() {
+        let mut p = PcaxPredictor::new(PcaxConfig::paper_default());
+        // A 1 KB stride crosses a 4 KB page every fourth load, so a
+        // correct prediction pre-warms the next page before the demand
+        // access arrives.
+        drive(&mut p, 0x400, (0..64).map(|i| 0x10_0000 + i * 0x400));
+        assert!(p.assists() > 0, "predicted addresses must issue assists");
+        assert!(
+            p.tlb().prewarm_hits() > 0,
+            "some demand accesses must land on pre-warmed entries"
+        );
+    }
+
+    #[test]
+    fn resident_pages_issue_no_assists() {
+        let mut p = PcaxPredictor::new(PcaxConfig::paper_default());
+        // All loads inside one page: after the first fill the predicted
+        // address is always resident and nothing new is installed.
+        drive(&mut p, 0x500, (0..64).map(|i| 0x20_0000 + (i % 16) * 8));
+        assert!(p.tlb().hits() > 0);
+        assert!(p.assists() <= 1, "a resident page needs no assist");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_assist_state() {
+        let mut p = PcaxPredictor::new(PcaxConfig::paper_default());
+        drive(&mut p, 0x400, (0..64).map(|i| 0x10_0000 + i * 0x400));
+        let mut w = SectionWriter::new();
+        p.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes, "pcax");
+        let mut back = PcaxPredictor::read_state(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.assists(), p.assists());
+        assert_eq!(back.tlb().prewarm_hits(), p.tlb().prewarm_hits());
+        let ctx = LoadContext::new(0x400, 8, 0);
+        assert_eq!(back.predict(&ctx).addr, p.predict(&ctx).addr);
+    }
+}

@@ -1,0 +1,409 @@
+//! A modeled data TLB with a pre-warm port for the PCAX backend.
+//!
+//! Murthy & Sohi's PC-indexed translation assist needs a translation
+//! structure the predicted address stream can touch *before* the load
+//! executes. This is a small set-associative, LRU page-translation
+//! cache in the style of [`crate::cache::Cache`], extended with a
+//! [`Tlb::prewarm`] port that installs a translation speculatively and
+//! remembers it was pre-warmed so the first demand access can be
+//! attributed to the assist (`uarch.tlb.prewarm_hit`).
+
+use crate::names;
+use cap_obs::Obs;
+use cap_snapshot::{Restorable, SectionReader, SectionWriter, Snapshot, SnapshotError};
+
+/// Geometry of the modeled TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entry count (must be divisible by `assoc` into a
+    /// power-of-two set count).
+    pub entries: usize,
+    /// Associativity.
+    pub assoc: usize,
+    /// Page size as a shift (12 → 4 KB pages).
+    pub page_bits: u32,
+}
+
+impl TlbConfig {
+    /// A 64-entry, 4-way, 4 KB-page DTLB — representative of the
+    /// paper's era (Pentium-class parts shipped 64-entry DTLBs).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            entries: 64,
+            assoc: 4,
+            page_bits: 12,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.entries / self.assoc
+    }
+
+    fn validate(&self) {
+        assert!(self.assoc >= 1, "TLB associativity must be at least 1");
+        assert!(
+            self.entries.is_multiple_of(self.assoc),
+            "TLB entries must be divisible by associativity"
+        );
+        assert!(self.sets().is_power_of_two(), "TLB set count must be a power of two");
+        assert!(self.page_bits >= 1 && self.page_bits <= 30, "page bits out of range");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbSlot {
+    vpn: u64,
+    lru: u64,
+    valid: bool,
+    /// Set when the translation was installed by [`Tlb::prewarm`] and a
+    /// demand access has not consumed it yet.
+    prewarmed: bool,
+}
+
+const EMPTY_SLOT: TlbSlot = TlbSlot {
+    vpn: 0,
+    lru: 0,
+    valid: false,
+    prewarmed: false,
+};
+
+/// A set-associative, LRU TLB with a speculative pre-warm port.
+///
+/// # Examples
+///
+/// ```
+/// use cap_uarch::tlb::{Tlb, TlbConfig};
+/// let mut tlb = Tlb::new(TlbConfig::paper_default());
+/// assert!(tlb.prewarm(0x8000));   // installed speculatively
+/// assert!(tlb.access(0x8010));    // demand access hits the warm entry
+/// assert_eq!(tlb.prewarm_hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    slots: Vec<TlbSlot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    prewarms: u64,
+    prewarm_hits: u64,
+    obs: Obs,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Self {
+        config.validate();
+        Self {
+            slots: vec![EMPTY_SLOT; config.entries],
+            config,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            prewarms: 0,
+            prewarm_hits: 0,
+            obs: Obs::off(),
+        }
+    }
+
+    /// The TLB's configuration.
+    #[must_use]
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Attaches a telemetry sink for the `uarch.tlb.*` counters (not
+    /// snapshotted — re-attach after a restore).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    fn set_range(&self, vpn: u64) -> (usize, usize, u64) {
+        let sets = self.config.sets() as u64;
+        let set = (vpn & (sets - 1)) as usize;
+        let start = set * self.config.assoc;
+        (start, start + self.config.assoc, vpn)
+    }
+
+    /// Performs one demand translation and returns whether it hit.
+    ///
+    /// A hit on a pre-warmed slot is additionally counted as an assist
+    /// hit and clears the pre-warm mark (the assist is credited once).
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        self.tick += 1;
+        let (start, end, vpn) = self.set_range(vaddr >> self.config.page_bits);
+        if let Some(slot) = self.slots[start..end]
+            .iter_mut()
+            .find(|s| s.valid && s.vpn == vpn)
+        {
+            slot.lru = self.tick;
+            if slot.prewarmed {
+                slot.prewarmed = false;
+                self.prewarm_hits += 1;
+                self.obs.incr(names::TLB_PREWARM_HIT);
+            }
+            self.hits += 1;
+            self.obs.incr(names::TLB_HIT);
+            return true;
+        }
+        self.fill(start, end, vpn, false);
+        self.misses += 1;
+        self.obs.incr(names::TLB_MISS);
+        false
+    }
+
+    /// Speculatively installs the translation for `vaddr`. Returns
+    /// `true` when a new entry was installed, `false` when it was
+    /// already resident (already warm — nothing to do).
+    pub fn prewarm(&mut self, vaddr: u64) -> bool {
+        self.tick += 1;
+        let (start, end, vpn) = self.set_range(vaddr >> self.config.page_bits);
+        if self.slots[start..end].iter().any(|s| s.valid && s.vpn == vpn) {
+            return false;
+        }
+        self.fill(start, end, vpn, true);
+        self.prewarms += 1;
+        self.obs.incr(names::TLB_PREWARM);
+        true
+    }
+
+    fn fill(&mut self, start: usize, end: usize, vpn: u64, prewarmed: bool) {
+        let victim = self.slots[start..end]
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .expect("associativity >= 1");
+        *victim = TlbSlot {
+            vpn,
+            lru: self.tick,
+            valid: true,
+            prewarmed,
+        };
+    }
+
+    /// Valid entries.
+    #[must_use]
+    pub fn occupancy(&self) -> u64 {
+        self.slots.iter().filter(|s| s.valid).count() as u64
+    }
+
+    /// Demand hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Speculative installs issued by the assist.
+    #[must_use]
+    pub fn prewarms(&self) -> u64 {
+        self.prewarms
+    }
+
+    /// Demand hits served by a still-warm speculative install.
+    #[must_use]
+    pub fn prewarm_hits(&self) -> u64 {
+        self.prewarm_hits
+    }
+
+    /// Demand hit rate so far.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Snapshot for TlbConfig {
+    fn write_state(&self, w: &mut SectionWriter) {
+        w.put_len(self.entries);
+        w.put_len(self.assoc);
+        w.put_u32(self.page_bits);
+    }
+}
+
+impl Restorable for TlbConfig {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let entries = r.take_u64("tlb entries")?;
+        let assoc = r.take_u64("tlb associativity")?;
+        let page_bits = r.take_u32("tlb page bits")?;
+        // Mirror TlbConfig::validate without panics, with an allocation
+        // ceiling on the entry count.
+        if assoc == 0 {
+            return Err(r.bad_value("tlb associativity is zero".to_string()));
+        }
+        let sets = match entries.checked_rem(assoc) {
+            Some(0) => entries / assoc,
+            _ => {
+                return Err(r.bad_value(format!(
+                    "tlb entries {entries} not divisible by associativity {assoc}"
+                )))
+            }
+        };
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(r.bad_value(format!("tlb set count {sets} not a power of two")));
+        }
+        if !(1..=30).contains(&page_bits) {
+            return Err(r.bad_value(format!("tlb page bits {page_bits} out of range")));
+        }
+        if entries > 1 << 20 {
+            return Err(SnapshotError::WidthOverflow {
+                section: r.section().to_string(),
+                what: "tlb entry count",
+                value: entries,
+                limit: 1 << 20,
+            });
+        }
+        Ok(Self {
+            entries: entries as usize,
+            assoc: assoc as usize,
+            page_bits,
+        })
+    }
+}
+
+impl Snapshot for Tlb {
+    fn write_state(&self, w: &mut SectionWriter) {
+        self.config.write_state(w);
+        w.put_u64(self.tick);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.prewarms);
+        w.put_u64(self.prewarm_hits);
+        for slot in &self.slots {
+            w.put_u64(slot.vpn);
+            w.put_u64(slot.lru);
+            w.put_bool(slot.valid);
+            w.put_bool(slot.prewarmed);
+        }
+    }
+}
+
+impl Restorable for Tlb {
+    fn read_state(r: &mut SectionReader<'_>) -> Result<Self, SnapshotError> {
+        let config = TlbConfig::read_state(r)?;
+        let tick = r.take_u64("tlb tick")?;
+        let hits = r.take_u64("tlb hits")?;
+        let misses = r.take_u64("tlb misses")?;
+        let prewarms = r.take_u64("tlb prewarms")?;
+        let prewarm_hits = r.take_u64("tlb prewarm hits")?;
+        let mut slots = Vec::with_capacity(config.entries);
+        for _ in 0..config.entries {
+            slots.push(TlbSlot {
+                vpn: r.take_u64("tlb slot vpn")?,
+                lru: r.take_u64("tlb slot lru")?,
+                valid: r.take_bool("tlb slot valid")?,
+                prewarmed: r.take_bool("tlb slot prewarmed")?,
+            });
+        }
+        Ok(Self {
+            config,
+            slots,
+            tick,
+            hits,
+            misses,
+            prewarms,
+            prewarm_hits,
+            obs: Obs::off(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_snapshot::{SectionReader, SectionWriter};
+
+    fn tiny() -> Tlb {
+        // 4 sets x 2 ways
+        Tlb::new(TlbConfig {
+            entries: 8,
+            assoc: 2,
+            page_bits: 12,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF), "same page");
+        assert!(!t.access(0x2000), "next page misses");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn prewarm_credits_first_demand_access_once() {
+        let mut t = tiny();
+        assert!(t.prewarm(0x8000));
+        assert!(!t.prewarm(0x8000), "already resident");
+        assert!(t.access(0x8004));
+        assert!(t.access(0x8008));
+        assert_eq!(t.prewarms(), 1);
+        assert_eq!(t.prewarm_hits(), 1, "assist credited exactly once");
+    }
+
+    #[test]
+    fn lru_eviction_in_set() {
+        let mut t = tiny();
+        // Pages 0, 4, 8 all map to set 0 (4 sets).
+        t.access(0x0000);
+        t.access(0x4000);
+        t.access(0x0000); // refresh page 0
+        t.access(0x8000); // evicts page 4
+        assert!(t.access(0x0800), "page 0 survived");
+        assert!(!t.access(0x4000), "page 4 was the LRU victim");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_contents() {
+        let mut t = tiny();
+        t.prewarm(0x8000);
+        for i in 0..6u64 {
+            t.access(i << 12);
+        }
+        let mut w = SectionWriter::new();
+        t.write_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes, "tlb");
+        let mut back = Tlb::read_state(&mut r).expect("restore");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.occupancy(), t.occupancy());
+        assert_eq!(back.hits(), t.hits());
+        assert_eq!(back.prewarms(), t.prewarms());
+        // Behavioral check: the restored TLB serves exactly the same
+        // pages as the original from here on.
+        for page in [0x5000u64, 0x8000, 0x0000, 0x9000] {
+            assert_eq!(back.access(page), t.access(page), "page {page:#x}");
+        }
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        // entries 8 with associativity 3 does not divide evenly.
+        let mut w = SectionWriter::new();
+        w.put_len(8);
+        w.put_len(3);
+        w.put_u32(12);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new(&bytes, "tlb");
+        assert!(TlbConfig::read_state(&mut r).is_err());
+    }
+}

@@ -2,7 +2,7 @@
 # Hermetic verification: the workspace must build, test, and run its
 # quickstart with zero registry access. Any failure exits nonzero.
 #
-# Usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench]
+# Usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench|backends]
 #   all      (default) every gate below
 #   service  just the prediction-service gate: chaos soak, graceful
 #            drain, and the warm-restart differential, all offline
@@ -29,13 +29,18 @@
 #            BENCH_<git-short-sha>.json and diffing it against the
 #            newest prior baseline (>10% single-predict regression
 #            fails)
+#   backends just the backend-catalog gate: registry round-trip and
+#            per-backend snapshot tests, a grep asserting the registry
+#            in backend.rs is the only `match` on BackendKind, and a
+#            per-backend serve → predict → snapshot → warm-restart
+#            smoke over every name `simulate backends` lists
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GATE="${1:-all}"
 case "$GATE" in
-    all|service|obs|cluster|netchaos|storage|bench) ;;
-    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench]" >&2; exit 2 ;;
+    all|service|obs|cluster|netchaos|storage|bench|backends) ;;
+    *) echo "usage: scripts/verify.sh [all|service|obs|cluster|netchaos|storage|bench|backends]" >&2; exit 2 ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
@@ -609,7 +614,8 @@ bench_gate() {
             batch_predict_loads_per_sec journal_append_ns_per_record \
             journal_replay_ns_per_record cluster_direct_p50_ns \
             cluster_direct_p99_ns cluster_router_p50_ns \
-            cluster_router_p99_ns p50_ns p99_ns; do
+            cluster_router_p99_ns p50_ns p99_ns \
+            backend_cache_level_ns backend_ldbp_ns backend_pcax_ns; do
             grep -q "\"$key\"" "$out" || {
                 echo "ERROR: $out is missing \"$key\"" >&2
                 exit 1
@@ -665,6 +671,120 @@ bench_gate() {
     exit 1
 }
 
+# The backend-catalog gate: the registry in backend.rs is the single
+# dispatch point, and every backend it lists is a full citizen — it
+# serves, predicts, snapshots, and warm-restarts bit-identically.
+backends_gate() {
+    step "backends: registry round-trips + per-backend snapshot tests"
+    cargo test -q --offline --release -p cap-service backend
+    cargo test -q --offline --release -p cap-faults target
+
+    step "backends: the registry is the only match on BackendKind"
+    if grep -rn 'match .*BackendKind' crates src examples 2>/dev/null \
+        | grep -v '^crates/cap-service/src/backend.rs:'; then
+        echo "ERROR: BackendKind matched outside crates/cap-service/src/backend.rs —" >&2
+        echo "       adding a backend must stay a one-row registry edit" >&2
+        exit 1
+    fi
+    echo "no BackendKind dispatch outside the registry"
+
+    step "backends: unknown --backend fails fast and lists the catalog"
+    local dir="$SMOKE_DIR/backends"
+    mkdir -p "$dir"
+    if "${SIMULATE[@]}" serve --backend bogus > "$dir/bogus.log" 2>&1; then
+        echo "ERROR: serve accepted an unknown backend" >&2
+        exit 1
+    fi
+    grep -q "unknown backend 'bogus'" "$dir/bogus.log" || {
+        echo "ERROR: parse failure did not name the bad input" >&2
+        cat "$dir/bogus.log" >&2
+        exit 1
+    }
+    grep -q 'valid backends:.*cache-level.*ldbp.*pcax' "$dir/bogus.log" || {
+        echo "ERROR: parse failure did not list the registered catalog" >&2
+        cat "$dir/bogus.log" >&2
+        exit 1
+    }
+
+    step "backends: per-backend serve → predict → snapshot → warm restart"
+    "${SIMULATE[@]}" gen --out "$dir/trace.txt" --loads 3000
+
+    backend_serve_wait_port() {
+        # Starts a server in the background (PID in SERVE_PID, log in
+        # $1) and blocks until the port file appears.
+        local log="$1"; shift
+        rm -f "$dir/port"
+        "${SIMULATE[@]}" serve --addr 127.0.0.1:0 --port-file "$dir/port" \
+            --workers 2 --snapshot-dir "$dir/snapshots" "$@" \
+            > "$log" 2>&1 &
+        SERVE_PID=$!
+        for _ in $(seq 1 100); do
+            [ -s "$dir/port" ] && return 0
+            if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+                echo "ERROR: server died before publishing its port" >&2
+                cat "$log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        echo "ERROR: server never published its port" >&2
+        exit 1
+    }
+
+    local b count=0
+    for b in $("${SIMULATE[@]}" backends); do
+        rm -rf "$dir/snapshots"
+        backend_serve_wait_port "$dir/serve-$b-1.log" --backend "$b"
+        ADDR="127.0.0.1:$(cat "$dir/port")"
+        "${SIMULATE[@]}" client --addr "$ADDR" --trace "$dir/trace.txt" \
+            --take 1500 --json > "$dir/replay-$b.json"
+        grep -q '"errors": 0' "$dir/replay-$b.json" || {
+            echo "ERROR: [$b] replay saw structured errors" >&2
+            exit 1
+        }
+        "${SIMULATE[@]}" client --addr "$ADDR" --stats > "$dir/stats-$b-before.json"
+        "${SIMULATE[@]}" client --addr "$ADDR" --shutdown 500
+        wait "$SERVE_PID" || {
+            echo "ERROR: [$b] server exited nonzero on graceful shutdown" >&2
+            cat "$dir/serve-$b-1.log" >&2
+            exit 1
+        }
+        ls "$dir/snapshots"/ckpt-*.capsnap >/dev/null || {
+            echo "ERROR: [$b] shutdown published no snapshot" >&2
+            exit 1
+        }
+
+        backend_serve_wait_port "$dir/serve-$b-2.log" --backend "$b" --resume
+        ADDR="127.0.0.1:$(cat "$dir/port")"
+        grep -q 'warm restart from ' "$dir/serve-$b-2.log" || {
+            echo "ERROR: [$b] restarted server did not warm-restart" >&2
+            cat "$dir/serve-$b-2.log" >&2
+            exit 1
+        }
+        "${SIMULATE[@]}" client --addr "$ADDR" --stats > "$dir/stats-$b-after.json"
+        for key in loads predictions correct_predictions prediction_rate_bits accuracy_bits; do
+            ref=$(grep "\"$key\"" "$dir/stats-$b-before.json")
+            res=$(grep "\"$key\"" "$dir/stats-$b-after.json")
+            if [ -z "$ref" ] || [ "$ref" != "$res" ]; then
+                echo "ERROR: [$b] warm restart diverged on $key: '$ref' vs '$res'" >&2
+                exit 1
+            fi
+        done
+        "${SIMULATE[@]}" client --addr "$ADDR" --shutdown 500
+        wait "$SERVE_PID" || {
+            echo "ERROR: [$b] restarted server exited nonzero on shutdown" >&2
+            exit 1
+        }
+        count=$((count + 1))
+        echo "backend smoke [$b]: served, drained, warm restart bit-identical"
+    done
+    if [ "$count" -lt 7 ]; then
+        echo "ERROR: expected at least 7 registered backends, smoked $count" >&2
+        exit 1
+    fi
+    echo "backend smoke: $count backends selectable end-to-end"
+}
+
 if [ "$GATE" = "all" ]; then
     core_gates
 fi
@@ -685,6 +805,9 @@ if [ "$GATE" = "all" ] || [ "$GATE" = "storage" ]; then
 fi
 if [ "$GATE" = "all" ] || [ "$GATE" = "bench" ]; then
     bench_gate
+fi
+if [ "$GATE" = "all" ] || [ "$GATE" = "backends" ]; then
+    backends_gate
 fi
 
 echo
